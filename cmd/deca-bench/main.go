@@ -1,0 +1,81 @@
+// Command deca-bench regenerates the paper's evaluation tables and
+// figures (§6). Each experiment runs the relevant workloads in the
+// compared execution modes and prints a paper-style report.
+//
+// Usage:
+//
+//	deca-bench                     # run everything at default scale
+//	deca-bench -exp fig9b,table3   # run selected experiments
+//	deca-bench -scale 0.2          # shrink datasets 5x (quick look)
+//	deca-bench -list               # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deca/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		par      = flag.Int("parallelism", 4, "executor worker goroutines")
+		spillDir = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
+		listOnly = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale, Parallelism: *par, SpillDir: *spillDir}
+	if opts.SpillDir == "" {
+		dir, err := os.MkdirTemp("", "deca-bench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deca-bench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		opts.SpillDir = dir
+	}
+
+	var experiments []bench.Experiment
+	if *expFlag == "all" {
+		experiments = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "deca-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deca-bench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("  (completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,27 @@
+// Package deca is a from-scratch Go reproduction of "Lifetime-Based
+// Memory Management for Distributed Data Processing Systems" (Lu et al.,
+// VLDB 2016) — the Deca system.
+//
+// The library lives under internal/:
+//
+//	udt, analysis  the UDT size-type classification (Algorithms 1-4,
+//	               phased refinement)
+//	memory         page groups with page-info metadata and refcounting
+//	decompose      layouts, codecs and raw-byte accessors (SUDT analogue)
+//	core           the lifetime planner: containers, ownership,
+//	               decomposition decisions
+//	engine         a mini-Spark substrate (datasets, shuffles, caching)
+//	shuffle, cache the three shuffle-buffer shapes and the block store
+//	serial         the Kryo-equivalent baseline serializer
+//	workloads      WC, LR, KMeans, PageRank, ConnectedComponents ×
+//	               {Spark, SparkSer, Deca}
+//	sqlmini        the §6.6 SQL comparison
+//	bench          runners regenerating every table and figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution map, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/deca-bench -exp all
+package deca

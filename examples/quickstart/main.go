@@ -1,0 +1,61 @@
+// Quickstart: build a dataset, persist it as decomposed Deca pages, and
+// run a word-count job over it — the smallest end-to-end tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deca/internal/decompose"
+	"deca/internal/engine"
+	"deca/internal/serial"
+	"deca/internal/shuffle"
+)
+
+func main() {
+	// An executor with 4 workers running in Deca mode: caches and shuffle
+	// buffers are page-decomposed whenever codecs make it safe.
+	ctx := engine.New(engine.Config{Parallelism: 4, Mode: engine.ModeDeca})
+	defer ctx.Close()
+
+	lines := engine.Parallelize(ctx, []string{
+		"the quick brown fox jumps over the lazy dog",
+		"the dog barks and the fox runs",
+		"lifetime based memory management for the win",
+	}, 2)
+
+	// Narrow transformation: split lines into (word, 1) pairs. The chain
+	// fuses into one pull loop per partition.
+	pairs := engine.FlatMap(lines, func(line string, emit func(decompose.Pair[string, int64])) {
+		start := 0
+		for i := 0; i <= len(line); i++ {
+			if i == len(line) || line[i] == ' ' {
+				if i > start {
+					emit(engine.KV(line[start:i], int64(1)))
+				}
+				start = i + 1
+			}
+		}
+	})
+
+	// Keyed shuffle with eager combining. The int64 value codec is
+	// StaticFixed, so the Deca buffer reuses each word's 8-byte segment on
+	// every combine — no garbage from counting.
+	counts := engine.ReduceByKey(pairs, engine.PairOps[string, int64]{
+		Key:      shuffle.StringKey(),
+		KeySer:   serial.Str{},
+		ValSer:   serial.Int64{},
+		KeyCodec: decompose.StringCodec{},
+		ValCodec: decompose.Int64Codec{},
+	}, func(a, b int64) int64 { return a + b })
+
+	result, err := engine.CollectMap(counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d distinct words\n", len(result))
+	for _, w := range []string{"the", "fox", "memory"} {
+		fmt.Printf("  %-8s %d\n", w, result[w])
+	}
+}

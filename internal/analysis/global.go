@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"deca/internal/udt"
+)
+
+// Global classification analysis (paper §3.3, Algorithms 2-4).
+//
+// The local classifier is conservative: it assumes any array may vary in
+// length across instances and any non-final field may be re-pointed at
+// differently-sized objects. The global classifier refines those
+// assumptions with whole-scope facts:
+//
+//   - fixed-length array types: every allocation site of the array type
+//     assigned to a given field uses an equivalent symbolic length;
+//   - init-only fields: assigned at most once, only during construction.
+//
+// A Classifier is bound to one analysis Scope (one job stage, or one phase
+// for the §3.4 phased refinement).
+
+// Classifier refines local size-types using the facts of a Scope.
+type Classifier struct {
+	scope *Scope
+
+	sMemo map[sKey]bool
+	rMemo map[*udt.Type]bool
+}
+
+type sKey struct {
+	t   *udt.Type
+	via FieldRef
+}
+
+// NewClassifier returns a classifier over the given analysis scope.
+func NewClassifier(scope *Scope) *Classifier {
+	return &Classifier{
+		scope: scope,
+		sMemo: make(map[sKey]bool),
+		rMemo: make(map[*udt.Type]bool),
+	}
+}
+
+// Classify implements Algorithm 2: it runs the local analysis, then
+// attempts the static-fixed refinement and the runtime-fixed refinement in
+// order. The result is never more variable than the local classification.
+func (c *Classifier) Classify(t *udt.Type) udt.SizeType {
+	local := udt.Classify(t)
+	return c.Refine(t, local)
+}
+
+// Refine implements Algorithm 2 given an already-computed local size-type.
+func (c *Classifier) Refine(t *udt.Type, local udt.SizeType) udt.SizeType {
+	switch local {
+	case udt.RecurDef:
+		return udt.RecurDef
+	case udt.StaticFixed:
+		return udt.StaticFixed
+	}
+	if c.SRefine(t, FieldRef{}) {
+		return udt.StaticFixed
+	}
+	if local == udt.RuntimeFixed || c.RRefine(t) {
+		return udt.RuntimeFixed
+	}
+	return udt.Variable
+}
+
+// SRefine implements Algorithm 3: t can be refined to StaticFixed iff every
+// array type in its type dependency graph is fixed-length (w.r.t. the field
+// referencing it) and every type in every field's type-set is (refinable
+// to) StaticFixed. via is the field through which t is referenced; the zero
+// FieldRef means t is the top-level type.
+func (c *Classifier) SRefine(t *udt.Type, via FieldRef) bool {
+	key := sKey{t: t, via: via}
+	if v, ok := c.sMemo[key]; ok {
+		return v
+	}
+	// Seed false to be safe under (already-excluded) cycles.
+	c.sMemo[key] = false
+	v := c.sRefine(t, via)
+	c.sMemo[key] = v
+	return v
+}
+
+func (c *Classifier) sRefine(t *udt.Type, via FieldRef) bool {
+	if t == nil {
+		return false
+	}
+	if t.Kind == udt.KindPrimitive {
+		return true
+	}
+	// Lines 2-6: every runtime type of every field must be StaticFixed.
+	for _, f := range structOrElemFields(t) {
+		ref := FieldRef{Owner: t.Name, Field: f.Name}
+		for _, rt := range f.RuntimeTypes() {
+			if rt.Kind == udt.KindPrimitive {
+				continue
+			}
+			if !c.SRefine(rt, ref) {
+				return false
+			}
+		}
+	}
+	// Line 7: an array type must additionally be fixed-length w.r.t. the
+	// field that references it.
+	if t.Kind == udt.KindArray {
+		if !c.scope.FixedLength(t.Name, via) {
+			return false
+		}
+	}
+	return true
+}
+
+// RRefine implements Algorithm 4: t can be refined to RuntimeFixed iff
+// every type in every field's type-set is StaticFixed or RuntimeFixed, and
+// every field that actually needs the RuntimeFixed case is init-only.
+// Array element fields are never init-only (§3.3 rule 2), so an array whose
+// elements are merely RuntimeFixed cannot be refined.
+func (c *Classifier) RRefine(t *udt.Type) bool {
+	if v, ok := c.rMemo[t]; ok {
+		return v
+	}
+	c.rMemo[t] = false
+	v := c.rRefine(t)
+	c.rMemo[t] = v
+	return v
+}
+
+func (c *Classifier) rRefine(t *udt.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.Kind == udt.KindPrimitive {
+		return true
+	}
+	for _, f := range structOrElemFields(t) {
+		ref := FieldRef{Owner: t.Name, Field: f.Name}
+		needsInitOnly := false
+		for _, rt := range f.RuntimeTypes() {
+			if rt.Kind == udt.KindPrimitive {
+				continue
+			}
+			if c.SRefine(rt, ref) {
+				continue
+			}
+			if c.RRefine(rt) {
+				needsInitOnly = true
+			} else {
+				return false
+			}
+		}
+		if needsInitOnly && !c.initOnlyField(t, f, ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// initOnlyField applies the §3.3 init-only rules, including rule 2: array
+// element fields are never init-only.
+func (c *Classifier) initOnlyField(owner *udt.Type, f *udt.Field, ref FieldRef) bool {
+	if owner.Kind == udt.KindArray {
+		return false
+	}
+	return c.scope.InitOnly(ref, f.Final)
+}
+
+func structOrElemFields(t *udt.Type) []*udt.Field {
+	if t.Kind == udt.KindArray {
+		if t.Elem == nil {
+			return nil
+		}
+		return []*udt.Field{t.Elem}
+	}
+	return t.Fields
+}
+
+// Phase names one execution phase of a job stage (§3.4): a top-level loop
+// reading from one materialized collector and writing to the next, with the
+// call-graph entry methods active during that loop.
+type Phase struct {
+	Name    string
+	Entries []string
+}
+
+// PhaseResult is the per-phase classification of one type.
+type PhaseResult struct {
+	Phase    string
+	SizeType udt.SizeType
+}
+
+// PhasedClassify implements the phased refinement of §3.4: the global
+// classification re-runs with the scope restricted to each phase's
+// reachable methods, so a type that is Variable while being built (e.g. a
+// growing value array under groupByKey) can be RuntimeFixed in subsequent
+// phases that never reassign its fields.
+func PhasedClassify(prog *Program, t *udt.Type, phases []Phase) ([]PhaseResult, error) {
+	results := make([]PhaseResult, 0, len(phases))
+	for _, ph := range phases {
+		scope, err := prog.Scope(ph.Entries...)
+		if err != nil {
+			return nil, err
+		}
+		cl := NewClassifier(scope)
+		results = append(results, PhaseResult{Phase: ph.Name, SizeType: cl.Classify(t)})
+	}
+	return results, nil
+}

@@ -1,0 +1,58 @@
+package analysis
+
+// LRProgram builds the program-fact model of the paper's logistic-
+// regression example (Figure 1), as Deca's pre-processing phase would
+// extract it with Soot:
+//
+//   - the first stage's map UDF parses a text line, allocates the feature
+//     array with the global constant length D, and constructs a
+//     DenseVector and a LabeledPoint around it;
+//   - the iterative stage's map UDF computes the gradient contribution,
+//     allocating a fresh D-length array per call; reduce adds vectors,
+//     also allocating a D-length result.
+//
+// All Array[float64] allocation sites assigned to DenseVector.data use the
+// equivalent symbolic length Symbol(D), so the array type is fixed-length
+// and LabeledPoint refines from Variable to StaticFixed (§3.3).
+func LRProgram() *Program {
+	p := NewProgram()
+
+	dataRef := FieldRef{Owner: "DenseVector", Field: "data"}
+
+	p.AddCtor("DenseVector.<init>", "DenseVector").
+		AssignField(dataRef, 1).
+		AssignField(FieldRef{Owner: "DenseVector", Field: "offset"}, 1).
+		AssignField(FieldRef{Owner: "DenseVector", Field: "stride"}, 1).
+		AssignField(FieldRef{Owner: "DenseVector", Field: "length"}, 1)
+
+	p.AddCtor("LabeledPoint.<init>", "LabeledPoint").
+		AssignField(FieldRef{Owner: "LabeledPoint", Field: "label"}, 1).
+		AssignField(FieldRef{Owner: "LabeledPoint", Field: "features"}, 1)
+
+	p.AddMethod("LR.pointsMap").
+		AllocArray("Array[float64]", dataRef, Sym("D")).
+		Call("DenseVector.<init>", "LabeledPoint.<init>")
+
+	p.AddMethod("LR.gradientMap").
+		AllocArray("Array[float64]", dataRef, Sym("D")).
+		Call("DenseVector.<init>")
+
+	p.AddMethod("LR.gradientReduce").
+		AllocArray("Array[float64]", dataRef, Sym("D")).
+		Call("DenseVector.<init>")
+
+	p.AddMethod("LR.stage0").Call("LR.pointsMap")
+	p.AddMethod("LR.stage1").Call("LR.gradientMap", "LR.gradientReduce")
+	p.AddMethod("LR.main").Call("LR.stage0", "LR.stage1")
+
+	return p
+}
+
+// LRPhases returns the phase decomposition of the LR job for the phased
+// refinement demo: phase 0 builds and caches the points, phase 1 iterates.
+func LRPhases() []Phase {
+	return []Phase{
+		{Name: "build-cache", Entries: []string{"LR.stage0"}},
+		{Name: "iterate", Entries: []string{"LR.stage1"}},
+	}
+}

@@ -1,0 +1,147 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) at laptop scale. Each experiment has a runner that
+// executes the relevant workloads in the compared modes and renders a
+// paper-style report: the qualitative claim from the paper, then the
+// measured rows. Absolute numbers differ from the paper (Go runtime,
+// scaled datasets); the *shape* — who wins, by what rough factor, where
+// the crossovers sit — is the reproduction target, recorded in
+// EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deca/internal/engine"
+	"deca/internal/workloads"
+)
+
+// Options tunes experiment size.
+type Options struct {
+	// Scale multiplies dataset sizes; 1.0 is the default laptop scale
+	// (every experiment in seconds), tests use ~0.05.
+	Scale float64
+	// SpillDir receives spills and swaps; "" uses the OS temp dir.
+	SpillDir string
+	// Parallelism bounds worker goroutines (0 = 4).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// scaled multiplies n by the scale factor with a floor of 1.
+func (o Options) scaled(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Rows       []string
+}
+
+func (r *Report) add(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	for _, row := range r.Rows {
+		b.WriteString("  ")
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig8a", "WC shuffle-object lifetime timeline", Fig8aWCLifetime},
+		{"fig8b", "WC execution time vs data and key size", Fig8bWordCount},
+		{"fig9a", "LR cached-object lifetime timeline", Fig9aLRLifetime},
+		{"fig9b", "LR execution time and cache size", Fig9bLR},
+		{"fig9c", "KMeans execution time and cache size", Fig9cKMeans},
+		{"fig9d", "High-dimensional (Amazon-style) LR/KMeans", Fig9dHighDim},
+		{"fig10a", "PageRank on power-law graphs", Fig10aPageRank},
+		{"fig10b", "ConnectedComponents on power-law graphs", Fig10bCC},
+		{"table3", "GC time reduction per application", Table3GCReduction},
+		{"table4", "GC tuning: storage fraction and collector aggressiveness", Table4GCTuning},
+		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
+		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
+		{"ablation-pagesize", "Page-size sweep (design-choice ablation)", AblationPageSize},
+		{"ablation-value-reuse", "SFST value reuse vs boxed combines (ablation)", AblationValueReuse},
+		{"ablation-codec", "Reflection vs generated codec (ablation)", AblationReflectVsGenerated},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtDur renders a duration compactly.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// speedup formats a/b as "N.Nx".
+func speedup(base, other time.Duration) string {
+	if other <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
+}
+
+// mb renders bytes as MB with one decimal.
+func mb(b int64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
+// resultRow renders a workload result as a fixed-width table row.
+func resultRow(label string, r workloads.Result) string {
+	return fmt.Sprintf("%-28s %-9s exec=%-9s gc=%6.3fs (%4.1f%%) cache=%-9s spill=%-9s",
+		label, r.Mode, fmtDur(r.Wall), r.GC.GCCPUSeconds, 100*r.GC.GCRatio(),
+		mb(r.CacheBytes), mb(r.SwapBytes+r.ShuffleSpillBytes))
+}
+
+// baseCfg builds a workload config for the given mode.
+func (o Options) baseCfg(mode engine.Mode) workloads.Config {
+	return workloads.Config{
+		Mode:        mode,
+		Parallelism: o.Parallelism,
+		Partitions:  o.Parallelism,
+		SpillDir:    o.SpillDir,
+		Seed:        1,
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deca/internal/engine"
+	"deca/internal/gcstats"
+	"deca/internal/workloads"
+)
+
+// Fig8aWCLifetime reproduces Figure 8(a): sample the live heap-object
+// count and cumulative GC time while WordCount runs, in Spark and Deca
+// modes. Spark's eager-combining buffer churns boxed values, so the
+// object count oscillates and GC time climbs; Deca's page buffers keep
+// both nearly flat.
+func Fig8aWCLifetime(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:    "fig8a",
+		Title: "WC object-lifetime timeline (sampled)",
+		PaperClaim: "Spark: Tuple2 count fluctuates with frequent GC during shuffle; " +
+			"Deca: object count flat, GC time near zero",
+	}
+	params := workloads.WCParams{
+		DistinctKeys: o.scaled(200_000),
+		WordsPerLine: 10,
+		Lines:        o.scaled(400_000),
+	}
+	for _, mode := range []engine.Mode{engine.ModeSpark, engine.ModeDeca} {
+		tl := gcstats.StartTimeline(25 * time.Millisecond)
+		res, err := workloads.WordCount(o.baseCfg(mode), params)
+		samples := tl.Stop()
+		if err != nil {
+			return nil, err
+		}
+		var minObj, maxObj uint64
+		for i, s := range samples {
+			if i == 0 || s.HeapObjects < minObj {
+				minObj = s.HeapObjects
+			}
+			if s.HeapObjects > maxObj {
+				maxObj = s.HeapObjects
+			}
+		}
+		last := samples[len(samples)-1]
+		rep.add("%-9s exec=%-9s samples=%-4d heap-objects[min=%d max=%d swing=%.1fx] gc=%.3fs cycles=%d",
+			mode, fmtDur(res.Wall), len(samples), minObj, maxObj,
+			float64(maxObj)/float64(max64(minObj, 1)), last.GCCPUSeconds, last.NumGC)
+		for _, row := range series(samples, 6) {
+			rep.add("    %s", row)
+		}
+	}
+	return rep, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig8bWordCount reproduces Figure 8(b): WC execution time across three
+// data sizes and two distinct-key counts, Spark vs Deca.
+func Fig8bWordCount(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:         "fig8b",
+		Title:      "WC execution time vs data size and key cardinality",
+		PaperClaim: "Deca reduces execution time 10-58%; the gap widens with more distinct keys",
+	}
+	sizes := []struct {
+		name  string
+		lines int
+	}{
+		{"small", o.scaled(200_000)},
+		{"medium", o.scaled(400_000)},
+		{"large", o.scaled(600_000)},
+	}
+	keyCounts := []struct {
+		name string
+		keys int
+	}{
+		{"10K-keys", o.scaled(10_000)},
+		{"1M-keys", o.scaled(1_000_000)},
+	}
+	for _, kc := range keyCounts {
+		for _, sz := range sizes {
+			params := workloads.WCParams{DistinctKeys: kc.keys, WordsPerLine: 10, Lines: sz.lines}
+			var spark, deca workloads.Result
+			var err error
+			if spark, err = workloads.WordCount(o.baseCfg(engine.ModeSpark), params); err != nil {
+				return nil, err
+			}
+			if deca, err = workloads.WordCount(o.baseCfg(engine.ModeDeca), params); err != nil {
+				return nil, err
+			}
+			rep.add("%-10s %-7s Spark=%-9s Deca=%-9s speedup=%-6s sparkGC=%.3fs decaGC=%.3fs",
+				kc.name, sz.name, fmtDur(spark.Wall), fmtDur(deca.Wall),
+				speedup(spark.Wall, deca.Wall), spark.GC.GCCPUSeconds, deca.GC.GCCPUSeconds)
+		}
+	}
+	return rep, nil
+}
+
+// Fig9aLRLifetime reproduces Figure 9(a): the cached-object population
+// during iterative LR. Spark holds every LabeledPoint live for the whole
+// run (futile full GCs); Deca's cache is a handful of pages.
+func Fig9aLRLifetime(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:    "fig9a",
+		Title: "LR cached-object lifetime timeline (sampled)",
+		PaperClaim: "Spark: object count stable and huge, repeated full GCs reclaim nothing; " +
+			"Deca: objects reduced to pages, GC quiet",
+	}
+	params := workloads.LRParams{
+		Points:     o.scaled(150_000),
+		Dim:        10,
+		Iterations: 10,
+	}
+	for _, mode := range []engine.Mode{engine.ModeSpark, engine.ModeDeca} {
+		tl := gcstats.StartTimeline(25 * time.Millisecond)
+		res, err := workloads.LogisticRegression(o.baseCfg(mode), params)
+		samples := tl.Stop()
+		if err != nil {
+			return nil, err
+		}
+		// Steady-state object population: median of the second half.
+		half := samples[len(samples)/2:]
+		var sum uint64
+		for _, s := range half {
+			sum += s.HeapObjects
+		}
+		last := samples[len(samples)-1]
+		rep.add("%-9s exec=%-9s steady-heap-objects=%-9d gc=%.3fs cycles=%-3d cache=%s",
+			mode, fmtDur(res.Wall), sum/uint64(len(half)), last.GCCPUSeconds, last.NumGC, mb(res.CacheBytes))
+		for _, row := range series(samples, 6) {
+			rep.add("    %s", row)
+		}
+	}
+	return rep, nil
+}
+
+// series prints a small sampled series for plotting, shared by the
+// lifetime figures when verbose output is wanted.
+func series(samples []gcstats.Sample, n int) []string {
+	if len(samples) == 0 {
+		return nil
+	}
+	step := len(samples) / n
+	if step < 1 {
+		step = 1
+	}
+	var out []string
+	for i := 0; i < len(samples); i += step {
+		s := samples[i]
+		out = append(out, fmt.Sprintf("t=%-8s objects=%-9d gc=%.3fs",
+			s.Elapsed.Round(time.Millisecond), s.HeapObjects, s.GCCPUSeconds))
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"deca/internal/engine"
+	"deca/internal/workloads"
+)
+
+// lrBudget returns the memory budget that makes the largest Fig 9(b)
+// datasets spill, mirroring the paper's fixed 30GB executors against
+// growing inputs: the budget comfortably holds the three smaller datasets
+// and forces cache swapping for the two largest.
+func lrBudget(o Options, dim int) int64 {
+	// Points are ~(8+8*dim) bytes decomposed, ~3x that boxed. Budget =
+	// bytes of ~200k scaled 10-dim points.
+	perPoint := int64(8 + 8*dim)
+	return int64(o.scaled(220_000)) * perPoint * 2
+}
+
+var allModes = []engine.Mode{engine.ModeSpark, engine.ModeSparkSer, engine.ModeDeca}
+
+// Fig9bLR reproduces Figure 9(b): LR execution time and cached-data size
+// across five dataset sizes spanning the fits-in-memory and spilling
+// regimes, for Spark, SparkSer and Deca.
+func Fig9bLR(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:    "fig9b",
+		Title: "LR exec time + cache size across dataset sizes (10-dim)",
+		PaperClaim: "moderate gains while memory suffices; 16-41x once the cache saturates " +
+			"(full GCs trace the cached points in vain, Spark swaps more); Deca cache smaller",
+	}
+	// Five sizes mirroring the paper's 40-200GB sweep: the first three fit
+	// every mode, the fourth exceeds the object cache only (Spark swaps),
+	// the fifth exceeds even the page cache (both swap, Deca less).
+	sizes := []int{
+		o.scaled(50_000), o.scaled(100_000), o.scaled(150_000),
+		o.scaled(350_000), o.scaled(500_000),
+	}
+	budget := lrBudget(o, 10)
+	for _, n := range sizes {
+		params := workloads.LRParams{Points: n, Dim: 10, Iterations: 8}
+		var results []workloads.Result
+		for _, mode := range allModes {
+			cfg := o.baseCfg(mode)
+			cfg.MemoryBudget = budget
+			cfg.StorageFraction = 0.9 // the paper gives 90% to caching here
+			res, err := workloads.LogisticRegression(cfg, params)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+		spark, deca := results[0], results[2]
+		rep.add("n=%-8d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup(Spark/Deca)=%-6s",
+			n, fmtDur(results[0].Wall), fmtDur(results[1].Wall), fmtDur(results[2].Wall),
+			speedup(spark.Wall, deca.Wall))
+		rep.add("           cache: Spark=%-9s SparkSer=%-9s Deca=%-9s swap: Spark=%s Deca=%s",
+			mb(results[0].CacheBytes), mb(results[1].CacheBytes), mb(results[2].CacheBytes),
+			mb(results[0].SwapBytes), mb(results[2].SwapBytes))
+	}
+	return rep, nil
+}
+
+// Fig9cKMeans reproduces Figure 9(c): the same sweep for KMeans.
+func Fig9cKMeans(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:         "fig9c",
+		Title:      "KMeans exec time + cache size across dataset sizes (10-dim)",
+		PaperClaim: "same pattern as LR: large speedups once the cached vectors saturate memory",
+	}
+	sizes := []int{o.scaled(50_000), o.scaled(150_000), o.scaled(300_000)}
+	budget := lrBudget(o, 10)
+	for _, n := range sizes {
+		params := workloads.KMeansParams{Points: n, Dim: 10, K: 8, Iterations: 5}
+		var results []workloads.Result
+		for _, mode := range allModes {
+			cfg := o.baseCfg(mode)
+			cfg.MemoryBudget = budget
+			cfg.StorageFraction = 0.9
+			res, err := workloads.KMeans(cfg, params)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+		rep.add("n=%-8d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",
+			n, fmtDur(results[0].Wall), fmtDur(results[1].Wall), fmtDur(results[2].Wall),
+			speedup(results[0].Wall, results[2].Wall),
+			mb(results[0].CacheBytes), mb(results[2].CacheBytes))
+	}
+	return rep, nil
+}
+
+// Fig9dHighDim reproduces Figure 9(d): 4096-dimensional vectors (the
+// Amazon image features). Object headers amortize over huge payloads, so
+// cache sizes converge and speedups shrink to the paper's 1.2-5.3x band.
+func Fig9dHighDim(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:         "fig9d",
+		Title:      "High-dimensional (4096-dim) LR and KMeans",
+		PaperClaim: "speedups shrink to 1.2-5.3x; Spark and Deca cache sizes nearly identical",
+	}
+	const dim = 4096
+	nLR := o.scaled(3_000)
+	nKM := o.scaled(2_000)
+
+	// With 32KB payloads per record, object headers are negligible and so
+	// is per-object GC tracing; the paper's remaining advantage comes from
+	// memory pressure — both systems swap, Deca moves raw pages while
+	// Spark (de)serializes — so the sweep runs under a budget both modes
+	// exceed, like the paper's 40/80GB inputs against 30GB executors.
+	lrBudget := int64(nLR) * int64(8*dim) * 8 / 10
+
+	lrParams := workloads.LRParams{Points: nLR, Dim: dim, Iterations: 3}
+	var lrResults []workloads.Result
+	for _, mode := range allModes {
+		cfg := o.baseCfg(mode)
+		cfg.MemoryBudget = lrBudget
+		cfg.StorageFraction = 0.9
+		res, err := workloads.LogisticRegression(cfg, lrParams)
+		if err != nil {
+			return nil, err
+		}
+		lrResults = append(lrResults, res)
+	}
+	rep.add("LR     n=%-6d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",
+		nLR, fmtDur(lrResults[0].Wall), fmtDur(lrResults[1].Wall), fmtDur(lrResults[2].Wall),
+		speedup(lrResults[0].Wall, lrResults[2].Wall),
+		mb(lrResults[0].CacheBytes), mb(lrResults[2].CacheBytes))
+
+	kmBudget := int64(nKM) * int64(8*dim) * 8 / 10
+	kmParams := workloads.KMeansParams{Points: nKM, Dim: dim, K: 4, Iterations: 2}
+	var kmResults []workloads.Result
+	for _, mode := range allModes {
+		cfg := o.baseCfg(mode)
+		cfg.MemoryBudget = kmBudget
+		cfg.StorageFraction = 0.9
+		res, err := workloads.KMeans(cfg, kmParams)
+		if err != nil {
+			return nil, err
+		}
+		kmResults = append(kmResults, res)
+	}
+	rep.add("KMeans n=%-6d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",
+		nKM, fmtDur(kmResults[0].Wall), fmtDur(kmResults[1].Wall), fmtDur(kmResults[2].Wall),
+		speedup(kmResults[0].Wall, kmResults[2].Wall),
+		mb(kmResults[0].CacheBytes), mb(kmResults[2].CacheBytes))
+	return rep, nil
+}

@@ -1,0 +1,236 @@
+// Package cache implements the cached-RDD container of the paper (§4.2):
+// a block store keyed by (dataset, partition) with three storage levels —
+// plain object arrays (Spark), serialized bytes (SparkSer/Kryo), and
+// decomposed page groups (Deca) — plus the LRU eviction and disk-swap
+// machinery of Appendix C. A cached dataset's lifetime is explicit: it
+// ends at Unpersist, at which point every block (and for Deca, every page
+// group) is released at once.
+//
+// Deca's modification to Spark's LRU is preserved: the eviction unit for a
+// Deca block is its page group, whose raw bytes go to disk with no
+// serialization step, while object blocks must serialize on the way out
+// and re-materialize objects on the way back in.
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockID identifies a cache block: one partition of one cached dataset.
+type BlockID struct {
+	Dataset   int
+	Partition int
+}
+
+func (id BlockID) String() string {
+	return fmt.Sprintf("block(%d,%d)", id.Dataset, id.Partition)
+}
+
+// Block is one stored partition. Implementations are ObjectBlock,
+// SerializedBlock and DecaBlock.
+type Block interface {
+	// MemBytes is the block's current in-memory footprint (0 once swapped
+	// out).
+	MemBytes() int64
+	// InMemory reports whether the data is resident.
+	InMemory() bool
+	// Swappable reports whether SwapOut can move the block to disk.
+	Swappable() bool
+	// SwapOut writes the block to a file under dir and frees its memory.
+	SwapOut(dir string) error
+	// SwapIn restores a swapped-out block into memory.
+	SwapIn() error
+	// Drop releases all memory and disk resources.
+	Drop()
+}
+
+// Stats counts cache manager activity.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	Drops        uint64 // evictions that discarded data (non-swappable)
+	SwapOutBytes int64
+	SwapInBytes  int64
+	MemBytes     int64 // current resident bytes
+}
+
+type entry struct {
+	block  Block
+	use    uint64 // LRU clock
+	pinned int    // >0 while a task is reading or swapping the block
+}
+
+// Manager is the executor-side cache manager: it accounts resident bytes
+// against a budget and evicts least-recently-used blocks when inserting or
+// swapping in would exceed it.
+type Manager struct {
+	mu      sync.Mutex
+	budget  int64 // 0 = unlimited
+	swapDir string
+	blocks  map[BlockID]*entry
+	clock   uint64
+	stats   Stats
+}
+
+// NewManager returns a cache manager with the given resident-byte budget
+// (0 = unlimited) and swap directory ("" disables swapping; evictions then
+// drop data).
+func NewManager(budget int64, swapDir string) *Manager {
+	return &Manager{
+		budget:  budget,
+		swapDir: swapDir,
+		blocks:  make(map[BlockID]*entry),
+	}
+}
+
+// Budget returns the resident-byte budget.
+func (m *Manager) Budget() int64 { return m.budget }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.MemBytes = m.residentLocked()
+	return s
+}
+
+func (m *Manager) residentLocked() int64 {
+	var total int64
+	for _, e := range m.blocks {
+		total += e.block.MemBytes()
+	}
+	return total
+}
+
+// Put inserts a freshly computed block, evicting under pressure. The block
+// starts pinned; call Unpin when the producing task is done with it.
+func (m *Manager) Put(id BlockID, b Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.blocks[id]; ok {
+		old.block.Drop()
+	}
+	m.clock++
+	m.blocks[id] = &entry{block: b, use: m.clock, pinned: 1}
+	return m.reclaimLocked()
+}
+
+// Get returns the block and pins it. A swapped-out block is swapped back
+// in first (possibly evicting others). ok is false when the block was
+// never cached or was dropped under pressure — the caller recomputes, as
+// Spark does.
+func (m *Manager) Get(id BlockID) (Block, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blocks[id]
+	if !ok {
+		m.stats.Misses++
+		return nil, false, nil
+	}
+	m.clock++
+	e.use = m.clock
+	e.pinned++
+	if !e.block.InMemory() {
+		// Swap in under pin so the reclaim pass cannot evict it again.
+		bytes := -e.block.MemBytes()
+		if err := e.block.SwapIn(); err != nil {
+			e.pinned--
+			return nil, false, err
+		}
+		bytes += e.block.MemBytes()
+		m.stats.SwapInBytes += bytes
+		if err := m.reclaimLocked(); err != nil {
+			e.pinned--
+			return nil, false, err
+		}
+	}
+	m.stats.Hits++
+	return e.block, true, nil
+}
+
+// Unpin releases a pin taken by Put or Get.
+func (m *Manager) Unpin(id BlockID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.blocks[id]; ok && e.pinned > 0 {
+		e.pinned--
+	}
+}
+
+// Contains reports whether the block is present (in memory or on disk).
+func (m *Manager) Contains(id BlockID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.blocks[id]
+	return ok
+}
+
+// Unpersist drops every block of the dataset — the explicit lifetime end
+// of a cached RDD (§4.2): all blocks release immediately.
+func (m *Manager) Unpersist(dataset int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, e := range m.blocks {
+		if id.Dataset == dataset {
+			e.block.Drop()
+			delete(m.blocks, id)
+		}
+	}
+}
+
+// Clear drops everything.
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, e := range m.blocks {
+		e.block.Drop()
+		delete(m.blocks, id)
+	}
+}
+
+// reclaimLocked evicts LRU blocks until resident bytes fit the budget.
+// Swappable blocks go to disk; others are dropped (recompute-on-miss).
+func (m *Manager) reclaimLocked() error {
+	if m.budget <= 0 {
+		return nil
+	}
+	for m.residentLocked() > m.budget {
+		victim := m.lruVictimLocked()
+		if victim == nil {
+			return nil // everything pinned or non-resident; overshoot
+		}
+		e := m.blocks[*victim]
+		m.stats.Evictions++
+		if e.block.Swappable() && m.swapDir != "" {
+			bytes := e.block.MemBytes()
+			if err := e.block.SwapOut(m.swapDir); err != nil {
+				return fmt.Errorf("cache: swapping out %s: %w", victim, err)
+			}
+			m.stats.SwapOutBytes += bytes
+		} else {
+			e.block.Drop()
+			delete(m.blocks, *victim)
+			m.stats.Drops++
+		}
+	}
+	return nil
+}
+
+func (m *Manager) lruVictimLocked() *BlockID {
+	var victim *BlockID
+	var oldest uint64
+	for id, e := range m.blocks {
+		if e.pinned > 0 || !e.block.InMemory() {
+			continue
+		}
+		if victim == nil || e.use < oldest {
+			oldest = e.use
+			idCopy := id
+			victim = &idCopy
+		}
+	}
+	return victim
+}

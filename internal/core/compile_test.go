@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"deca/internal/udt"
+)
+
+// TestCompileLRLayouts runs the full Appendix A chain: static plan for
+// the LR job, then at "submission time" bind D=10 and compile the byte
+// layout of the decomposed LabeledPoint cache — exactly Figure 2's
+// 100-byte record (label 8 + data 80 + offset/stride/length 12).
+func TestCompileLRLayouts(t *testing.T) {
+	plan, err := Optimize(LRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := plan.CompileLayouts(Bindings{"D": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc := compiled["points-cache"]
+	if cc == nil || cc.ElemLayout == nil {
+		t.Fatal("points-cache has no compiled layout")
+	}
+	if cc.ElemLayout.FixedSize != 100 {
+		t.Errorf("LabeledPoint layout size = %d, want 100", cc.ElemLayout.FixedSize)
+	}
+	if got := cc.Lengths["Array[float64]"]; got != 10 {
+		t.Errorf("resolved length = %d, want 10", got)
+	}
+	if got := cc.ElemLayout.Scalar("label").Offset; got != 0 {
+		t.Errorf("label offset = %d", got)
+	}
+	if got := cc.ElemLayout.Array("features.data").Offset; got != 8 {
+		t.Errorf("features.data offset = %d", got)
+	}
+
+	// The aggregation buffer's DenseVector layout also compiles: 92 bytes.
+	agg := compiled["gradient-agg"]
+	if agg == nil || agg.ElemLayout == nil {
+		t.Fatal("gradient-agg has no compiled layout")
+	}
+	if agg.ElemLayout.FixedSize != 80+12 {
+		t.Errorf("DenseVector layout size = %d, want 92", agg.ElemLayout.FixedSize)
+	}
+
+	// UDF variables keep objects: no layout.
+	if compiled["udf-locals"].ElemLayout != nil {
+		t.Error("udf-locals should have no layout")
+	}
+}
+
+// TestCompileDifferentBindings: the same plan compiles under different
+// submission-time parameters — the point of the hybrid (static+runtime)
+// optimizer.
+func TestCompileDifferentBindings(t *testing.T) {
+	plan, err := Optimize(LRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int64{1, 100, 4096} {
+		compiled, err := plan.CompileLayouts(Bindings{"D": d})
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		want := 8 + int(d)*8 + 12
+		if got := compiled["points-cache"].ElemLayout.FixedSize; got != want {
+			t.Errorf("D=%d: size = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestCompileMissingBinding(t *testing.T) {
+	plan, err := Optimize(LRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.CompileLayouts(nil); err == nil {
+		t.Error("compiling without the D binding must fail")
+	}
+}
+
+func TestCompileNegativeLength(t *testing.T) {
+	plan, err := Optimize(LRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.CompileLayouts(Bindings{"D": -5}); err == nil {
+		t.Error("negative resolved length must fail")
+	}
+}
+
+// TestCompileRFSTNeedsNoBindings: RuntimeFixed containers (e.g. the PR
+// adjacency cache) compile without any symbol bindings — lengths are
+// per-instance.
+func TestCompileRFSTNeedsNoBindings(t *testing.T) {
+	plan, err := Optimize(PRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := plan.CompileLayouts(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := compiled["adjacency-cache"]
+	if cc == nil || cc.ElemLayout == nil {
+		t.Fatal("adjacency-cache has no layout")
+	}
+	if cc.ElemLayout.FixedSize != -1 {
+		t.Errorf("RFST layout FixedSize = %d, want -1", cc.ElemLayout.FixedSize)
+	}
+	if cc.ElemLayout.SizeType != udt.RuntimeFixed {
+		t.Errorf("layout size-type = %s", cc.ElemLayout.SizeType)
+	}
+	// The partially-decomposed shuffle buffer gets no layout here (its
+	// copy decomposes in the cache container).
+	if compiled["adjacency-shuffle"].ElemLayout != nil {
+		t.Error("partially-decomposed container should have no layout of its own")
+	}
+}

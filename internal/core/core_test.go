@@ -1,0 +1,274 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"deca/internal/udt"
+)
+
+// TestLRPlan checks the paper's LR narrative end to end: the cached
+// LabeledPoints classify StaticFixed after global analysis (so the cache
+// fully decomposes), the gradient aggregation value (DenseVector) is
+// StaticFixed (so combines reuse page segments), and UDF variables stay
+// objects.
+func TestLRPlan(t *testing.T) {
+	plan, err := Optimize(LRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheD := plan.Decisions["points-cache"]
+	if cacheD.Mode != FullyDecompose {
+		t.Errorf("points-cache mode = %s, want decompose (reason %q)", cacheD.Mode, cacheD.Reason)
+	}
+	if cacheD.ElemSizeType != udt.StaticFixed {
+		t.Errorf("LabeledPoint classified %s, want StaticFixed", cacheD.ElemSizeType)
+	}
+	aggD := plan.Decisions["gradient-agg"]
+	if aggD.Mode != FullyDecompose || !aggD.ValueReuse {
+		t.Errorf("gradient-agg = %s valueReuse=%v, want decompose with reuse", aggD.Mode, aggD.ValueReuse)
+	}
+	udfD := plan.Decisions["udf-locals"]
+	if udfD.Mode != KeepObjects {
+		t.Errorf("udf-locals mode = %s, want keep-objects", udfD.Mode)
+	}
+}
+
+// TestWCPlan: the WordCount aggregation value is a primitive long →
+// StaticFixed → segment reuse; the String key is RuntimeFixed, so the
+// buffer needs a pointer array for the keys.
+func TestWCPlan(t *testing.T) {
+	plan, err := Optimize(WCJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Decisions["count-agg"]
+	if d.Mode != FullyDecompose || !d.ValueReuse {
+		t.Errorf("count-agg = %s valueReuse=%v", d.Mode, d.ValueReuse)
+	}
+	if d.KeySizeType != udt.RuntimeFixed {
+		t.Errorf("String key classified %s, want RuntimeFixed", d.KeySizeType)
+	}
+	if !d.PointerArray {
+		t.Error("non-StaticFixed key should require a pointer array")
+	}
+}
+
+// TestPRPlanPartialDecomposition reproduces Figure 7(b): the groupByKey
+// shuffle buffer holds a growing (Variable) adjacency type and keeps
+// objects, while the cache of the same objects decomposes because the
+// iterate phase never reassigns the array — so the shuffle container is
+// marked partially-decomposable and the cache owns the decomposed copy.
+func TestPRPlanPartialDecomposition(t *testing.T) {
+	plan, err := Optimize(PRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shufD := plan.Decisions["adjacency-shuffle"]
+	if shufD.Mode != PartiallyDecompose {
+		t.Errorf("adjacency-shuffle mode = %s, want partial (reason %q)", shufD.Mode, shufD.Reason)
+	}
+	if shufD.ElemSizeType != udt.Variable {
+		t.Errorf("AdjList in shuffle phase = %s, want Variable", shufD.ElemSizeType)
+	}
+	cacheD := plan.Decisions["adjacency-cache"]
+	if cacheD.Mode != FullyDecompose {
+		t.Errorf("adjacency-cache mode = %s (reason %q)", cacheD.Mode, cacheD.Reason)
+	}
+	if cacheD.ElemSizeType != udt.RuntimeFixed {
+		t.Errorf("AdjList in iterate phase = %s, want RuntimeFixed (phased refinement)", cacheD.ElemSizeType)
+	}
+	rankD := plan.Decisions["rank-agg"]
+	if rankD.Mode != FullyDecompose || !rankD.ValueReuse {
+		t.Errorf("rank-agg = %s valueReuse=%v", rankD.Mode, rankD.ValueReuse)
+	}
+
+	// Ownership: shuffle buffer created first, both high priority → the
+	// shuffle owns; pages not shared (only one side decomposes).
+	if len(plan.Ownerships) != 1 {
+		t.Fatalf("ownerships = %d, want 1", len(plan.Ownerships))
+	}
+	o := plan.Ownerships[0]
+	if o.Primary != "adjacency-shuffle" || o.Secondary != "adjacency-cache" {
+		t.Errorf("ownership = %+v", o)
+	}
+	if o.SharedPages {
+		t.Error("pages must not be shared when one side keeps objects")
+	}
+}
+
+func TestOwnershipRules(t *testing.T) {
+	udf := &Container{Name: "u", Kind: UDFVariables, CreationOrder: 0}
+	cacheC := &Container{Name: "c", Kind: CacheBlocks, CreationOrder: 5}
+	shuf := &Container{Name: "s", Kind: ShuffleBuffer, CreationOrder: 9}
+
+	// Rule 1: cache/shuffle outrank UDF variables regardless of order.
+	if p, _ := owner(udf, cacheC); p != cacheC {
+		t.Error("cache should own over UDF variables")
+	}
+	if p, _ := owner(shuf, udf); p != shuf {
+		t.Error("shuffle should own over UDF variables")
+	}
+	// Rule 2: among equals the earlier-created container owns.
+	if p, _ := owner(cacheC, shuf); p != cacheC {
+		t.Error("earlier-created container should own")
+	}
+	if p, _ := owner(shuf, cacheC); p != cacheC {
+		t.Error("ownership must not depend on argument order")
+	}
+}
+
+func TestSharedPagesWhenBothDecompose(t *testing.T) {
+	// Two cached datasets of the same SFST type, copied between them →
+	// shared pages with refcounting (Figure 7(a)).
+	point := udt.Struct("P",
+		udt.NewField("x", udt.Primitive(udt.PrimFloat64), false),
+		udt.NewField("y", udt.Primitive(udt.PrimFloat64), false),
+	)
+	job := &Job{
+		Name: "copy-cache",
+		Containers: []*Container{
+			{Name: "cache-a", Kind: CacheBlocks, Elem: point, CreationOrder: 0},
+			{Name: "cache-b", Kind: CacheBlocks, Elem: point, CreationOrder: 1},
+		},
+		Flows: []Flow{{From: "cache-a", To: "cache-b"}},
+	}
+	plan, err := Optimize(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Ownerships[0].SharedPages {
+		t.Error("both containers decompose; pages should be shared")
+	}
+	if plan.Ownerships[0].Primary != "cache-a" {
+		t.Errorf("primary = %s, want cache-a", plan.Ownerships[0].Primary)
+	}
+}
+
+func TestSortBufferDecision(t *testing.T) {
+	job := &Job{
+		Name: "sort",
+		Containers: []*Container{
+			{
+				Name: "sort-buf", Kind: ShuffleBuffer, Shuffle: ShuffleSort,
+				Key:  udt.StringType(),
+				Elem: udt.Primitive(udt.PrimInt64),
+			},
+			{
+				Name: "sort-vst", Kind: ShuffleBuffer, Shuffle: ShuffleSort,
+				Key:  udt.Primitive(udt.PrimInt64),
+				Elem: udt.ArrayOf("Array[Array[int8]]", udt.ArrayOf("Array[int8]", udt.Primitive(udt.PrimInt8))),
+			},
+		},
+	}
+	plan, err := Optimize(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Decisions["sort-buf"]
+	if d.Mode != FullyDecompose || !d.PointerArray {
+		t.Errorf("sort-buf = %s ptrArray=%v", d.Mode, d.PointerArray)
+	}
+	if plan.Decisions["sort-vst"].Mode != KeepObjects {
+		t.Error("VST records must not decompose in a sort buffer")
+	}
+}
+
+func TestAggregateVSTKeepsObjects(t *testing.T) {
+	grow := udt.Struct("Grow",
+		udt.NewField("buf", udt.ArrayOf("Array[int8]", udt.Primitive(udt.PrimInt8)), false))
+	job := &Job{
+		Name: "agg-vst",
+		Containers: []*Container{{
+			Name: "agg", Kind: ShuffleBuffer, Shuffle: ShuffleAggregate,
+			Key:  udt.Primitive(udt.PrimInt64),
+			Elem: grow,
+		}},
+	}
+	plan, err := Optimize(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Decisions["agg"].Mode != KeepObjects {
+		t.Error("Variable aggregate values must keep objects")
+	}
+	if plan.Decisions["agg"].ValueReuse {
+		t.Error("no value reuse for non-decomposed values")
+	}
+}
+
+// TestAggregateRFSTKeepsObjects: RuntimeFixed is NOT enough for in-place
+// reuse — instances differ in size, so a combine result might not fit the
+// old segment.
+func TestAggregateRFSTKeepsObjects(t *testing.T) {
+	job := &Job{
+		Name: "agg-rfst",
+		Containers: []*Container{{
+			Name: "agg", Kind: ShuffleBuffer, Shuffle: ShuffleAggregate,
+			Key:  udt.Primitive(udt.PrimInt64),
+			Elem: udt.StringType(),
+		}},
+	}
+	plan, err := Optimize(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Decisions["agg"]
+	if d.Mode != KeepObjects || d.ValueReuse {
+		t.Errorf("RFST aggregate: mode=%s reuse=%v, want keep-objects/false", d.Mode, d.ValueReuse)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(&Job{
+		Name: "dup",
+		Containers: []*Container{
+			{Name: "x", Kind: CacheBlocks, Elem: udt.StringType()},
+			{Name: "x", Kind: CacheBlocks, Elem: udt.StringType()},
+		},
+	}); err == nil {
+		t.Error("duplicate container names must error")
+	}
+	if _, err := Optimize(&Job{
+		Name: "badflow",
+		Containers: []*Container{
+			{Name: "a", Kind: CacheBlocks, Elem: udt.StringType()},
+		},
+		Flows: []Flow{{From: "a", To: "ghost"}},
+	}); err == nil {
+		t.Error("flow to unknown container must error")
+	}
+	if _, err := Optimize(&Job{
+		Name: "nil-elem",
+		Containers: []*Container{
+			{Name: "a", Kind: CacheBlocks},
+		},
+	}); err == nil {
+		t.Error("cache container without element descriptor must error")
+	}
+	if _, err := Optimize(&Job{
+		Name:    "bad-phase",
+		Program: LRJob().Program,
+		Containers: []*Container{
+			{Name: "a", Kind: CacheBlocks, Elem: udt.StringType(), WritePhase: "ghost"},
+		},
+	}); err == nil {
+		t.Error("unknown phase must error")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := Optimize(PRJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{
+		"adjacency-cache", "adjacency-shuffle", "rank-agg",
+		"partial", "decompose", "ownership",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWordsDeterministic(t *testing.T) {
+	a := Words(1, 100, 10, 50)
+	b := Words(1, 100, 10, 50)
+	if len(a) != 50 {
+		t.Fatalf("len = %d, want 50", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical lines")
+		}
+	}
+	c := Words(2, 100, 10, 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestWordsShape(t *testing.T) {
+	lines := Words(7, 10, 5, 20)
+	distinct := map[string]bool{}
+	for _, l := range lines {
+		ws := strings.Fields(l)
+		if len(ws) != 5 {
+			t.Fatalf("line has %d words, want 5", len(ws))
+		}
+		for _, w := range ws {
+			distinct[w] = true
+		}
+	}
+	if len(distinct) > 10 {
+		t.Errorf("vocabulary %d exceeds distinctKeys 10", len(distinct))
+	}
+	if len(distinct) < 5 {
+		t.Errorf("vocabulary %d suspiciously small", len(distinct))
+	}
+}
+
+func TestPoints(t *testing.T) {
+	pts := Points(3, 100, 8)
+	if len(pts) != 100 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	pos, neg := 0, 0
+	for _, p := range pts {
+		if len(p.Features) != 8 {
+			t.Fatalf("dim = %d, want 8", len(p.Features))
+		}
+		switch p.Label {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label = %v", p.Label)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("degenerate labels: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestVectors(t *testing.T) {
+	vecs := Vectors(4, 60, 5, 3)
+	if len(vecs) != 60 {
+		t.Fatalf("len = %d", len(vecs))
+	}
+	for _, v := range vecs {
+		if len(v) != 5 {
+			t.Fatalf("dim = %d", len(v))
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	edges := Graph(5, 1000, 5000, 0.6)
+	if len(edges) != 5000 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	deg := map[int64]int{}
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= 1000 || e.Dst < 0 || e.Dst >= 1000 {
+			t.Fatalf("vertex out of range: %+v", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %+v", e)
+		}
+		deg[e.Src]++
+	}
+	// Power-law-ish skew: the max out-degree should far exceed the mean.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(len(edges)) / float64(len(deg))
+	if float64(maxDeg) < 3*mean {
+		t.Errorf("degree distribution not skewed: max=%d mean=%.1f", maxDeg, mean)
+	}
+}
+
+func TestGraphBadSkewDefaults(t *testing.T) {
+	edges := Graph(5, 100, 50, -1)
+	if len(edges) != 50 {
+		t.Fatal("bad skew should still generate")
+	}
+}
+
+func TestRankings(t *testing.T) {
+	rows := Rankings(9, 200)
+	if len(rows) != 200 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	over100 := 0
+	for _, r := range rows {
+		if r.PageRank < 0 || r.PageRank >= 1000 {
+			t.Fatalf("rank out of range: %d", r.PageRank)
+		}
+		if !strings.HasPrefix(r.PageURL, "http://") {
+			t.Fatalf("bad URL: %q", r.PageURL)
+		}
+		if r.PageRank > 100 {
+			over100++
+		}
+	}
+	// Query 1 (rank > 100) must select a nontrivial subset.
+	if over100 == 0 || over100 == len(rows) {
+		t.Errorf("query-1 selectivity degenerate: %d of %d", over100, len(rows))
+	}
+}
+
+func TestUserVisits(t *testing.T) {
+	rows := UserVisits(11, 300)
+	if len(rows) != 300 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	prefixes := map[string]bool{}
+	for _, r := range rows {
+		if r.AdRevenue < 0 || r.AdRevenue > 10 {
+			t.Fatalf("revenue out of range: %v", r.AdRevenue)
+		}
+		if len(r.SourceIP) < 7 {
+			t.Fatalf("bad IP %q", r.SourceIP)
+		}
+		p := r.SourceIP
+		if len(p) > 5 {
+			p = p[:5]
+		}
+		prefixes[p] = true
+	}
+	// Query 2 groups by SUBSTR(sourceIP,1,5); need multiple groups but far
+	// fewer than rows.
+	if len(prefixes) < 2 || len(prefixes) >= len(rows) {
+		t.Errorf("group cardinality degenerate: %d groups over %d rows", len(prefixes), len(rows))
+	}
+}

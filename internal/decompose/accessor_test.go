@@ -1,0 +1,131 @@
+package decompose
+
+import (
+	"math"
+	"testing"
+
+	"deca/internal/memory"
+	"deca/internal/udt"
+)
+
+func lrAccessor(t *testing.T, d int) (*Accessor, *memory.Group) {
+	t.Helper()
+	layout, err := CompileLayout(udt.LabeledPointType(true), udt.StaticFixed,
+		udt.Lengths{"Array[float64]": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(4096, 0)
+	g := m.NewGroup()
+	acc, err := NewAccessor(layout, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc, g
+}
+
+// TestAccessorGradientLoop runs Figure 12's transformed computation
+// through the *compiled layout* path: no hand-written codec anywhere —
+// descriptor → classification → layout → accessor.
+func TestAccessorGradientLoop(t *testing.T) {
+	const d = 3
+	acc, g := lrAccessor(t, d)
+	defer g.Release()
+
+	label := acc.F64("label")
+	data := acc.VecF64("features.data")
+	length := acc.I32("features.length")
+
+	write := func(l float64, f [d]float64) {
+		ptr := acc.Append()
+		label.Set(ptr, l)
+		for i, x := range f {
+			data.SetAt(ptr, i, x)
+		}
+		length.Set(ptr, d)
+	}
+	write(1, [d]float64{1, 2, 3})
+	write(-1, [d]float64{4, 5, 6})
+
+	if acc.Records() != 2 {
+		t.Fatalf("Records = %d", acc.Records())
+	}
+	if data.Len() != d {
+		t.Fatalf("vector Len = %d", data.Len())
+	}
+
+	sum := make([]float64, d)
+	acc.EachRecord(func(ptr memory.Ptr) bool {
+		l := label.Get(ptr)
+		for i := 0; i < d; i++ {
+			sum[i] += l * data.At(ptr, i)
+		}
+		return true
+	})
+	want := []float64{-3, -3, -3}
+	for i := range want {
+		if math.Abs(sum[i]-want[i]) > 1e-12 {
+			t.Errorf("sum[%d] = %v, want %v", i, sum[i], want[i])
+		}
+	}
+
+	// CopyTo decodes in place.
+	buf := make([]float64, d)
+	acc.EachRecord(func(ptr memory.Ptr) bool {
+		data.CopyTo(ptr, buf)
+		return false // first record only
+	})
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Errorf("CopyTo = %v", buf)
+	}
+}
+
+func TestAccessorRejectsRFST(t *testing.T) {
+	layout, err := CompileLayout(udt.StringType(), udt.RuntimeFixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(1024, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	if _, err := NewAccessor(layout, g); err == nil {
+		t.Error("accessor over a RuntimeFixed layout must be rejected")
+	}
+}
+
+func TestAccessorTypeMismatchPanics(t *testing.T) {
+	acc, g := lrAccessor(t, 2)
+	defer g.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("resolving label as int64 should panic")
+		}
+	}()
+	acc.I64("label")
+}
+
+func TestAccessorI64AndI32Fields(t *testing.T) {
+	rec := udt.Struct("Rec",
+		udt.NewField("id", udt.Primitive(udt.PrimInt64), false),
+		udt.NewField("tag", udt.Primitive(udt.PrimInt32), false),
+	)
+	layout, err := CompileLayout(rec, udt.StaticFixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(1024, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	acc, err := NewAccessor(layout, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := acc.I64("id")
+	tag := acc.I32("tag")
+	ptr := acc.Append()
+	id.Set(ptr, -77)
+	tag.Set(ptr, 12)
+	if id.Get(ptr) != -77 || tag.Get(ptr) != 12 {
+		t.Errorf("readback id=%d tag=%d", id.Get(ptr), tag.Get(ptr))
+	}
+}

@@ -1,0 +1,386 @@
+package decompose
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"deca/internal/analysis"
+	"deca/internal/memory"
+	"deca/internal/udt"
+)
+
+func TestPrimitiveAccessorsRoundTrip(t *testing.T) {
+	b := make([]byte, 64)
+	PutF64(b, 0, 3.14159)
+	PutF32(b, 8, -2.5)
+	PutI64(b, 12, -1<<62)
+	PutI32(b, 20, -12345)
+	PutI16(b, 24, -999)
+	PutI8(b, 26, -7)
+	PutBool(b, 27, true)
+	PutBool(b, 28, false)
+
+	if F64(b, 0) != 3.14159 {
+		t.Error("F64 round trip failed")
+	}
+	if F32(b, 8) != -2.5 {
+		t.Error("F32 round trip failed")
+	}
+	if I64(b, 12) != -1<<62 {
+		t.Error("I64 round trip failed")
+	}
+	if I32(b, 20) != -12345 {
+		t.Error("I32 round trip failed")
+	}
+	if I16(b, 24) != -999 {
+		t.Error("I16 round trip failed")
+	}
+	if I8(b, 26) != -7 {
+		t.Error("I8 round trip failed")
+	}
+	if !Bool(b, 27) || Bool(b, 28) {
+		t.Error("Bool round trip failed")
+	}
+}
+
+func TestBuiltinCodecsRoundTrip(t *testing.T) {
+	m := memory.NewManager(64, 0)
+	g := m.NewGroup()
+	defer g.Release()
+
+	p1 := Write[int64](g, Int64Codec{}, -42)
+	p2 := Write[float64](g, Float64Codec{}, math.Pi)
+	p3 := Write[string](g, StringCodec{}, "hello deca")
+	p4 := Write[int32](g, Int32Codec{}, 7)
+	p5 := Write(g, Float64SliceCodec{}, []float64{1, 2, 3})
+	p6 := Write(g, Int64SliceCodec{}, []int64{9, 8})
+	p7 := Write(g, BytesCodec{}, []byte{0xde, 0xca})
+
+	if v := ReadAt[int64](g, Int64Codec{}, p1); v != -42 {
+		t.Errorf("int64 = %d", v)
+	}
+	if v := ReadAt[float64](g, Float64Codec{}, p2); v != math.Pi {
+		t.Errorf("float64 = %v", v)
+	}
+	if v := ReadAt[string](g, StringCodec{}, p3); v != "hello deca" {
+		t.Errorf("string = %q", v)
+	}
+	if v := ReadAt[int32](g, Int32Codec{}, p4); v != 7 {
+		t.Errorf("int32 = %d", v)
+	}
+	if v := ReadAt(g, Float64SliceCodec{}, p5); !reflect.DeepEqual(v, []float64{1, 2, 3}) {
+		t.Errorf("[]float64 = %v", v)
+	}
+	if v := ReadAt(g, Int64SliceCodec{}, p6); !reflect.DeepEqual(v, []int64{9, 8}) {
+		t.Errorf("[]int64 = %v", v)
+	}
+	if v := ReadAt(g, BytesCodec{}, p7); !reflect.DeepEqual(v, []byte{0xde, 0xca}) {
+		t.Errorf("bytes = %v", v)
+	}
+}
+
+func TestFixedSizes(t *testing.T) {
+	if (Int64Codec{}).FixedSize() != 8 || (Float64Codec{}).FixedSize() != 8 || (Int32Codec{}).FixedSize() != 4 {
+		t.Error("primitive codec fixed sizes wrong")
+	}
+	if (StringCodec{}).FixedSize() != -1 || (Float64SliceCodec{}).FixedSize() != -1 {
+		t.Error("variable codecs must report -1")
+	}
+	if (Float64VecCodec{Dim: 10}).FixedSize() != 80 {
+		t.Error("vec codec fixed size wrong")
+	}
+	pc := PairCodec[int64, float64]{KeyCodec: Int64Codec{}, ValueCodec: Float64Codec{}}
+	if pc.FixedSize() != 16 {
+		t.Error("pair of fixed should be fixed")
+	}
+	pv := PairCodec[string, float64]{KeyCodec: StringCodec{}, ValueCodec: Float64Codec{}}
+	if pv.FixedSize() != -1 {
+		t.Error("pair with variable key must be -1")
+	}
+}
+
+func TestFloat64VecCodec(t *testing.T) {
+	m := memory.NewManager(256, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	c := Float64VecCodec{Dim: 4}
+	v := []float64{1.5, -2.5, 3.5, -4.5}
+	p := Write(g, c, v)
+	if got := ReadAt(g, c, p); !reflect.DeepEqual(got, v) {
+		t.Errorf("vec = %v", got)
+	}
+}
+
+func TestFloat64VecCodecDimMismatchPanics(t *testing.T) {
+	m := memory.NewManager(256, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	c := Float64VecCodec{Dim: 4}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch must panic: it would corrupt the layout")
+		}
+	}()
+	Write(g, c, []float64{1})
+}
+
+func TestScanOrderAndCount(t *testing.T) {
+	m := memory.NewManager(32, 0) // small pages force multiple pages
+	g := m.NewGroup()
+	defer g.Release()
+	c := PairCodec[string, int64]{KeyCodec: StringCodec{}, ValueCodec: Int64Codec{}}
+	want := []Pair[string, int64]{
+		{"alpha", 1}, {"beta", 2}, {"a-rather-long-key-here", 3}, {"d", 4},
+	}
+	for _, p := range want {
+		Write(g, c, p)
+	}
+	var got []Pair[string, int64]
+	Scan(g, c, func(p Pair[string, int64]) bool {
+		got = append(got, p)
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Scan = %v, want %v", got, want)
+	}
+	if n := Count(g, c); n != len(want) {
+		t.Errorf("Count = %d, want %d", n, len(want))
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	m := memory.NewManager(64, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	for i := int64(0); i < 10; i++ {
+		Write[int64](g, Int64Codec{}, i)
+	}
+	n := 0
+	Scan[int64](g, Int64Codec{}, func(int64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop consumed %d, want 3", n)
+	}
+}
+
+type rcPoint struct {
+	Label    float64
+	Features []float64 `deca:"final"`
+	Flag     bool
+	Name     string `deca:"final"`
+}
+
+func TestReflectCodecRoundTrip(t *testing.T) {
+	c, err := NewReflectCodec[rcPoint](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeType() != udt.RuntimeFixed {
+		t.Fatalf("SizeType = %s, want RuntimeFixed", c.SizeType())
+	}
+	m := memory.NewManager(256, 0)
+	g := m.NewGroup()
+	defer g.Release()
+
+	v := rcPoint{Label: 1.5, Features: []float64{1, 2, 3}, Flag: true, Name: "pt"}
+	p := Write[rcPoint](g, c, v)
+	got := ReadAt[rcPoint](g, c, p)
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip = %+v, want %+v", got, v)
+	}
+}
+
+func TestReflectCodecStaticFixed(t *testing.T) {
+	type xy struct {
+		X float64
+		Y float64
+	}
+	c, err := NewReflectCodec[xy](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeType() != udt.StaticFixed {
+		t.Fatalf("SizeType = %s", c.SizeType())
+	}
+	if c.FixedSize() != 16 {
+		t.Errorf("FixedSize = %d, want 16", c.FixedSize())
+	}
+}
+
+func TestReflectCodecRejectsVST(t *testing.T) {
+	type grower struct {
+		Buf []int64 // non-final slice: Variable
+	}
+	if _, err := NewReflectCodec[grower](nil); err == nil {
+		t.Error("Variable type must be rejected")
+	}
+}
+
+func TestReflectCodecRejectsRecursive(t *testing.T) {
+	type node struct {
+		Next *node
+	}
+	_ = node{}
+	if _, err := NewReflectCodec[node](nil); err == nil {
+		t.Error("recursive type must be rejected")
+	}
+}
+
+func TestReflectCodecWithScope(t *testing.T) {
+	// A non-final slice field is locally Variable, but program facts can
+	// prove it init-only, refining to RuntimeFixed and enabling the codec.
+	type point struct {
+		Label    float64
+		Features []float64
+	}
+	p := analysis.NewProgram()
+	// The descriptor derived for point names the struct "point" and the
+	// field "Features".
+	p.AddCtor("point.<init>", "point").
+		AssignField(analysis.FieldRef{Owner: "point", Field: "Features"}, 1)
+	p.AddMethod("main").Call("point.<init>")
+	scope := p.MustScope("main")
+
+	c, err := NewReflectCodec[point](scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeType() != udt.RuntimeFixed {
+		t.Errorf("SizeType = %s, want RuntimeFixed", c.SizeType())
+	}
+}
+
+func TestReflectCodecNestedStruct(t *testing.T) {
+	type inner struct {
+		A int32
+		B int16
+	}
+	type outer struct {
+		X  float32
+		In inner
+		S  string `deca:"final"`
+	}
+	c, err := NewReflectCodec[outer](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(128, 0)
+	g := m.NewGroup()
+	defer g.Release()
+	v := outer{X: 2.5, In: inner{A: -3, B: 9}, S: "nested"}
+	ptr := Write[outer](g, c, v)
+	if got := ReadAt[outer](g, c, ptr); !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip = %+v, want %+v", got, v)
+	}
+}
+
+func TestReflectCodecPointerField(t *testing.T) {
+	type leaf struct {
+		V int64
+	}
+	type holder struct {
+		L *leaf `deca:"final"`
+	}
+	c, err := NewReflectCodec[holder](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(128, 0)
+	g := m.NewGroup()
+	defer g.Release()
+
+	ptr := Write[holder](g, c, holder{L: &leaf{V: 77}})
+	got := ReadAt[holder](g, c, ptr)
+	if got.L == nil || got.L.V != 77 {
+		t.Errorf("round trip = %+v", got)
+	}
+	// nil pointers decompose as the zero value.
+	ptr2 := Write[holder](g, c, holder{})
+	got2 := ReadAt[holder](g, c, ptr2)
+	if got2.L == nil || got2.L.V != 0 {
+		t.Errorf("nil round trip = %+v", got2)
+	}
+}
+
+// Property: pair codec round-trips arbitrary (string, int64) pairs through
+// a page group with tiny pages.
+func TestPairCodecProperty(t *testing.T) {
+	m := memory.NewManager(48, 0)
+	c := PairCodec[string, int64]{KeyCodec: StringCodec{}, ValueCodec: Int64Codec{}}
+	prop := func(keys []string, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := m.NewGroup()
+		defer g.Release()
+		var want []Pair[string, int64]
+		var ptrs []memory.Ptr
+		for _, k := range keys {
+			if len(k) > 30 {
+				k = k[:30]
+			}
+			p := Pair[string, int64]{Key: k, Value: r.Int63()}
+			want = append(want, p)
+			ptrs = append(ptrs, Write(g, c, p))
+		}
+		for i, ptr := range ptrs {
+			if got := ReadAt(g, c, ptr); got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformedGradientLoop mirrors Figure 12: the transformed LR
+// gradient computation reading label and features straight out of the page
+// bytes using layout offsets, no object materialization.
+func TestTransformedGradientLoop(t *testing.T) {
+	const D = 3
+	lp := udt.LabeledPointType(true)
+	layout, err := CompileLayout(lp, udt.StaticFixed, udt.Lengths{"Array[float64]": D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := memory.NewManager(1024, 0)
+	g := m.NewGroup()
+	defer g.Release()
+
+	// Write two points: (label=1, f=[1,2,3]), (label=-1, f=[4,5,6]).
+	write := func(label float64, f [D]float64) {
+		seg, _ := g.Alloc(layout.FixedSize)
+		PutF64(seg, layout.Scalar("label").Offset, label)
+		slot := layout.Array("features.data")
+		for i, x := range f {
+			PutF64(seg, slot.ElemOffset(i), x)
+		}
+		PutI32(seg, layout.Scalar("features.length").Offset, D)
+	}
+	write(1, [D]float64{1, 2, 3})
+	write(-1, [D]float64{4, 5, 6})
+
+	// The transformed loop: sum label * features element-wise.
+	labelOff := layout.Scalar("label").Offset
+	slot := layout.Array("features.data")
+	sum := make([]float64, D)
+	for p := 0; p < g.NumPages(); p++ {
+		page := g.Page(p)
+		for off := 0; off+layout.FixedSize <= len(page); off += layout.FixedSize {
+			seg := page[off : off+layout.FixedSize]
+			label := F64(seg, labelOff)
+			for i := 0; i < D; i++ {
+				sum[i] += label * F64(seg, slot.ElemOffset(i))
+			}
+		}
+	}
+	want := []float64{1 - 4, 2 - 5, 3 - 6}
+	if !reflect.DeepEqual(sum, want) {
+		t.Errorf("gradient = %v, want %v", sum, want)
+	}
+}

@@ -1,0 +1,290 @@
+package decompose
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+
+	"deca/internal/analysis"
+	"deca/internal/udt"
+)
+
+// ReflectCodec is the automatic transformation path: it derives a type
+// descriptor from a Go struct via reflection, classifies it (locally, then
+// globally against optional program facts), verifies it is safely
+// decomposable, and builds encode/decode functions over the resulting
+// layout. It is the runtime analogue of Deca's optimizer generating SUDT
+// bytecode from the original classes; hand-written codecs remain available
+// for hot paths, just as Deca's generated code is specialized per UDT.
+type ReflectCodec[T any] struct {
+	typ      *udt.Type
+	sizeType udt.SizeType
+	fixed    int
+	goType   reflect.Type
+}
+
+// NewReflectCodec builds a codec for T. scope may be nil, in which case
+// only the local classification applies. The codec refuses types that
+// classify Variable or RecurDef — those are exactly the types Deca leaves
+// as ordinary objects.
+func NewReflectCodec[T any](scope *analysis.Scope) (*ReflectCodec[T], error) {
+	var zero T
+	gt := reflect.TypeOf(zero)
+	if gt == nil {
+		return nil, fmt.Errorf("decompose: cannot reflect on interface type")
+	}
+	desc, err := udt.Describe(gt)
+	if err != nil {
+		return nil, err
+	}
+	st := udt.Classify(desc)
+	if scope != nil {
+		st = analysis.NewClassifier(scope).Refine(desc, st)
+	}
+	if !st.Decomposable() {
+		return nil, fmt.Errorf("decompose: %s classifies %s; cannot decompose", desc, st)
+	}
+	c := &ReflectCodec[T]{typ: desc, sizeType: st, fixed: -1, goType: gt}
+	if st == udt.StaticFixed {
+		// Static size is computable only when the type has no arrays (Go
+		// slices always classify at best RuntimeFixed locally); with a
+		// scope-refined SFST the concrete lengths are not derivable from
+		// reflection alone, so encode sizes per value instead.
+		if sz, err := udt.StaticDataSize(desc, nil); err == nil {
+			c.fixed = sz
+		}
+	}
+	return c, nil
+}
+
+// MustReflectCodec panics on error.
+func MustReflectCodec[T any](scope *analysis.Scope) *ReflectCodec[T] {
+	c, err := NewReflectCodec[T](scope)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SizeType returns the classification the codec was built under.
+func (c *ReflectCodec[T]) SizeType() udt.SizeType { return c.sizeType }
+
+// Descriptor returns the derived type descriptor.
+func (c *ReflectCodec[T]) Descriptor() *udt.Type { return c.typ }
+
+// FixedSize implements Codec.
+func (c *ReflectCodec[T]) FixedSize() int { return c.fixed }
+
+// Size implements Codec.
+func (c *ReflectCodec[T]) Size(v T) int {
+	if c.fixed >= 0 {
+		return c.fixed
+	}
+	return valueSize(reflect.ValueOf(v))
+}
+
+// Encode implements Codec.
+func (c *ReflectCodec[T]) Encode(seg []byte, v T) {
+	n := encodeValue(seg, reflect.ValueOf(v))
+	if n != len(seg) {
+		panic(fmt.Sprintf("decompose: reflect codec wrote %d of %d bytes", n, len(seg)))
+	}
+}
+
+// Decode implements Codec.
+func (c *ReflectCodec[T]) Decode(seg []byte) (T, int) {
+	var v T
+	rv := reflect.ValueOf(&v).Elem()
+	n := decodeValue(seg, rv)
+	return v, n
+}
+
+// derefOrZero follows a pointer, substituting the element type's zero
+// value for nil (a nil reference decomposes as an all-zero segment; the
+// layout cannot represent absence, so zero is the defined behaviour).
+func derefOrZero(v reflect.Value) reflect.Value {
+	if v.IsNil() {
+		return reflect.Zero(v.Type().Elem())
+	}
+	return v.Elem()
+}
+
+func valueSize(v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int64, reflect.Uint64, reflect.Int, reflect.Uint, reflect.Float64:
+		return 8
+	case reflect.String:
+		return 4 + v.Len()
+	case reflect.Slice, reflect.Array:
+		n := 4
+		for i := 0; i < v.Len(); i++ {
+			n += valueSize(v.Index(i))
+		}
+		return n
+	case reflect.Pointer:
+		return valueSize(derefOrZero(v))
+	case reflect.Struct:
+		n := 0
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue
+			}
+			n += valueSize(v.Field(i))
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("decompose: unsupported kind %s", v.Kind()))
+	}
+}
+
+func encodeValue(seg []byte, v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Bool:
+		PutBool(seg, 0, v.Bool())
+		return 1
+	case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+		switch valueSize(v) {
+		case 1:
+			PutI8(seg, 0, int8(v.Int()))
+			return 1
+		case 2:
+			PutI16(seg, 0, int16(v.Int()))
+			return 2
+		case 4:
+			PutI32(seg, 0, int32(v.Int()))
+			return 4
+		default:
+			PutI64(seg, 0, v.Int())
+			return 8
+		}
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uint:
+		switch valueSize(v) {
+		case 1:
+			seg[0] = byte(v.Uint())
+			return 1
+		case 2:
+			binary.LittleEndian.PutUint16(seg, uint16(v.Uint()))
+			return 2
+		case 4:
+			binary.LittleEndian.PutUint32(seg, uint32(v.Uint()))
+			return 4
+		default:
+			binary.LittleEndian.PutUint64(seg, v.Uint())
+			return 8
+		}
+	case reflect.Float32:
+		PutF32(seg, 0, float32(v.Float()))
+		return 4
+	case reflect.Float64:
+		PutF64(seg, 0, v.Float())
+		return 8
+	case reflect.String:
+		binary.LittleEndian.PutUint32(seg, uint32(v.Len()))
+		copy(seg[4:], v.String())
+		return 4 + v.Len()
+	case reflect.Slice, reflect.Array:
+		binary.LittleEndian.PutUint32(seg, uint32(v.Len()))
+		off := 4
+		for i := 0; i < v.Len(); i++ {
+			off += encodeValue(seg[off:], v.Index(i))
+		}
+		return off
+	case reflect.Pointer:
+		return encodeValue(seg, derefOrZero(v))
+	case reflect.Struct:
+		off := 0
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue
+			}
+			off += encodeValue(seg[off:], v.Field(i))
+		}
+		return off
+	default:
+		panic(fmt.Sprintf("decompose: unsupported kind %s", v.Kind()))
+	}
+}
+
+func decodeValue(seg []byte, v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(Bool(seg, 0))
+		return 1
+	case reflect.Int8:
+		v.SetInt(int64(I8(seg, 0)))
+		return 1
+	case reflect.Int16:
+		v.SetInt(int64(I16(seg, 0)))
+		return 2
+	case reflect.Int32:
+		v.SetInt(int64(I32(seg, 0)))
+		return 4
+	case reflect.Int64, reflect.Int:
+		v.SetInt(I64(seg, 0))
+		return 8
+	case reflect.Uint8:
+		v.SetUint(uint64(seg[0]))
+		return 1
+	case reflect.Uint16:
+		v.SetUint(uint64(binary.LittleEndian.Uint16(seg)))
+		return 2
+	case reflect.Uint32:
+		v.SetUint(uint64(binary.LittleEndian.Uint32(seg)))
+		return 4
+	case reflect.Uint64, reflect.Uint:
+		v.SetUint(binary.LittleEndian.Uint64(seg))
+		return 8
+	case reflect.Float32:
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(seg))))
+		return 4
+	case reflect.Float64:
+		v.SetFloat(F64(seg, 0))
+		return 8
+	case reflect.String:
+		n := int(binary.LittleEndian.Uint32(seg))
+		v.SetString(string(seg[4 : 4+n]))
+		return 4 + n
+	case reflect.Slice:
+		n := int(binary.LittleEndian.Uint32(seg))
+		sl := reflect.MakeSlice(v.Type(), n, n)
+		off := 4
+		for i := 0; i < n; i++ {
+			off += decodeValue(seg[off:], sl.Index(i))
+		}
+		v.Set(sl)
+		return off
+	case reflect.Array:
+		n := int(binary.LittleEndian.Uint32(seg))
+		off := 4
+		for i := 0; i < n && i < v.Len(); i++ {
+			off += decodeValue(seg[off:], v.Index(i))
+		}
+		return off
+	case reflect.Pointer:
+		if v.IsNil() {
+			v.Set(reflect.New(v.Type().Elem()))
+		}
+		return decodeValue(seg, v.Elem())
+	case reflect.Struct:
+		off := 0
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue
+			}
+			off += decodeValue(seg[off:], v.Field(i))
+		}
+		return off
+	default:
+		panic(fmt.Sprintf("decompose: unsupported kind %s", v.Kind()))
+	}
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"deca/internal/decompose"
+)
+
+// Actions trigger job execution: they run one task per partition of the
+// final dataset on the worker pool, pulling through the fused narrow
+// chain and materializing any pending shuffles on the way (the recursive
+// stage execution of §4.1's job model).
+
+// recoverErr converts task panics (which the lazy Seq plumbing uses to
+// carry errors upward) back into error returns at the action boundary.
+func recoverErr(err *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = e
+			return
+		}
+		*err = fmt.Errorf("engine: task panic: %v", r)
+	}
+}
+
+// Collect gathers all records in partition order.
+func Collect[T any](d *Dataset[T]) ([]T, error) {
+	parts := make([][]T, d.parts)
+	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+		defer recoverErr(&err)
+		var out []T
+		if err := d.Iterate(p, func(v T) bool {
+			out = append(out, v)
+			return true
+		}); err != nil {
+			return err
+		}
+		parts[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []T
+	for _, part := range parts {
+		all = append(all, part...)
+	}
+	return all, nil
+}
+
+// CollectMap gathers a keyed dataset into a map (duplicate keys keep the
+// last value seen).
+func CollectMap[K comparable, V any](d *Dataset[decompose.Pair[K, V]]) (map[K]V, error) {
+	var mu sync.Mutex
+	out := make(map[K]V)
+	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+		defer recoverErr(&err)
+		local := make(map[K]V)
+		if err := d.Iterate(p, func(kv decompose.Pair[K, V]) bool {
+			local[kv.Key] = kv.Value
+			return true
+		}); err != nil {
+			return err
+		}
+		mu.Lock()
+		for k, v := range local {
+			out[k] = v
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of records.
+func Count[T any](d *Dataset[T]) (int64, error) {
+	var mu sync.Mutex
+	var total int64
+	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+		defer recoverErr(&err)
+		var n int64
+		if err := d.Iterate(p, func(T) bool {
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		mu.Lock()
+		total += n
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// Reduce folds all records with f (which must be associative and
+// commutative, as in Spark). ok is false for an empty dataset.
+func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
+	var mu sync.Mutex
+	var acc T
+	var has bool
+	err = d.ctx.runTasks(d.parts, func(p int) (err error) {
+		defer recoverErr(&err)
+		var localAcc T
+		localHas := false
+		if err := d.Iterate(p, func(v T) bool {
+			if !localHas {
+				localAcc, localHas = v, true
+			} else {
+				localAcc = f(localAcc, v)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if localHas {
+			mu.Lock()
+			if !has {
+				acc, has = localAcc, true
+			} else {
+				acc = f(acc, localAcc)
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return zero, false, err
+	}
+	return acc, has, nil
+}
+
+// Foreach applies f to every record for its side effects. f runs
+// concurrently across partitions; it must be safe for that.
+func Foreach[T any](d *Dataset[T], f func(p int, v T)) error {
+	return d.ctx.runTasks(d.parts, func(p int) (err error) {
+		defer recoverErr(&err)
+		return d.Iterate(p, func(v T) bool {
+			f(p, v)
+			return true
+		})
+	})
+}
+
+// Materialize forces computation (and caching, if persisted) of every
+// partition without retaining results — Spark's count()-to-warm-the-cache
+// idiom, used by the workloads to separate load time from iteration time
+// as the paper's measurements do (§6.2).
+func Materialize[T any](d *Dataset[T]) error {
+	_, err := Count(d)
+	return err
+}
+
+// RunPartitions runs fn for each partition index on the worker pool. It is
+// the escape hatch for transformed code that bypasses record iteration and
+// operates on raw cache pages (the Figure 12 access path): the workload
+// fetches each partition's DecaBlock and loops over bytes itself.
+func RunPartitions(ctx *Context, parts int, fn func(p int) error) error {
+	return ctx.runTasks(parts, fn)
+}

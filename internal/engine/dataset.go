@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"deca/internal/cache"
+	"deca/internal/decompose"
+	"deca/internal/serial"
+)
+
+// Dataset is the engine's RDD: a lazy, partitioned collection. Transform
+// it with the free functions (Map, Filter, ReduceByKey, ...) — Go methods
+// cannot introduce type parameters — and materialize it with an action
+// (Collect, Reduce, Count, Foreach).
+type Dataset[T any] struct {
+	ctx     *Context
+	id      int
+	parts   int
+	compute func(p int) Seq[T]
+
+	// Caching state (§4.2 "cache blocks" container). blockMu serializes
+	// block production per partition so concurrent tasks neither compute a
+	// partition twice nor replace a block another task has pinned.
+	level     StorageLevel
+	storage   Storage[T]
+	blockMu   []sync.Mutex
+	persisted bool
+}
+
+// StorageLevel selects the cache representation of a persisted dataset.
+type StorageLevel int
+
+const (
+	// StorageNone: not cached; recomputed on each use.
+	StorageNone StorageLevel = iota
+	// StorageObjects: plain object arrays (Spark MEMORY).
+	StorageObjects
+	// StorageSerialized: Kryo-style bytes (SparkSer, MEMORY_SER).
+	StorageSerialized
+	// StorageDeca: decomposed page groups (Deca).
+	StorageDeca
+)
+
+func (l StorageLevel) String() string {
+	switch l {
+	case StorageNone:
+		return "none"
+	case StorageObjects:
+		return "objects"
+	case StorageSerialized:
+		return "serialized"
+	case StorageDeca:
+		return "deca-pages"
+	default:
+		return fmt.Sprintf("StorageLevel(%d)", int(l))
+	}
+}
+
+// Storage bundles the per-type helpers each level needs: a heap-size
+// estimator for object blocks, a serializer for serialized blocks and
+// swap, and a codec for Deca page blocks.
+type Storage[T any] struct {
+	Estimate func(T) int
+	Ser      serial.Serializer[T]
+	Codec    decompose.Codec[T]
+}
+
+// newDataset wires a dataset into the context.
+func newDataset[T any](ctx *Context, parts int, compute func(p int) Seq[T]) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, id: ctx.datasetID(), parts: parts, compute: compute}
+}
+
+// Parallelize splits data into parts partitions (parts <= 0 uses the
+// configured default).
+func Parallelize[T any](ctx *Context, data []T, parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = ctx.conf.NumPartitions
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if parts == 0 {
+		parts = 1
+	}
+	n := len(data)
+	return newDataset(ctx, parts, func(p int) Seq[T] {
+		lo := n * p / parts
+		hi := n * (p + 1) / parts
+		return func(yield func(T) bool) {
+			for _, v := range data[lo:hi] {
+				if !yield(v) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// Generate builds a dataset whose partitions are produced lazily by gen —
+// the moral equivalent of reading partition p of an input file. Data never
+// lives in driver memory, so caching behaviour is realistic.
+func Generate[T any](ctx *Context, parts int, gen func(p int, emit func(T))) *Dataset[T] {
+	if parts <= 0 {
+		parts = ctx.conf.NumPartitions
+	}
+	return newDataset(ctx, parts, func(p int) Seq[T] {
+		return func(yield func(T) bool) {
+			stop := false
+			gen(p, func(v T) {
+				if stop {
+					return
+				}
+				if !yield(v) {
+					stop = true
+				}
+			})
+		}
+	})
+}
+
+// Partitions returns the partition count.
+func (d *Dataset[T]) Partitions() int { return d.parts }
+
+// ID returns the dataset's unique id.
+func (d *Dataset[T]) ID() int { return d.id }
+
+// Context returns the owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// Persist marks the dataset for caching at the given level on first
+// materialization. It returns d for chaining. Level requirements:
+// StorageObjects wants Estimate (and Ser to allow swap), StorageSerialized
+// requires Ser, StorageDeca requires Codec — enforced here so the failure
+// happens at plan time, not mid-job.
+func (d *Dataset[T]) Persist(level StorageLevel, s Storage[T]) *Dataset[T] {
+	switch level {
+	case StorageSerialized:
+		if s.Ser == nil {
+			panic("engine: StorageSerialized requires Storage.Ser")
+		}
+	case StorageDeca:
+		if s.Codec == nil {
+			panic("engine: StorageDeca requires Storage.Codec")
+		}
+	}
+	d.level = level
+	d.storage = s
+	d.blockMu = make([]sync.Mutex, d.parts)
+	d.persisted = level != StorageNone
+	return d
+}
+
+// Unpersist releases every cache block — the end of the container's
+// lifetime; for Deca blocks the page groups release wholesale.
+func (d *Dataset[T]) Unpersist() {
+	if d.persisted {
+		d.ctx.cache.Unpersist(d.id)
+	}
+}
+
+// Iterate yields partition p's records, transparently materializing and
+// consulting the cache when the dataset is persisted.
+func (d *Dataset[T]) Iterate(p int, yield func(T) bool) error {
+	if !d.persisted {
+		d.compute(p)(yield)
+		return nil
+	}
+	return d.iterateCached(p, yield)
+}
+
+func (d *Dataset[T]) iterateCached(p int, yield func(T) bool) error {
+	blk, err := d.pinBlock(p)
+	if err != nil {
+		return err
+	}
+	defer d.ctx.cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+	d.eachFromBlock(blk, yield)
+	return nil
+}
+
+// pinBlock returns partition p's cache block, pinned, computing and
+// publishing it on a miss. Production is serialized per partition.
+func (d *Dataset[T]) pinBlock(p int) (cache.Block, error) {
+	id := cache.BlockID{Dataset: d.id, Partition: p}
+	blk, ok, err := d.ctx.cache.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return blk, nil
+	}
+	d.blockMu[p].Lock()
+	defer d.blockMu[p].Unlock()
+	// Another task may have produced it while we waited.
+	blk, ok, err = d.ctx.cache.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return blk, nil
+	}
+	blk, err = d.buildBlock(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.ctx.cache.Put(id, blk); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+func (d *Dataset[T]) buildBlock(p int) (cache.Block, error) {
+	var values []T
+	d.compute(p)(func(v T) bool {
+		values = append(values, v)
+		return true
+	})
+	switch d.level {
+	case StorageObjects:
+		return cache.NewObjectBlock(values, d.storage.Estimate, d.storage.Ser), nil
+	case StorageSerialized:
+		return cache.NewSerializedBlock(values, d.storage.Ser), nil
+	case StorageDeca:
+		return cache.NewDecaBlock(d.ctx.mem, d.storage.Codec, values), nil
+	default:
+		return nil, fmt.Errorf("engine: dataset %d has unsupported storage level %v", d.id, d.level)
+	}
+}
+
+func (d *Dataset[T]) eachFromBlock(blk cache.Block, yield func(T) bool) {
+	switch b := blk.(type) {
+	case *cache.ObjectBlock[T]:
+		for _, v := range b.Values() {
+			if !yield(v) {
+				return
+			}
+		}
+	case *cache.SerializedBlock[T]:
+		b.Each(yield)
+	case *cache.DecaBlock[T]:
+		b.Each(yield)
+	default:
+		panic(fmt.Sprintf("engine: unknown block type %T", blk))
+	}
+}
+
+// DecaBlockFor returns partition p's decomposed page block, materializing
+// it if needed. It is the raw-bytes access path for transformed code
+// (Figure 12): callers read fields straight from the pages via the block's
+// Group. The caller must call ReleaseBlock when done (unpins).
+func DecaBlockFor[T any](d *Dataset[T], p int) (*cache.DecaBlock[T], error) {
+	if d.level != StorageDeca {
+		return nil, fmt.Errorf("engine: dataset %d is not Deca-persisted (level %v)", d.id, d.level)
+	}
+	blk, err := d.pinBlock(p)
+	if err != nil {
+		return nil, err
+	}
+	return blk.(*cache.DecaBlock[T]), nil
+}
+
+// ReleaseBlock unpins partition p's cache block after direct access.
+func ReleaseBlock[T any](d *Dataset[T], p int) {
+	d.ctx.cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+}
+
+//
+// Narrow transformations: fused into the parent's pull loop.
+//
+
+// Map applies f to every record.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, func(p int) Seq[U] {
+		return func(yield func(U) bool) {
+			err := d.Iterate(p, func(v T) bool {
+				return yield(f(v))
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// Filter keeps records satisfying pred.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return newDataset(d.ctx, d.parts, func(p int) Seq[T] {
+		return func(yield func(T) bool) {
+			err := d.Iterate(p, func(v T) bool {
+				if pred(v) {
+					return yield(v)
+				}
+				return true
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// FlatMap expands each record into zero or more outputs via emit.
+func FlatMap[T, U any](d *Dataset[T], f func(v T, emit func(U))) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, func(p int) Seq[U] {
+		return func(yield func(U) bool) {
+			stop := false
+			err := d.Iterate(p, func(v T) bool {
+				f(v, func(u U) {
+					if stop {
+						return
+					}
+					if !yield(u) {
+						stop = true
+					}
+				})
+				return !stop
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// MapPartitions transforms whole partitions, for setup-heavy UDFs.
+func MapPartitions[T, U any](d *Dataset[T], f func(p int, in Seq[T], emit func(U))) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, func(p int) Seq[U] {
+		return func(yield func(U) bool) {
+			in := func(y func(T) bool) {
+				if err := d.Iterate(p, y); err != nil {
+					panic(err)
+				}
+			}
+			stop := false
+			f(p, in, func(u U) {
+				if stop {
+					return
+				}
+				if !yield(u) {
+					stop = true
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package engine is a from-scratch, single-process reimplementation of the
+// Spark execution model the paper builds on (§4.1): datasets are lazy,
+// partitioned collections transformed by narrow operators and materialized
+// across shuffle boundaries; jobs split into stages at shuffles; tasks run
+// in parallel on an executor worker pool; datasets can be persisted in
+// memory at explicit cache points whose lifetimes end at Unpersist.
+//
+// The engine runs every workload in one of three execution modes that
+// differ only in how the two long-lived container kinds are represented:
+//
+//	ModeSpark:    object caches, boxed-value shuffle buffers (Spark 1.6)
+//	ModeSparkSer: Kryo-style serialized caches, object shuffle buffers
+//	ModeDeca:     page-decomposed caches and shuffle buffers
+//
+// Narrow chains are fused into a single pull loop per partition — the
+// engine-level counterpart of the iterator fusion Deca performs in its
+// pre-processing phase (§5).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"deca/internal/cache"
+	"deca/internal/memory"
+)
+
+// Mode selects the memory-management strategy, the independent variable of
+// every experiment in §6.
+type Mode int
+
+const (
+	// ModeSpark caches object arrays and buffers boxed values.
+	ModeSpark Mode = iota
+	// ModeSparkSer caches Kryo-serialized bytes (deserialize on access).
+	ModeSparkSer
+	// ModeDeca decomposes caches and shuffle buffers into page groups.
+	ModeDeca
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSpark:
+		return "Spark"
+	case ModeSparkSer:
+		return "SparkSer"
+	case ModeDeca:
+		return "Deca"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config sizes the executor.
+type Config struct {
+	// Parallelism bounds concurrently running tasks (executor cores).
+	// Defaults to 4.
+	Parallelism int
+	// NumPartitions is the default partition count for new datasets.
+	// Defaults to Parallelism.
+	NumPartitions int
+	// Mode selects the memory-management strategy.
+	Mode Mode
+	// PageSize is the Deca page size (0 = memory.DefaultPageSize).
+	PageSize int
+	// MemoryBudget models the executor heap portion available to data
+	// containers, split between cache and shuffle by StorageFraction.
+	// 0 = unlimited.
+	MemoryBudget int64
+	// StorageFraction is the cache share of MemoryBudget (Spark's
+	// spark.storage.memoryFraction, the knob Table 4 sweeps). Default 0.6.
+	StorageFraction float64
+	// SpillDir holds shuffle spills and cache swaps. Empty disables both
+	// (evictions then drop blocks).
+	SpillDir string
+	// ShuffleSpillThreshold spills an individual shuffle buffer when its
+	// estimated footprint exceeds this many bytes. 0 derives it from the
+	// shuffle share of MemoryBudget; negative disables spilling.
+	ShuffleSpillThreshold int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.NumPartitions <= 0 {
+		c.NumPartitions = c.Parallelism
+	}
+	if c.StorageFraction <= 0 || c.StorageFraction > 1 {
+		c.StorageFraction = 0.6
+	}
+	return c
+}
+
+// Metrics aggregates executor counters across jobs.
+type Metrics struct {
+	ShuffleSpillBytes atomic.Int64
+	ShuffleRecords    atomic.Int64
+	TasksRun          atomic.Int64
+}
+
+// Context is the driver plus executor state: configuration, the page
+// memory manager, the cache manager, and the worker pool.
+type Context struct {
+	conf    Config
+	mem     *memory.Manager
+	cache   *cache.Manager
+	metrics Metrics
+	nextID  atomic.Int64
+
+	shufMu   sync.Mutex
+	shuffles map[int]releasable
+}
+
+// New creates an execution context.
+func New(conf Config) *Context {
+	conf = conf.withDefaults()
+	var cacheBudget int64
+	if conf.MemoryBudget > 0 {
+		cacheBudget = int64(float64(conf.MemoryBudget) * conf.StorageFraction)
+	}
+	return &Context{
+		conf:     conf,
+		mem:      memory.NewManager(conf.PageSize, conf.MemoryBudget),
+		cache:    cache.NewManager(cacheBudget, conf.SpillDir),
+		shuffles: make(map[int]releasable),
+	}
+}
+
+// registerShuffle tracks a shuffle output for later release.
+func (c *Context) registerShuffle(datasetID int, r releasable) {
+	c.shufMu.Lock()
+	defer c.shufMu.Unlock()
+	c.shuffles[datasetID] = r
+}
+
+// ReleaseShuffle frees the materialized shuffle output backing the given
+// shuffled dataset — the §4.2 lifetime end of a shuffle buffer, once its
+// reading phase has completed. Iterative jobs call this between
+// iterations, which is why PR/CC show milder GC pressure than LR (§6.3).
+func (c *Context) ReleaseShuffle(datasetID int) {
+	c.shufMu.Lock()
+	r, ok := c.shuffles[datasetID]
+	delete(c.shuffles, datasetID)
+	c.shufMu.Unlock()
+	if ok {
+		r.Release()
+	}
+}
+
+// ReleaseAllShuffles frees every tracked shuffle output.
+func (c *Context) ReleaseAllShuffles() {
+	c.shufMu.Lock()
+	rs := make([]releasable, 0, len(c.shuffles))
+	for id, r := range c.shuffles {
+		rs = append(rs, r)
+		delete(c.shuffles, id)
+	}
+	c.shufMu.Unlock()
+	for _, r := range rs {
+		r.Release()
+	}
+}
+
+// Close releases shuffles and cache blocks. The context is unusable
+// afterwards.
+func (c *Context) Close() {
+	c.ReleaseAllShuffles()
+	c.cache.Clear()
+}
+
+// Conf returns the effective configuration.
+func (c *Context) Conf() Config { return c.conf }
+
+// Mode returns the execution mode.
+func (c *Context) Mode() Mode { return c.conf.Mode }
+
+// Memory returns the page memory manager.
+func (c *Context) Memory() *memory.Manager { return c.mem }
+
+// CacheManager returns the block store.
+func (c *Context) CacheManager() *cache.Manager { return c.cache }
+
+// MetricsRef returns the executor counters.
+func (c *Context) MetricsRef() *Metrics { return &c.metrics }
+
+// shuffleSpillThreshold resolves the per-buffer spill trigger.
+func (c *Context) shuffleSpillThreshold(numBuffers int) int64 {
+	if c.conf.ShuffleSpillThreshold != 0 {
+		if c.conf.ShuffleSpillThreshold < 0 {
+			return 0 // disabled
+		}
+		return c.conf.ShuffleSpillThreshold
+	}
+	if c.conf.MemoryBudget <= 0 || numBuffers <= 0 {
+		return 0
+	}
+	shuffleShare := float64(c.conf.MemoryBudget) * (1 - c.conf.StorageFraction)
+	return int64(shuffleShare) / int64(numBuffers)
+}
+
+// datasetID issues unique dataset ids (cache block namespace).
+func (c *Context) datasetID() int { return int(c.nextID.Add(1)) }
+
+// runTasks executes fn for every partition index, bounding concurrency to
+// the configured parallelism, and waits. The semaphore is stage-local: a
+// task that transitively materializes a parent shuffle starts a nested
+// stage with its own semaphore, so parent stages cannot deadlock against
+// the slots their children hold (Spark likewise bounds concurrency per
+// running stage). The first error is returned after all tasks finish.
+func (c *Context) runTasks(parts int, fn func(p int) error) error {
+	sem := make(chan struct{}, c.conf.Parallelism)
+	var wg sync.WaitGroup
+	errCh := make(chan error, parts)
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.metrics.TasksRun.Add(1)
+			if err := fn(p); err != nil {
+				errCh <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Seq is a pull iterator over a partition's records: it calls yield for
+// each record until exhaustion or until yield returns false.
+type Seq[T any] func(yield func(T) bool)
+
+// Collect materializes a Seq (tests and small results only).
+func (s Seq[T]) Collect() []T {
+	var out []T
+	s(func(v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

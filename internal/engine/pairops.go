@@ -1,0 +1,85 @@
+package engine
+
+import "deca/internal/decompose"
+
+// Convenience operators over keyed datasets and dataset combinators,
+// rounding out the Spark operator surface the paper's applications use.
+
+// MapValues transforms only the value of each pair, preserving keys and
+// partitioning.
+func MapValues[K, V, W any](d *Dataset[decompose.Pair[K, V]], f func(V) W) *Dataset[decompose.Pair[K, W]] {
+	return Map(d, func(kv decompose.Pair[K, V]) decompose.Pair[K, W] {
+		return decompose.Pair[K, W]{Key: kv.Key, Value: f(kv.Value)}
+	})
+}
+
+// Keys projects the keys of a keyed dataset.
+func Keys[K, V any](d *Dataset[decompose.Pair[K, V]]) *Dataset[K] {
+	return Map(d, func(kv decompose.Pair[K, V]) K { return kv.Key })
+}
+
+// Values projects the values of a keyed dataset.
+func Values[K, V any](d *Dataset[decompose.Pair[K, V]]) *Dataset[V] {
+	return Map(d, func(kv decompose.Pair[K, V]) V { return kv.Value })
+}
+
+// KeyBy turns records into pairs keyed by f.
+func KeyBy[K, V any](d *Dataset[V], f func(V) K) *Dataset[decompose.Pair[K, V]] {
+	return Map(d, func(v V) decompose.Pair[K, V] {
+		return decompose.Pair[K, V]{Key: f(v), Value: v}
+	})
+}
+
+// Union concatenates two datasets (partitions of a followed by partitions
+// of b, like Spark's union: no dedup, no shuffle).
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	if a.ctx != b.ctx {
+		panic("engine: Union across contexts")
+	}
+	aParts := a.parts
+	return newDataset(a.ctx, a.parts+b.parts, func(p int) Seq[T] {
+		return func(yield func(T) bool) {
+			var err error
+			if p < aParts {
+				err = a.Iterate(p, yield)
+			} else {
+				err = b.Iterate(p-aParts, yield)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// Distinct removes duplicates via a keyed shuffle (keeps one record per
+// distinct value).
+func Distinct[T comparable](d *Dataset[T], ops PairOps[T, int8]) *Dataset[T] {
+	pairs := Map(d, func(v T) decompose.Pair[T, int8] {
+		return decompose.Pair[T, int8]{Key: v, Value: 1}
+	})
+	reduced := ReduceByKey(pairs, ops, func(a, b int8) int8 { return a })
+	return Keys(reduced)
+}
+
+// CountByKey returns per-key record counts through an eager-combining
+// shuffle.
+func CountByKey[K comparable, V any](d *Dataset[decompose.Pair[K, V]], ops PairOps[K, int64]) *Dataset[decompose.Pair[K, int64]] {
+	ones := MapValues(d, func(V) int64 { return 1 })
+	return ReduceByKey(ones, ops, func(a, b int64) int64 { return a + b })
+}
+
+// AggregateByKey folds values into a per-key accumulator of a different
+// type: seq folds one value into the accumulator, comb merges two
+// accumulators (Spark's aggregateByKey, which §4.2 notes behaves like
+// reduceByKey for lifetime purposes).
+func AggregateByKey[K comparable, V, A any](
+	d *Dataset[decompose.Pair[K, V]],
+	ops PairOps[K, A],
+	zero func() A,
+	seq func(A, V) A,
+	comb func(A, A) A,
+) *Dataset[decompose.Pair[K, A]] {
+	pre := MapValues(d, func(v V) A { return seq(zero(), v) })
+	return ReduceByKey(pre, ops, comb)
+}

@@ -1,0 +1,543 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"deca/internal/decompose"
+	"deca/internal/serial"
+	"deca/internal/shuffle"
+)
+
+// KV builds a key-value pair (Spark's Tuple2).
+func KV[K, V any](k K, v V) decompose.Pair[K, V] {
+	return decompose.Pair[K, V]{Key: k, Value: v}
+}
+
+// PairOps bundles the per-type helpers of a keyed shuffle: the key hash
+// and ordering, serializers (object-mode spill and SparkSer), codecs
+// (Deca page buffers), and an entry-size estimator for object buffers.
+type PairOps[K comparable, V any] struct {
+	Key        shuffle.Key[K]
+	KeySer     serial.Serializer[K]
+	ValSer     serial.Serializer[V]
+	KeyCodec   decompose.Codec[K]
+	ValCodec   decompose.Codec[V]
+	EntrySize  func(K, V) int
+	Partitions int // reduce-side partitions; 0 = parent's count
+}
+
+func (o PairOps[K, V]) partitions(parent int) int {
+	if o.Partitions > 0 {
+		return o.Partitions
+	}
+	return parent
+}
+
+// decaAble reports whether the context can run this shuffle's aggregation
+// buffers as Deca pages with in-place value reuse: Deca mode, codecs
+// present, and a StaticFixed value layout (§4.3.2).
+func (o PairOps[K, V]) decaAble(ctx *Context) bool {
+	return ctx.Mode() == ModeDeca &&
+		o.KeyCodec != nil && o.ValCodec != nil &&
+		o.ValCodec.FixedSize() >= 0
+}
+
+// decaGroupAble: grouping buffers only need codecs (values append-only, so
+// RuntimeFixed codecs are safe — Figure 7(b)).
+func (o PairOps[K, V]) decaGroupAble(ctx *Context) bool {
+	return ctx.Mode() == ModeDeca && o.KeyCodec != nil && o.ValCodec != nil
+}
+
+// aggSink abstracts the two aggregation buffer variants for the map and
+// reduce stages.
+type aggSink[K comparable, V any] interface {
+	Put(k K, v V)
+	Drain(yield func(K, V) bool) error
+	Spill() error
+	SizeBytes() int64
+	SpilledBytes() int64
+	Release()
+}
+
+// groupSink abstracts the grouping buffer variants.
+type groupSink[K comparable, V any] interface {
+	Put(k K, v V)
+	Drain(yield func(K, []V) bool) error
+	Spill() error
+	SpilledBytes() int64
+	Release()
+}
+
+// sortSink abstracts the sort buffer variants.
+type sortSink[K comparable, V any] interface {
+	Put(k K, v V)
+	DrainSorted(yield func(K, V) bool) error
+	Spill() error
+	SpilledBytes() int64
+	Release()
+}
+
+// spillTracker triggers buffer spills on an incrementally-maintained size
+// estimate (checking the buffer's own SizeBytes per record would be
+// quadratic for object tables).
+type spillTracker struct {
+	threshold int64
+	approx    int64
+	per       int64
+}
+
+func newSpillTracker(threshold int64, perEntry int64) *spillTracker {
+	if perEntry <= 0 {
+		perEntry = 48
+	}
+	return &spillTracker{threshold: threshold, per: perEntry}
+}
+
+// add records one insertion; it reports whether the caller should spill.
+func (s *spillTracker) add() bool {
+	if s.threshold <= 0 {
+		return false
+	}
+	s.approx += s.per
+	if s.approx >= s.threshold {
+		s.approx = 0
+		return true
+	}
+	return false
+}
+
+// ReduceByKey shuffles d by key and eagerly combines values, Spark-style:
+// map tasks combine into per-reduce-partition hash buffers, reduce tasks
+// merge the map outputs. In Deca mode with a fixed-size value codec the
+// buffers reuse value segments in place (§4.3.2); otherwise they box a new
+// value per combine.
+func ReduceByKey[K comparable, V any](
+	d *Dataset[decompose.Pair[K, V]],
+	ops PairOps[K, V],
+	combine func(V, V) V,
+) *Dataset[decompose.Pair[K, V]] {
+	ctx := d.ctx
+	R := ops.partitions(d.parts)
+	M := d.parts
+
+	newBuf := func() (aggSink[K, V], error) {
+		if ops.decaAble(ctx) {
+			return shuffle.NewDecaAgg(ctx.mem, combine, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+		}
+		return shuffle.NewObjectAgg(combine, shuffle.ObjectAggConfig[K, V]{
+			KeySer: ops.KeySer, ValSer: ops.ValSer,
+			SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+		}), nil
+	}
+
+	st := &shuffleState[decompose.Pair[K, V]]{}
+	materialize := func() error {
+		threshold := ctx.shuffleSpillThreshold(M * R)
+		mapOut := make([][]aggSink[K, V], M)
+		err := ctx.runTasks(M, func(m int) error {
+			bufs := make([]aggSink[K, V], R)
+			trackers := make([]*spillTracker, R)
+			for r := range bufs {
+				b, err := newBuf()
+				if err != nil {
+					return err
+				}
+				bufs[r] = b
+				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
+			}
+			var iterErr error
+			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
+				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
+				bufs[r].Put(p.Key, p.Value)
+				ctx.metrics.ShuffleRecords.Add(1)
+				if trackers[r].add() {
+					if err := bufs[r].Spill(); err != nil {
+						iterErr = err
+						return false
+					}
+				}
+				return true
+			})
+			if walkErr != nil {
+				return walkErr
+			}
+			if iterErr != nil {
+				return iterErr
+			}
+			mapOut[m] = bufs
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Reduce stage: merge the M map outputs per reduce partition.
+		outputs := make([]aggSink[K, V], R)
+		err = ctx.runTasks(R, func(r int) error {
+			merged, err := newBuf()
+			if err != nil {
+				return err
+			}
+			for m := 0; m < M; m++ {
+				err := mapOut[m][r].Drain(func(k K, v V) bool {
+					merged.Put(k, v)
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
+				mapOut[m][r].Release()
+			}
+			outputs[r] = merged
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.release = func() {
+			for _, b := range outputs {
+				if b != nil {
+					b.Release()
+				}
+			}
+		}
+		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
+			return outputs[r].Drain(func(k K, v V) bool {
+				return yield(decompose.Pair[K, V]{Key: k, Value: v})
+			})
+		}
+		return nil
+	}
+
+	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, V]] {
+		return st.seq(materialize, p)
+	})
+	ctx.registerShuffle(out.id, st)
+	return out
+}
+
+// GroupByKey shuffles d by key and collects the complete value list per
+// key. In Deca mode values decompose into the buffer's pages with per-key
+// pointer arrays (Figure 7(b)).
+func GroupByKey[K comparable, V any](
+	d *Dataset[decompose.Pair[K, V]],
+	ops PairOps[K, V],
+) *Dataset[decompose.Pair[K, []V]] {
+	ctx := d.ctx
+	R := ops.partitions(d.parts)
+	M := d.parts
+
+	newBuf := func() groupSink[K, V] {
+		if ops.decaGroupAble(ctx) {
+			return shuffle.NewDecaGroup(ctx.mem, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+		}
+		return shuffle.NewObjectGroup(shuffle.ObjectGroupConfig[K, V]{
+			KeySer: ops.KeySer, ValSer: ops.ValSer,
+			SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+		})
+	}
+
+	st := &shuffleState[decompose.Pair[K, []V]]{}
+	materialize := func() error {
+		threshold := ctx.shuffleSpillThreshold(M * R)
+		mapOut := make([][]groupSink[K, V], M)
+		err := ctx.runTasks(M, func(m int) error {
+			bufs := make([]groupSink[K, V], R)
+			trackers := make([]*spillTracker, R)
+			for r := range bufs {
+				bufs[r] = newBuf()
+				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
+			}
+			var iterErr error
+			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
+				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
+				bufs[r].Put(p.Key, p.Value)
+				ctx.metrics.ShuffleRecords.Add(1)
+				if trackers[r].add() {
+					if err := bufs[r].Spill(); err != nil {
+						iterErr = err
+						return false
+					}
+				}
+				return true
+			})
+			if walkErr != nil {
+				return walkErr
+			}
+			if iterErr != nil {
+				return iterErr
+			}
+			mapOut[m] = bufs
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		outputs := make([]groupSink[K, V], R)
+		err = ctx.runTasks(R, func(r int) error {
+			merged := newBuf()
+			for m := 0; m < M; m++ {
+				err := mapOut[m][r].Drain(func(k K, vs []V) bool {
+					for _, v := range vs {
+						merged.Put(k, v)
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
+				mapOut[m][r].Release()
+			}
+			outputs[r] = merged
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.release = func() {
+			for _, b := range outputs {
+				if b != nil {
+					b.Release()
+				}
+			}
+		}
+		st.drain = func(r int, yield func(decompose.Pair[K, []V]) bool) error {
+			return outputs[r].Drain(func(k K, vs []V) bool {
+				return yield(decompose.Pair[K, []V]{Key: k, Value: vs})
+			})
+		}
+		return nil
+	}
+
+	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, []V]] {
+		return st.seq(materialize, p)
+	})
+	ctx.registerShuffle(out.id, st)
+	return out
+}
+
+// SortByKey hash-partitions d and sorts each output partition by key
+// using the sort-based shuffle buffers of Figure 6(b): Deca mode sorts an
+// in-page pointer array, object mode sorts record objects.
+func SortByKey[K comparable, V any](
+	d *Dataset[decompose.Pair[K, V]],
+	ops PairOps[K, V],
+) *Dataset[decompose.Pair[K, V]] {
+	ctx := d.ctx
+	R := ops.partitions(d.parts)
+	M := d.parts
+
+	newBuf := func() sortSink[K, V] {
+		if ctx.Mode() == ModeDeca && ops.KeyCodec != nil && ops.ValCodec != nil {
+			return shuffle.NewDecaSort(ctx.mem, ops.Key.Less, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+		}
+		return shuffle.NewObjectSort(ops.Key.Less, shuffle.ObjectSortConfig[K, V]{
+			KeySer: ops.KeySer, ValSer: ops.ValSer,
+			SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+		})
+	}
+
+	st := &shuffleState[decompose.Pair[K, V]]{}
+	materialize := func() error {
+		threshold := ctx.shuffleSpillThreshold(M * R)
+		mapOut := make([][]sortSink[K, V], M)
+		err := ctx.runTasks(M, func(m int) error {
+			bufs := make([]sortSink[K, V], R)
+			trackers := make([]*spillTracker, R)
+			for r := range bufs {
+				bufs[r] = newBuf()
+				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
+			}
+			var iterErr error
+			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
+				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
+				bufs[r].Put(p.Key, p.Value)
+				ctx.metrics.ShuffleRecords.Add(1)
+				if trackers[r].add() {
+					if err := bufs[r].Spill(); err != nil {
+						iterErr = err
+						return false
+					}
+				}
+				return true
+			})
+			if walkErr != nil {
+				return walkErr
+			}
+			if iterErr != nil {
+				return iterErr
+			}
+			mapOut[m] = bufs
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		outputs := make([]sortSink[K, V], R)
+		err = ctx.runTasks(R, func(r int) error {
+			merged := newBuf()
+			for m := 0; m < M; m++ {
+				err := mapOut[m][r].DrainSorted(func(k K, v V) bool {
+					merged.Put(k, v)
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
+				mapOut[m][r].Release()
+			}
+			outputs[r] = merged
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.release = func() {
+			for _, b := range outputs {
+				if b != nil {
+					b.Release()
+				}
+			}
+		}
+		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
+			return outputs[r].DrainSorted(func(k K, v V) bool {
+				return yield(decompose.Pair[K, V]{Key: k, Value: v})
+			})
+		}
+		return nil
+	}
+
+	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, V]] {
+		return st.seq(materialize, p)
+	})
+	ctx.registerShuffle(out.id, st)
+	return out
+}
+
+// CoGrouped is the cogroup record: all left and right values of one key.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// CoGroup shuffles two keyed datasets with the same partitioner and joins
+// their value lists per key.
+func CoGroup[K comparable, V, W any](
+	left *Dataset[decompose.Pair[K, V]],
+	right *Dataset[decompose.Pair[K, W]],
+	lops PairOps[K, V],
+	rops PairOps[K, W],
+) *Dataset[decompose.Pair[K, CoGrouped[V, W]]] {
+	R := lops.partitions(left.parts)
+	lops.Partitions = R
+	rops.Partitions = R
+	lg := GroupByKey(left, lops)
+	rg := GroupByKey(right, rops)
+
+	ctx := left.ctx
+	return newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, CoGrouped[V, W]]] {
+		return func(yield func(decompose.Pair[K, CoGrouped[V, W]]) bool) {
+			groups := make(map[K]*CoGrouped[V, W])
+			err := lg.Iterate(p, func(kv decompose.Pair[K, []V]) bool {
+				groups[kv.Key] = &CoGrouped[V, W]{Left: kv.Value}
+				return true
+			})
+			if err != nil {
+				panic(err)
+			}
+			err = rg.Iterate(p, func(kv decompose.Pair[K, []W]) bool {
+				if g, ok := groups[kv.Key]; ok {
+					g.Right = kv.Value
+				} else {
+					groups[kv.Key] = &CoGrouped[V, W]{Right: kv.Value}
+				}
+				return true
+			})
+			if err != nil {
+				panic(err)
+			}
+			for k, g := range groups {
+				if !yield(decompose.Pair[K, CoGrouped[V, W]]{Key: k, Value: *g}) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// Join inner-joins two keyed datasets: one output record per (left value,
+// right value) pair of each key.
+func Join[K comparable, V, W any](
+	left *Dataset[decompose.Pair[K, V]],
+	right *Dataset[decompose.Pair[K, W]],
+	lops PairOps[K, V],
+	rops PairOps[K, W],
+) *Dataset[decompose.Pair[K, decompose.Pair[V, W]]] {
+	cg := CoGroup(left, right, lops, rops)
+	return FlatMap(cg, func(kv decompose.Pair[K, CoGrouped[V, W]], emit func(decompose.Pair[K, decompose.Pair[V, W]])) {
+		for _, v := range kv.Value.Left {
+			for _, w := range kv.Value.Right {
+				emit(decompose.Pair[K, decompose.Pair[V, W]]{
+					Key:   kv.Key,
+					Value: decompose.Pair[V, W]{Key: v, Value: w},
+				})
+			}
+		}
+	})
+}
+
+// shuffleState memoizes a shuffle's materialized outputs across actions,
+// like Spark's shuffle files surviving between jobs.
+type shuffleState[T any] struct {
+	once    sync.Once
+	err     error
+	drain   func(p int, yield func(T) bool) error
+	release func()
+
+	mu       sync.Mutex
+	released bool
+}
+
+func (st *shuffleState[T]) seq(materialize func() error, p int) Seq[T] {
+	return func(yield func(T) bool) {
+		st.once.Do(func() { st.err = materialize() })
+		if st.err != nil {
+			panic(st.err)
+		}
+		st.mu.Lock()
+		released := st.released
+		st.mu.Unlock()
+		if released {
+			panic(fmt.Errorf("engine: shuffle output read after release"))
+		}
+		if err := st.drain(p, yield); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (st *shuffleState[T]) Release() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.released || st.release == nil {
+		return
+	}
+	st.released = true
+	st.release()
+}
+
+// releasable lets the context track shuffle outputs without their type
+// parameters.
+type releasable interface{ Release() }
+
+func entrySizeHint[K comparable, V any](es func(K, V) int) int64 {
+	if es == nil {
+		return 48
+	}
+	var k K
+	var v V
+	return int64(es(k, v))
+}

@@ -1,0 +1,105 @@
+package gcstats
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestReadMonotonic(t *testing.T) {
+	a := Read()
+	// Generate garbage and force a cycle.
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	runtime.GC()
+	b := Read()
+	if b.NumGC <= a.NumGC {
+		t.Errorf("NumGC did not advance: %d -> %d", a.NumGC, b.NumGC)
+	}
+	if b.TotalAlloc < a.TotalAlloc {
+		t.Error("TotalAlloc went backwards")
+	}
+	if b.GCCPUSeconds < a.GCCPUSeconds {
+		t.Error("GCCPUSeconds went backwards")
+	}
+}
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var keep [][]byte
+	d := Measure(func() {
+		for i := 0; i < 100; i++ {
+			keep = append(keep, make([]byte, 4096))
+		}
+	})
+	_ = keep
+	if d.AllocBytes < 100*4096 {
+		t.Errorf("AllocBytes = %d, want >= %d", d.AllocBytes, 100*4096)
+	}
+	if d.AllocObjects == 0 {
+		t.Error("AllocObjects = 0")
+	}
+	if d.Wall <= 0 {
+		t.Error("Wall <= 0")
+	}
+}
+
+func TestGCRatio(t *testing.T) {
+	d := Delta{Wall: 2 * time.Second, GCCPUSeconds: 1}
+	if got := d.GCRatio(); got != 0.5 {
+		t.Errorf("GCRatio = %v, want 0.5", got)
+	}
+	if (Delta{}).GCRatio() != 0 {
+		t.Error("zero delta ratio should be 0")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := StartTimeline(5 * time.Millisecond)
+	deadline := time.Now().Add(60 * time.Millisecond)
+	var keep [][]byte
+	for time.Now().Before(deadline) {
+		keep = append(keep, make([]byte, 1<<14))
+		if len(keep) > 256 {
+			keep = keep[:0]
+			runtime.GC()
+		}
+	}
+	samples := tl.Stop()
+	if len(samples) < 2 {
+		t.Fatalf("collected %d samples, want >= 2", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Elapsed < samples[i-1].Elapsed {
+			t.Error("sample elapsed times not monotonic")
+		}
+		if samples[i].GCCPUSeconds < samples[i-1].GCCPUSeconds {
+			t.Error("cumulative GC seconds not monotonic")
+		}
+	}
+}
+
+func TestWithGCPercent(t *testing.T) {
+	ran := false
+	WithGCPercent(50, func() { ran = true })
+	if !ran {
+		t.Error("f did not run")
+	}
+}
+
+func TestWithMemoryLimit(t *testing.T) {
+	ran := false
+	WithMemoryLimit(1<<30, func() { ran = true })
+	if !ran {
+		t.Error("f did not run")
+	}
+}
+
+func TestForceGC(t *testing.T) {
+	a := Read()
+	ForceGC()
+	b := Read()
+	if b.NumGC <= a.NumGC {
+		t.Error("ForceGC did not run a cycle")
+	}
+}

@@ -1,0 +1,187 @@
+// Package integration_test exercises cross-module flows that no single
+// package owns: the Figure 7(b) partially-decomposable hand-off from a
+// grouped shuffle buffer into a cached page block, planner-to-engine
+// consistency, and whole-pipeline memory hygiene.
+package integration_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"deca/internal/cache"
+	"deca/internal/core"
+	"deca/internal/decompose"
+	"deca/internal/engine"
+	"deca/internal/memory"
+	"deca/internal/shuffle"
+	"deca/internal/udt"
+)
+
+// TestFigure7bPartialDecomposition walks the exact §4.3.3 scenario: a
+// groupByKey shuffle buffer whose value lists cannot be decomposed while
+// growing, immediately copied into a cache block where the data *is*
+// decomposed; the shuffle buffer then dies and its space reclaims, while
+// the cache serves reads from pages.
+func TestFigure7bPartialDecomposition(t *testing.T) {
+	mem := memory.NewManager(4096, 0)
+
+	// Phase 1: the grouped shuffle buffer (primary container).
+	buf := shuffle.NewDecaGroup[int64, int64](mem, decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	edges := []struct{ src, dst int64 }{
+		{1, 2}, {1, 3}, {2, 3}, {1, 4}, {3, 1}, {2, 4},
+	}
+	for _, e := range edges {
+		buf.Put(e.src, e.dst)
+	}
+
+	// Phase boundary: copy each key's complete (now size-frozen) adjacency
+	// into the cache's page group — the phased refinement grades the list
+	// RuntimeFixed from here on, so decomposition is safe.
+	adjCodec := decompose.PairCodec[int64, []int64]{
+		KeyCodec:   decompose.Int64Codec{},
+		ValueCodec: decompose.Int64SliceCodec{},
+	}
+	cacheGroup := mem.NewGroup()
+	count := 0
+	err := buf.Drain(func(k int64, vs []int64) bool {
+		decompose.Write(cacheGroup, adjCodec, decompose.Pair[int64, []int64]{Key: k, Value: vs})
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := cache.NewDecaBlockFromGroup(mem, adjCodec, cacheGroup, count)
+
+	// The shuffle buffer's lifetime ends; its pages reclaim wholesale.
+	inUseBefore := mem.InUse()
+	buf.Release()
+	if mem.InUse() >= inUseBefore {
+		t.Error("releasing the shuffle buffer did not reclaim pages")
+	}
+
+	// Phase 2: read adjacency from the decomposed cache.
+	got := map[int64][]int64{}
+	blk.Each(func(kv decompose.Pair[int64, []int64]) bool {
+		vs := append([]int64(nil), kv.Value...)
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		got[kv.Key] = vs
+		return true
+	})
+	want := map[int64][]int64{1: {2, 3, 4}, 2: {3, 4}, 3: {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("adjacency after hand-off = %v, want %v", got, want)
+	}
+
+	blk.Drop()
+	if mem.InUse() != 0 {
+		t.Errorf("pages leaked after cache drop: %d", mem.InUse())
+	}
+}
+
+// TestPlannerEngineConsistency: the decisions core.Optimize makes for the
+// paper's jobs must match what the engine actually does under the
+// corresponding configuration — decomposition requires exactly the
+// conditions the engine's Deca fast paths check.
+func TestPlannerEngineConsistency(t *testing.T) {
+	plan, err := core.Optimize(core.WCJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Decisions["count-agg"]
+	if d.Mode != core.FullyDecompose {
+		t.Fatalf("planner: count-agg = %s", d.Mode)
+	}
+	// The engine's condition for a Deca aggregation buffer is a fixed-size
+	// value codec — exactly the StaticFixed value the planner demanded.
+	if (decompose.Int64Codec{}).FixedSize() < 0 {
+		t.Error("engine condition diverges from planner condition")
+	}
+	// And for the value the planner refused (RFST string), the engine's
+	// buffer constructor refuses too.
+	mem := memory.NewManager(1024, 0)
+	_, err = shuffle.NewDecaAgg[int64, string](mem,
+		func(a, b string) string { return a + b },
+		decompose.Int64Codec{}, decompose.StringCodec{}, "")
+	if err == nil {
+		t.Error("engine accepted a buffer the planner proved unsafe")
+	}
+}
+
+// TestMemoryHygieneAcrossJob: after a full WC-like job plus release, no
+// pages remain in use — the lifetime-based reclamation story end to end.
+func TestMemoryHygieneAcrossJob(t *testing.T) {
+	ctx := engine.New(engine.Config{
+		Parallelism: 2,
+		Mode:        engine.ModeDeca,
+		PageSize:    2048,
+		SpillDir:    t.TempDir(),
+	})
+	words := engine.Parallelize(ctx, []string{"a", "b", "a", "c", "b", "a"}, 2)
+	pairs := engine.Map(words, func(w string) decompose.Pair[string, int64] {
+		return engine.KV(w, int64(1))
+	})
+	counts := engine.ReduceByKey(pairs, engine.PairOps[string, int64]{
+		Key:      shuffle.StringKey(),
+		KeyCodec: decompose.StringCodec{},
+		ValCodec: decompose.Int64Codec{},
+	}, func(a, b int64) int64 { return a + b })
+	got, err := engine.CollectMap(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 3 || got["b"] != 2 || got["c"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+	ctx.Close()
+	if ctx.Memory().InUse() != 0 {
+		t.Errorf("pages in use after Close: %d", ctx.Memory().InUse())
+	}
+	if ctx.Memory().Stats().LiveGroups != 0 {
+		t.Errorf("live groups after Close: %d", ctx.Memory().Stats().LiveGroups)
+	}
+}
+
+// TestClassificationDrivesStorageLevel: the full chain from a Go type to
+// an engine storage decision — the automatic path a user would follow.
+func TestClassificationDrivesStorageLevel(t *testing.T) {
+	type fixedRec struct {
+		A int64
+		B float64
+	}
+	type varRec struct {
+		Buf []int64 // non-final: Variable
+	}
+
+	fixedDesc := udt.MustDescribe(reflect.TypeOf(fixedRec{}))
+	if st := udt.Classify(fixedDesc); !st.Decomposable() {
+		t.Fatalf("fixedRec = %s", st)
+	}
+	codec, err := decompose.NewReflectCodec[fixedRec](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	varDesc := udt.MustDescribe(reflect.TypeOf(varRec{}))
+	if st := udt.Classify(varDesc); st.Decomposable() {
+		t.Fatalf("varRec = %s should not be decomposable", st)
+	}
+	if _, err := decompose.NewReflectCodec[varRec](nil); err == nil {
+		t.Fatal("codec construction must fail for non-decomposable types")
+	}
+
+	// The decomposable type round-trips through a Deca-persisted dataset.
+	ctx := engine.New(engine.Config{Parallelism: 2, Mode: engine.ModeDeca, PageSize: 1024})
+	defer ctx.Close()
+	data := []fixedRec{{1, 1.5}, {2, 2.5}, {3, 3.5}}
+	ds := engine.Parallelize(ctx, data, 2)
+	ds.Persist(engine.StorageDeca, engine.Storage[fixedRec]{Codec: codec})
+	got, err := engine.Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Errorf("round trip = %v", got)
+	}
+}

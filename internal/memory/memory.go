@@ -1,0 +1,381 @@
+// Package memory implements Deca's page-based memory manager (§4.3.1).
+//
+// Deca stores decomposed objects in logical memory pages: byte arrays with
+// a common fixed size. Each data container (cache block, shuffle buffer)
+// owns a page group; a page-info structure tracks the group's pages, the
+// end offset of the last page, and a sequential cursor. Because the
+// garbage collector only sees a handful of large byte slices instead of
+// millions of small objects, tracing cost collapses; when a container's
+// lifetime ends, releasing the group reclaims all of its space at once.
+//
+// The Manager hands out pages from a free pool so that steady-state
+// execution allocates no new heap memory at all, and accounts the bytes in
+// use against an optional soft budget that the cache and shuffle layers
+// consult for eviction and spilling decisions.
+package memory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the page size used when a Manager is created with a
+// non-positive size. The paper picks page sizes so that each executor holds
+// only a moderate number of pages; 1 MiB gives that for laptop-scale heaps.
+const DefaultPageSize = 1 << 20
+
+// Stats is a snapshot of manager counters.
+type Stats struct {
+	PageSize       int
+	PagesAllocated uint64 // pages created from the Go heap
+	PagesReused    uint64 // pages served from the free pool
+	PagesReleased  uint64 // pages returned by group release
+	BytesInUse     int64  // bytes of live pages (allocated to groups)
+	BytesPooled    int64  // bytes parked in the free pool
+	LiveGroups     int64
+}
+
+// Manager allocates fixed-size pages, pools released ones, and tracks a
+// soft memory budget. It is safe for concurrent use.
+type Manager struct {
+	pageSize int
+	limit    int64 // soft budget in bytes; 0 means unlimited
+
+	mu         sync.Mutex
+	free       [][]byte
+	pooledMax  int // max pages kept in the pool
+	inUse      int64
+	pooled     int64
+	allocated  uint64
+	reused     uint64
+	released   uint64
+	liveGroups int64
+}
+
+// NewManager returns a Manager with the given page size and soft budget in
+// bytes (0 = unlimited). Non-positive pageSize selects DefaultPageSize.
+func NewManager(pageSize int, limit int64) *Manager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	m := &Manager{pageSize: pageSize, limit: limit}
+	// Keep at most the budget's worth of pages pooled, or a generous
+	// default when unlimited.
+	m.pooledMax = 1024
+	if limit > 0 {
+		if n := int(limit / int64(pageSize)); n > 0 {
+			m.pooledMax = n
+		}
+	}
+	return m
+}
+
+// PageSize returns the fixed page size in bytes.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// Limit returns the soft budget (0 = unlimited).
+func (m *Manager) Limit() int64 { return m.limit }
+
+// InUse returns the bytes currently held by live page groups.
+func (m *Manager) InUse() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
+
+// OverBudget reports whether live pages exceed the soft budget.
+func (m *Manager) OverBudget() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.limit > 0 && m.inUse > m.limit
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		PageSize:       m.pageSize,
+		PagesAllocated: m.allocated,
+		PagesReused:    m.reused,
+		PagesReleased:  m.released,
+		BytesInUse:     m.inUse,
+		BytesPooled:    m.pooled,
+		LiveGroups:     m.liveGroups,
+	}
+}
+
+// getPage returns a zero-length page with capacity ≥ want (normally the
+// page size; larger only for oversized single objects).
+func (m *Manager) getPage(want int) []byte {
+	size := m.pageSize
+	if want > size {
+		size = want
+	}
+	m.mu.Lock()
+	// Serve from the pool when a pooled page is large enough.
+	for i := len(m.free) - 1; i >= 0; i-- {
+		if cap(m.free[i]) >= size {
+			p := m.free[i]
+			m.free = append(m.free[:i], m.free[i+1:]...)
+			m.pooled -= int64(cap(p))
+			m.reused++
+			m.inUse += int64(cap(p))
+			m.mu.Unlock()
+			return p[:0]
+		}
+	}
+	m.allocated++
+	m.inUse += int64(size)
+	m.mu.Unlock()
+	return make([]byte, 0, size)
+}
+
+// putPages returns pages to the pool (or drops them if the pool is full).
+func (m *Manager) putPages(pages [][]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pages {
+		m.inUse -= int64(cap(p))
+		m.released++
+		if len(m.free) < m.pooledMax && cap(p) == m.pageSize {
+			m.free = append(m.free, p[:0])
+			m.pooled += int64(cap(p))
+		}
+	}
+}
+
+// Ptr locates the start of a byte segment within a page group: page index
+// and offset within the page. It is the in-page pointer the shuffle
+// buffers' pointer arrays store (§4.3.2, Figure 6).
+type Ptr struct {
+	Page int32
+	Off  int32
+}
+
+func (p Ptr) String() string { return fmt.Sprintf("page %d off %d", p.Page, p.Off) }
+
+// Group is a page group plus its page-info metadata (§4.3.1): the page
+// array, the end offset of the unused part of the last page, and a
+// reference count used when secondary containers share the group
+// (§4.3.3). Groups are not safe for concurrent mutation; the reference
+// count is atomic so release may happen from any goroutine.
+//
+// Objects never span pages: an allocation that does not fit in the last
+// page's remainder starts a new page. Oversized allocations get a
+// dedicated, larger page.
+type Group struct {
+	m     *Manager
+	pages [][]byte
+	bytes int64
+	refs  atomic.Int32
+	deps  []*Group // page groups of primary containers (Fig. 7(a) depPages)
+}
+
+// NewGroup returns an empty page group with reference count 1.
+func (m *Manager) NewGroup() *Group {
+	g := &Group{m: m}
+	g.refs.Store(1)
+	m.mu.Lock()
+	m.liveGroups++
+	m.mu.Unlock()
+	return g
+}
+
+// Alloc reserves n contiguous bytes and returns the writable segment along
+// with its pointer. The segment is zeroed only if it comes from a fresh
+// page; callers overwrite it fully.
+func (g *Group) Alloc(n int) ([]byte, Ptr) {
+	g.checkLive()
+	if n < 0 {
+		panic("memory: negative allocation")
+	}
+	last := len(g.pages) - 1
+	if last < 0 || cap(g.pages[last])-len(g.pages[last]) < n {
+		g.pages = append(g.pages, g.m.getPage(n))
+		last = len(g.pages) - 1
+	}
+	p := g.pages[last]
+	off := len(p)
+	g.pages[last] = p[:off+n]
+	g.bytes += int64(n)
+	return g.pages[last][off : off+n], Ptr{Page: int32(last), Off: int32(off)}
+}
+
+// Append copies b into the group and returns its pointer.
+func (g *Group) Append(b []byte) Ptr {
+	seg, ptr := g.Alloc(len(b))
+	copy(seg, b)
+	return ptr
+}
+
+// Bytes returns the n-byte segment starting at ptr. It panics if the range
+// is out of bounds — that is a decomposition-safety bug, the condition
+// Deca's classification exists to prevent.
+func (g *Group) Bytes(ptr Ptr, n int) []byte {
+	g.checkLive()
+	return g.pages[ptr.Page][ptr.Off : int(ptr.Off)+n]
+}
+
+// CheckedBytes is Bytes returning an error instead of panicking, for
+// callers validating untrusted pointers (e.g. after reloading a spill).
+func (g *Group) CheckedBytes(ptr Ptr, n int) ([]byte, error) {
+	if g.refs.Load() <= 0 {
+		return nil, fmt.Errorf("memory: use of released page group")
+	}
+	if ptr.Page < 0 || int(ptr.Page) >= len(g.pages) {
+		return nil, fmt.Errorf("memory: page %d out of range (%d pages)", ptr.Page, len(g.pages))
+	}
+	p := g.pages[ptr.Page]
+	if ptr.Off < 0 || int(ptr.Off)+n > len(p) {
+		return nil, fmt.Errorf("memory: segment [%d,%d) out of range (page len %d)", ptr.Off, int(ptr.Off)+n, len(p))
+	}
+	return p[ptr.Off : int(ptr.Off)+n], nil
+}
+
+// Page returns the used portion of page i.
+func (g *Group) Page(i int) []byte {
+	g.checkLive()
+	return g.pages[i]
+}
+
+// NumPages returns the number of pages in the group.
+func (g *Group) NumPages() int { return len(g.pages) }
+
+// Len returns the total number of data bytes stored.
+func (g *Group) Len() int64 { return g.bytes }
+
+// EndOffset returns the start offset of the unused part of the last page
+// (the paper's endOffset field). Zero when the group is empty.
+func (g *Group) EndOffset() int {
+	if len(g.pages) == 0 {
+		return 0
+	}
+	return len(g.pages[len(g.pages)-1])
+}
+
+// Footprint returns the bytes of page capacity held (≥ Len).
+func (g *Group) Footprint() int64 {
+	var total int64
+	for _, p := range g.pages {
+		total += int64(cap(p))
+	}
+	return total
+}
+
+// Retain increments the reference count: a secondary container sharing the
+// group copies its page-info and retains it (§4.3.3).
+func (g *Group) Retain() *Group {
+	if g.refs.Add(1) <= 1 {
+		panic("memory: Retain on released page group")
+	}
+	return g
+}
+
+// AddDep records a dependency on another group (the depPages field of a
+// secondary container's page-info, Figure 7(a)) and retains it. The
+// dependency is released when g is.
+func (g *Group) AddDep(dep *Group) {
+	g.checkLive()
+	g.deps = append(g.deps, dep.Retain())
+}
+
+// Deps returns the dependent (primary) groups.
+func (g *Group) Deps() []*Group { return g.deps }
+
+// Release decrements the reference count; the last release returns all
+// pages to the manager's pool and releases dependencies. Releasing more
+// times than retained panics: refcount bugs must not be silent.
+func (g *Group) Release() {
+	n := g.refs.Add(-1)
+	if n < 0 {
+		panic("memory: page group over-released")
+	}
+	if n > 0 {
+		return
+	}
+	g.m.putPages(g.pages)
+	g.pages = nil
+	g.bytes = 0
+	g.m.mu.Lock()
+	g.m.liveGroups--
+	g.m.mu.Unlock()
+	for _, d := range g.deps {
+		d.Release()
+	}
+	g.deps = nil
+}
+
+// Reset drops the group's content but keeps it alive, returning its pages
+// to the pool. Used when a shuffle buffer spills and restarts.
+func (g *Group) Reset() {
+	g.checkLive()
+	g.m.putPages(g.pages)
+	g.pages = nil
+	g.bytes = 0
+}
+
+// Refs returns the current reference count (for tests and diagnostics).
+func (g *Group) Refs() int32 { return g.refs.Load() }
+
+func (g *Group) checkLive() {
+	if g.refs.Load() <= 0 {
+		panic("memory: use of released page group")
+	}
+}
+
+// Cursor scans a group sequentially; it is the paper's (curPage,
+// curOffset) pair. Next returns consecutive segments of caller-known
+// sizes, as produced by sequential Alloc/Append calls.
+type Cursor struct {
+	g    *Group
+	page int
+	off  int
+}
+
+// Scan returns a cursor positioned at the first byte of the group.
+func (g *Group) Scan() *Cursor { return &Cursor{g: g} }
+
+// Done reports whether the cursor has consumed every byte.
+func (c *Cursor) Done() bool {
+	for c.page < len(c.g.pages) {
+		if c.off < len(c.g.pages[c.page]) {
+			return false
+		}
+		c.page++
+		c.off = 0
+	}
+	return true
+}
+
+// Next returns the next n-byte segment. It panics when fewer than n bytes
+// remain in the current page and the following page cannot satisfy the
+// request either — segments never span pages, so a well-formed reader
+// always asks for exactly the sizes that were written.
+func (c *Cursor) Next(n int) []byte {
+	c.g.checkLive()
+	for c.page < len(c.g.pages) {
+		p := c.g.pages[c.page]
+		if c.off < len(p) {
+			if c.off+n > len(p) {
+				panic(fmt.Sprintf("memory: cursor read of %d bytes exceeds page remainder %d", n, len(p)-c.off))
+			}
+			seg := p[c.off : c.off+n]
+			c.off += n
+			return seg
+		}
+		c.page++
+		c.off = 0
+	}
+	panic("memory: cursor read past end of page group")
+}
+
+// Ptr returns the position the next read will start from.
+func (c *Cursor) Ptr() Ptr { return Ptr{Page: int32(c.page), Off: int32(c.off)} }
+
+// Seek repositions the cursor.
+func (c *Cursor) Seek(p Ptr) {
+	c.page = int(p.Page)
+	c.off = int(p.Off)
+}

@@ -1,0 +1,77 @@
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Raw page I/O (Appendix C): decomposed data bytes are written to and read
+// from disk directly, with no serialization step. The on-disk format is a
+// small header (page count, per-page lengths) followed by the raw page
+// bytes, so a swapped-out group restores with identical pointers.
+
+const spillMagic = uint32(0xDEC0DE01)
+
+// WriteTo writes the group's pages to w in the raw spill format. It
+// returns the number of bytes written.
+func (g *Group) WriteTo(w io.Writer) (int64, error) {
+	g.checkLive()
+	var written int64
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(g.pages)))
+	n, err := w.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var lenBuf [4]byte
+	for _, p := range g.pages {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		n, err = w.Write(lenBuf[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		n, err = w.Write(p)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadGroupFrom reads a group in the spill format from r, allocating its
+// pages from m. Pointers recorded before the spill remain valid against
+// the restored group.
+func ReadGroupFrom(m *Manager, r io.Reader) (*Group, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("memory: reading spill header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != spillMagic {
+		return nil, fmt.Errorf("memory: bad spill magic %#x", got)
+	}
+	numPages := binary.LittleEndian.Uint32(hdr[4:8])
+	g := m.NewGroup()
+	var lenBuf [4]byte
+	for i := uint32(0); i < numPages; i++ {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			g.Release()
+			return nil, fmt.Errorf("memory: reading spill page %d length: %w", i, err)
+		}
+		pageLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		page := m.getPage(pageLen)
+		page = page[:pageLen]
+		if _, err := io.ReadFull(r, page); err != nil {
+			m.putPages([][]byte{page})
+			g.Release()
+			return nil, fmt.Errorf("memory: reading spill page %d: %w", i, err)
+		}
+		g.pages = append(g.pages, page)
+		g.bytes += int64(pageLen)
+	}
+	return g, nil
+}

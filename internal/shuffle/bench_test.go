@@ -1,0 +1,102 @@
+package shuffle
+
+import (
+	"testing"
+
+	"deca/internal/decompose"
+	"deca/internal/memory"
+)
+
+// The core §4.3.2 comparison at the buffer level: eager combining with
+// boxed values (a fresh allocation per combine) vs in-place page-segment
+// reuse.
+
+func BenchmarkObjectAggCombine(b *testing.B) {
+	buf := NewObjectAgg[int64, int64](func(a, c int64) int64 { return a + c },
+		ObjectAggConfig[int64, int64]{})
+	defer buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Put(int64(i&1023), 1)
+	}
+}
+
+func BenchmarkDecaAggCombine(b *testing.B) {
+	m := memory.NewManager(1<<20, 0)
+	buf, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Put(int64(i&1023), 1)
+	}
+}
+
+func BenchmarkObjectGroupPut(b *testing.B) {
+	buf := NewObjectGroup[int64, int64](ObjectGroupConfig[int64, int64]{})
+	defer buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Put(int64(i&255), int64(i))
+	}
+}
+
+func BenchmarkDecaGroupPut(b *testing.B) {
+	m := memory.NewManager(1<<20, 0)
+	buf := NewDecaGroup[int64, int64](m, decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	defer buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Put(int64(i&255), int64(i))
+	}
+}
+
+func BenchmarkObjectSortDrain(b *testing.B) {
+	less := func(x, y int64) bool { return x < y }
+	const n = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		buf := NewObjectSort[int64, int64](less, ObjectSortConfig[int64, int64]{})
+		for j := 0; j < n; j++ {
+			buf.Put(int64((j*2654435761)%n), int64(j))
+		}
+		b.StartTimer()
+		cnt := 0
+		if err := buf.DrainSorted(func(int64, int64) bool { cnt++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		buf.Release()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkDecaSortDrain(b *testing.B) {
+	m := memory.NewManager(1<<20, 0)
+	less := func(x, y int64) bool { return x < y }
+	const n = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		buf := NewDecaSort[int64, int64](m, less, decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+		for j := 0; j < n; j++ {
+			buf.Put(int64((j*2654435761)%n), int64(j))
+		}
+		b.StartTimer()
+		cnt := 0
+		if err := buf.DrainSorted(func(int64, int64) bool { cnt++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		buf.Release()
+		b.StartTimer()
+	}
+}

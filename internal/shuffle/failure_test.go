@@ -1,0 +1,172 @@
+package shuffle
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"deca/internal/decompose"
+	"deca/internal/memory"
+	"deca/internal/serial"
+)
+
+// readOnlyDir returns a directory spills cannot be created in.
+func readOnlyDir(t *testing.T) string {
+	t.Helper()
+	if runtime.GOOS == "windows" || os.Geteuid() == 0 {
+		// Root bypasses permission bits; use a non-existent subdirectory
+		// instead, which CreateTemp cannot use either.
+		return filepath.Join(t.TempDir(), "missing", "sub")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Skip("cannot make read-only dir")
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	return dir
+}
+
+func TestObjectAggSpillIOError(t *testing.T) {
+	dir := readOnlyDir(t)
+	b := NewObjectAgg[string, int64](func(a, c int64) int64 { return a + c },
+		ObjectAggConfig[string, int64]{KeySer: serial.Str{}, ValSer: serial.Int64{}, SpillDir: dir})
+	defer b.Release()
+	b.Put("k", 1)
+	if err := b.Spill(); err == nil {
+		t.Error("spill into unwritable dir must fail")
+	}
+	// The buffer must remain usable: data still drains.
+	got := map[string]int64{}
+	if err := b.Drain(func(k string, v int64) bool { got[k] = v; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got["k"] != 1 {
+		t.Errorf("data lost after failed spill: %v", got)
+	}
+}
+
+func TestDecaAggSpillIOError(t *testing.T) {
+	dir := readOnlyDir(t)
+	m := memory.NewManager(1024, 0)
+	b, err := NewDecaAgg[string, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.StringCodec{}, decompose.Int64Codec{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	b.Put("k", 7)
+	if err := b.Spill(); err == nil {
+		t.Error("spill into unwritable dir must fail")
+	}
+	got := map[string]int64{}
+	if err := b.Drain(func(k string, v int64) bool { got[k] = v; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got["k"] != 7 {
+		t.Errorf("data lost after failed spill: %v", got)
+	}
+}
+
+func TestDecaGroupSpillWithoutKeyCodec(t *testing.T) {
+	m := memory.NewManager(1024, 0)
+	b := NewDecaGroup[string, int64](m, nil, decompose.Int64Codec{}, "")
+	defer b.Release()
+	b.Put("k", 1)
+	if err := b.Spill(); err == nil {
+		t.Error("spill without key codec must fail")
+	}
+}
+
+func TestDecaAggSpillWithoutKeyCodec(t *testing.T) {
+	m := memory.NewManager(1024, 0)
+	b, err := NewDecaAgg[string, int64](m, func(a, c int64) int64 { return a + c },
+		nil, decompose.Int64Codec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	b.Put("k", 1)
+	if err := b.Spill(); err == nil {
+		t.Error("spill without key codec must fail")
+	}
+}
+
+func TestObjectSortSpillWithoutSerializers(t *testing.T) {
+	b := NewObjectSort[int64, int64](func(a, c int64) bool { return a < c },
+		ObjectSortConfig[int64, int64]{})
+	defer b.Release()
+	b.Put(1, 1)
+	if err := b.Spill(); err == nil {
+		t.Error("spill without serializers must fail")
+	}
+}
+
+func TestEmptyBufferSpillIsNoOp(t *testing.T) {
+	m := memory.NewManager(1024, 0)
+	dec, _ := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, t.TempDir())
+	defer dec.Release()
+	if err := dec.Spill(); err != nil {
+		t.Errorf("empty spill errored: %v", err)
+	}
+	if dec.SpilledBytes() != 0 {
+		t.Error("empty spill wrote bytes")
+	}
+
+	srt := NewDecaSort[int64, int64](m, func(a, c int64) bool { return a < c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, t.TempDir())
+	defer srt.Release()
+	if err := srt.Spill(); err != nil {
+		t.Errorf("empty sort spill errored: %v", err)
+	}
+
+	grp := NewDecaGroup[int64, int64](m, decompose.Int64Codec{}, decompose.Int64Codec{}, t.TempDir())
+	defer grp.Release()
+	if err := grp.Spill(); err != nil {
+		t.Errorf("empty group spill errored: %v", err)
+	}
+}
+
+func TestSpillFilesDeletedOnRelease(t *testing.T) {
+	dir := t.TempDir()
+	m := memory.NewManager(1024, 0)
+	b, _ := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+	for i := int64(0); i < 100; i++ {
+		b.Put(i, i)
+	}
+	if err := b.Spill(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) == 0 {
+		t.Fatal("no spill file created")
+	}
+	b.Release()
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("%d spill files survived Release", len(entries))
+	}
+}
+
+func TestDrainEarlyStopKeepsBufferUsable(t *testing.T) {
+	m := memory.NewManager(1024, 0)
+	b, _ := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	defer b.Release()
+	for i := int64(0); i < 10; i++ {
+		b.Put(i, i)
+	}
+	n := 0
+	b.Drain(func(int64, int64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Full drain afterwards still sees all keys.
+	n = 0
+	b.Drain(func(int64, int64) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("re-drain visited %d, want 10", n)
+	}
+}

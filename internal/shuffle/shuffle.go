@@ -1,0 +1,86 @@
+// Package shuffle implements the three shuffle-buffer shapes the paper's
+// lifetime analysis distinguishes (§4.2):
+//
+//  1. hash-based buffers with eager combining (reduceByKey): each combine
+//     kills the old Value and creates a new one, so Values are short-lived
+//     under Spark; Deca reuses the page segment in place when the Value is
+//     a StaticFixed type (§4.3.2);
+//  2. hash-based buffers for grouping (groupByKey): Value lists only grow,
+//     so references live until the buffer dies; the list type is Variable
+//     while being built, making the buffer partially decomposable
+//     (Figure 7(b));
+//  3. sort-based buffers (sortByKey): records are immutable once inserted;
+//     Deca keeps raw records in pages and sorts a pointer array
+//     (Figure 6(b)).
+//
+// Each shape has an object-based implementation (Spark semantics: boxed
+// values, fresh allocations per combine) and a Deca implementation
+// (page-decomposed). Buffers spill to disk when asked (Appendix C): object
+// buffers serialize, Deca buffers write raw page-encoded records.
+package shuffle
+
+import (
+	"hash/maphash"
+)
+
+// Buffer is the lifecycle interface every shuffle buffer implements.
+type Buffer interface {
+	// Len returns the number of keys (agg/group) or records (sort).
+	Len() int
+	// SizeBytes estimates the in-memory footprint, for spill decisions.
+	SizeBytes() int64
+	// SpilledBytes returns the total bytes written to spill files.
+	SpilledBytes() int64
+	// Release frees page groups and deletes spill files. The buffer is
+	// unusable afterwards. This is the lifetime end-point of the container:
+	// all of its space reclaims at once (§4.2).
+	Release()
+}
+
+// Key bundles the per-key-type operations a shuffle needs: a partitioning
+// hash and an ordering.
+type Key[K comparable] struct {
+	Hash func(K) uint32
+	Less func(a, b K) bool
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// StringKey returns Key ops for string keys.
+func StringKey() Key[string] {
+	return Key[string]{
+		Hash: func(s string) uint32 { return uint32(maphash.String(hashSeed, s)) },
+		Less: func(a, b string) bool { return a < b },
+	}
+}
+
+// Int64Key returns Key ops for int64 keys.
+func Int64Key() Key[int64] {
+	return Key[int64]{
+		Hash: func(v int64) uint32 {
+			x := uint64(v)
+			// splitmix64 finalizer: avalanche all bits.
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			return uint32(x)
+		},
+		Less: func(a, b int64) bool { return a < b },
+	}
+}
+
+// Int32Key returns Key ops for int32 keys.
+func Int32Key() Key[int32] {
+	i64 := Int64Key()
+	return Key[int32]{
+		Hash: func(v int32) uint32 { return i64.Hash(int64(v)) },
+		Less: func(a, b int32) bool { return a < b },
+	}
+}
+
+// Partition maps a key hash to one of n reduce partitions.
+func Partition(hash uint32, n int) int {
+	return int(hash % uint32(n))
+}

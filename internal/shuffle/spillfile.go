@@ -1,0 +1,76 @@
+package shuffle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// spillFile is one on-disk run of encoded records shared by all buffer
+// implementations. The record encoding is supplied by the buffer: Deca
+// buffers write raw page-layout bytes, object buffers use the Kryo-like
+// serializer — reproducing the asymmetry the paper measures (Spark pays
+// serialization on spill; Deca's bytes are already in I/O form,
+// Appendix C).
+type spillFile struct {
+	path string
+	size int64
+}
+
+// writeSpill streams records through fn into a new temp file in dir.
+// fn appends any number of records to the buffer it is given and returns
+// the extended slice; it is called once.
+func writeSpill(dir string, fn func(dst []byte) []byte) (spillFile, error) {
+	f, err := os.CreateTemp(dir, "deca-spill-*.bin")
+	if err != nil {
+		return spillFile{}, fmt.Errorf("shuffle: creating spill file: %w", err)
+	}
+	// Encode in memory then write through a buffered writer. Runs are
+	// bounded by the shuffle budget, so this stays small by construction.
+	data := fn(nil)
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return spillFile{}, fmt.Errorf("shuffle: writing spill: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return spillFile{}, fmt.Errorf("shuffle: flushing spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return spillFile{}, fmt.Errorf("shuffle: closing spill: %w", err)
+	}
+	return spillFile{path: f.Name(), size: int64(len(data))}, nil
+}
+
+// read loads the whole run back. Spill merging re-aggregates, so streaming
+// granularity buys nothing at these run sizes.
+func (s spillFile) read() ([]byte, error) {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: reading spill %s: %w", s.path, err)
+	}
+	return data, nil
+}
+
+// remove deletes the run file.
+func (s spillFile) remove() {
+	os.Remove(s.path)
+}
+
+// drainRecords decodes records off a run using next until exhausted.
+func drainRecords(data []byte, next func(src []byte) int) error {
+	off := 0
+	for off < len(data) {
+		n := next(data[off:])
+		if n <= 0 {
+			return io.ErrUnexpectedEOF
+		}
+		off += n
+	}
+	return nil
+}

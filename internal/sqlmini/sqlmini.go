@@ -1,0 +1,184 @@
+// Package sqlmini reproduces the §6.6 Spark SQL comparison: the same two
+// exploratory queries over three in-memory table representations —
+//
+//	RowTable:      boxed row objects (hand-written Spark RDD program);
+//	ColumnarTable: serialized column vectors (Spark SQL's in-memory
+//	               columnar store);
+//	DecaTable:     rows decomposed into page groups (Deca), with
+//	               fixed-size fields reordered to the front so their
+//	               offsets are compile-time constants (Appendix B's field
+//	               reordering optimization).
+//
+// Query 1: SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100
+// Query 2: SELECT SUBSTR(sourceIP,1,5), SUM(adRevenue) FROM uservisits
+//
+//	GROUP BY SUBSTR(sourceIP,1,5)
+//
+// Every implementation returns (row count, checksum) so tests can assert
+// the three agree exactly.
+package sqlmini
+
+import (
+	"encoding/binary"
+
+	"deca/internal/datagen"
+	"deca/internal/decompose"
+	"deca/internal/memory"
+)
+
+//
+// Rankings representations.
+//
+
+// RowRankings is the Spark representation: a slice of boxed rows.
+type RowRankings []*datagen.Ranking
+
+// BuildRowRankings boxes the rows.
+func BuildRowRankings(rows []datagen.Ranking) RowRankings {
+	out := make(RowRankings, len(rows))
+	for i := range rows {
+		r := rows[i]
+		out[i] = &r
+	}
+	return out
+}
+
+// MemBytes estimates the heap footprint (headers + string content).
+func (t RowRankings) MemBytes() int64 {
+	var total int64
+	for _, r := range t {
+		total += int64(48 + len(r.PageURL))
+	}
+	return total
+}
+
+// ColumnarRankings is the Spark SQL representation: one compact vector
+// per column, strings concatenated with an offset index.
+type ColumnarRankings struct {
+	Ranks      []int32
+	Durations  []int32
+	URLOffsets []int32 // len(rows)+1 offsets into URLBytes
+	URLBytes   []byte
+}
+
+// BuildColumnarRankings encodes the rows column-wise.
+func BuildColumnarRankings(rows []datagen.Ranking) *ColumnarRankings {
+	c := &ColumnarRankings{
+		Ranks:      make([]int32, len(rows)),
+		Durations:  make([]int32, len(rows)),
+		URLOffsets: make([]int32, len(rows)+1),
+	}
+	for i, r := range rows {
+		c.Ranks[i] = r.PageRank
+		c.Durations[i] = r.AvgDuration
+		c.URLBytes = append(c.URLBytes, r.PageURL...)
+		c.URLOffsets[i+1] = int32(len(c.URLBytes))
+	}
+	return c
+}
+
+// MemBytes returns the columnar footprint.
+func (c *ColumnarRankings) MemBytes() int64 {
+	return int64(4*len(c.Ranks) + 4*len(c.Durations) + 4*len(c.URLOffsets) + len(c.URLBytes))
+}
+
+// RankingCodec is the Deca layout of a ranking row with the fixed-size
+// fields reordered to the front (Appendix B): pageRank@0, avgDuration@4,
+// then the length-prefixed URL. Rank reads never touch the string.
+type RankingCodec struct{}
+
+func (RankingCodec) FixedSize() int { return -1 } // RuntimeFixed (String field)
+
+func (RankingCodec) Size(r datagen.Ranking) int { return 4 + 4 + 4 + len(r.PageURL) }
+
+func (RankingCodec) Encode(seg []byte, r datagen.Ranking) {
+	decompose.PutI32(seg, 0, r.PageRank)
+	decompose.PutI32(seg, 4, r.AvgDuration)
+	binary.LittleEndian.PutUint32(seg[8:], uint32(len(r.PageURL)))
+	copy(seg[12:], r.PageURL)
+}
+
+func (RankingCodec) Decode(seg []byte) (datagen.Ranking, int) {
+	n := int(binary.LittleEndian.Uint32(seg[8:]))
+	return datagen.Ranking{
+		PageRank:    decompose.I32(seg, 0),
+		AvgDuration: decompose.I32(seg, 4),
+		PageURL:     string(seg[12 : 12+n]),
+	}, 12 + n
+}
+
+// DecaRankings is the page-decomposed table.
+type DecaRankings struct {
+	Group *memory.Group
+	Count int
+}
+
+// BuildDecaRankings decomposes rows into pages from mem.
+func BuildDecaRankings(mem *memory.Manager, rows []datagen.Ranking) *DecaRankings {
+	g := mem.NewGroup()
+	for _, r := range rows {
+		decompose.Write[datagen.Ranking](g, RankingCodec{}, r)
+	}
+	return &DecaRankings{Group: g, Count: len(rows)}
+}
+
+// MemBytes returns the page footprint.
+func (t *DecaRankings) MemBytes() int64 { return t.Group.Footprint() }
+
+// Release frees the pages wholesale.
+func (t *DecaRankings) Release() { t.Group.Release() }
+
+//
+// Query 1 implementations. Each returns the matching row count and a
+// checksum Σ(rank + len(url) mod 13).
+//
+
+// Query1Rows scans boxed rows.
+func Query1Rows(t RowRankings, minRank int32) (int, float64) {
+	count := 0
+	var sum float64
+	for _, r := range t {
+		if r.PageRank > minRank {
+			count++
+			sum += float64(r.PageRank) + float64(len(r.PageURL)%13)
+		}
+	}
+	return count, sum
+}
+
+// Query1Columnar scans the rank vector and touches URL bytes only for
+// matches.
+func Query1Columnar(c *ColumnarRankings, minRank int32) (int, float64) {
+	count := 0
+	var sum float64
+	for i, rank := range c.Ranks {
+		if rank > minRank {
+			count++
+			urlLen := int(c.URLOffsets[i+1] - c.URLOffsets[i])
+			sum += float64(rank) + float64(urlLen%13)
+		}
+	}
+	return count, sum
+}
+
+// Query1Deca scans pages; thanks to the reordered layout the rank is at
+// offset 0 of every row segment, read without materializing anything.
+func Query1Deca(t *DecaRankings, minRank int32) (int, float64) {
+	count := 0
+	var sum float64
+	g := t.Group
+	for pi := 0; pi < g.NumPages(); pi++ {
+		page := g.Page(pi)
+		off := 0
+		for off+12 <= len(page) {
+			rank := decompose.I32(page, off)
+			urlLen := int(binary.LittleEndian.Uint32(page[off+8:]))
+			if rank > minRank {
+				count++
+				sum += float64(rank) + float64(urlLen%13)
+			}
+			off += 12 + urlLen
+		}
+	}
+	return count, sum
+}

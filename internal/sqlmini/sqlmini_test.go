@@ -1,0 +1,119 @@
+package sqlmini
+
+import (
+	"math"
+	"testing"
+
+	"deca/internal/datagen"
+	"deca/internal/memory"
+)
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestQuery1AllRepresentationsAgree(t *testing.T) {
+	rows := datagen.Rankings(3, 2000)
+	mem := memory.NewManager(1<<16, 0)
+
+	rowT := BuildRowRankings(rows)
+	colT := BuildColumnarRankings(rows)
+	decaT := BuildDecaRankings(mem, rows)
+	defer decaT.Release()
+
+	c1, s1 := Query1Rows(rowT, 100)
+	c2, s2 := Query1Columnar(colT, 100)
+	c3, s3 := Query1Deca(decaT, 100)
+
+	if c1 == 0 || c1 == len(rows) {
+		t.Fatalf("degenerate selectivity: %d of %d", c1, len(rows))
+	}
+	if c1 != c2 || c2 != c3 {
+		t.Errorf("counts diverge: rows=%d columnar=%d deca=%d", c1, c2, c3)
+	}
+	if s1 != s2 || s2 != s3 {
+		t.Errorf("checksums diverge: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestQuery2AllRepresentationsAgree(t *testing.T) {
+	rows := datagen.UserVisits(5, 3000)
+	mem := memory.NewManager(1<<16, 0)
+
+	rowT := BuildRowVisits(rows)
+	colT := BuildColumnarVisits(rows)
+	decaT := BuildDecaVisits(mem, rows)
+	defer decaT.Release()
+
+	g1, s1 := Query2Rows(rowT)
+	g2, s2 := Query2Columnar(colT)
+	g3, s3 := Query2Deca(decaT)
+
+	if g1 < 2 {
+		t.Fatalf("degenerate grouping: %d groups", g1)
+	}
+	if g1 != g2 || g2 != g3 {
+		t.Errorf("group counts diverge: %d %d %d", g1, g2, g3)
+	}
+	if !closeEnough(s1, s2) || !closeEnough(s2, s3) {
+		t.Errorf("checksums diverge: %v %v %v", s1, s2, s3)
+	}
+}
+
+// TestFootprintOrdering reproduces Table 6's cache-size relationship: the
+// boxed row store is far larger than both compact stores, and columnar
+// and Deca are within ~2x of each other.
+func TestFootprintOrdering(t *testing.T) {
+	rows := datagen.Rankings(7, 5000)
+	mem := memory.NewManager(1<<16, 0)
+	rowT := BuildRowRankings(rows)
+	colT := BuildColumnarRankings(rows)
+	decaT := BuildDecaRankings(mem, rows)
+	defer decaT.Release()
+
+	rb, cb, db := rowT.MemBytes(), colT.MemBytes(), decaT.MemBytes()
+	if rb <= cb || rb <= db {
+		t.Errorf("row store should be largest: rows=%d columnar=%d deca=%d", rb, cb, db)
+	}
+	if db > 2*cb || cb > 2*db {
+		t.Errorf("columnar (%d) and deca (%d) should be comparable", cb, db)
+	}
+}
+
+func TestRankingCodecRoundTrip(t *testing.T) {
+	mem := memory.NewManager(256, 0)
+	g := mem.NewGroup()
+	defer g.Release()
+	r := datagen.Ranking{PageURL: "http://x.example/", PageRank: 321, AvgDuration: 17}
+	seg := make([]byte, RankingCodec{}.Size(r))
+	RankingCodec{}.Encode(seg, r)
+	got, n := RankingCodec{}.Decode(seg)
+	if got != r || n != len(seg) {
+		t.Errorf("round trip: %+v n=%d", got, n)
+	}
+}
+
+func TestVisitCodecRoundTrip(t *testing.T) {
+	r := datagen.UserVisits(9, 1)[0]
+	seg := make([]byte, VisitCodec{}.Size(r))
+	VisitCodec{}.Encode(seg, r)
+	got, n := VisitCodec{}.Decode(seg)
+	if got != r || n != len(seg) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v (n=%d)", got, r, n)
+	}
+}
+
+func TestQuery1Selectivity(t *testing.T) {
+	rows := []datagen.Ranking{
+		{PageURL: "a", PageRank: 50},
+		{PageURL: "b", PageRank: 150},
+		{PageURL: "c", PageRank: 101},
+	}
+	c, _ := Query1Rows(BuildRowRankings(rows), 100)
+	if c != 2 {
+		t.Errorf("count = %d, want 2", c)
+	}
+}

@@ -1,0 +1,147 @@
+package udt
+
+// Local classification analysis (paper §3.2, Algorithm 1).
+//
+// The classifier recursively traverses the type dependency graph of a UDT.
+// The graph's nodes are type descriptors; its edges go from a struct to
+// every runtime type in each field's type-set, and from an array to every
+// runtime type of its element field. A cycle anywhere in the graph makes
+// the top-level type recursively-defined.
+//
+// Otherwise:
+//   - primitives are StaticFixed;
+//   - an array whose element field classifies StaticFixed is RuntimeFixed
+//     (instances differ in length but are fixed once built); any other
+//     element classification makes the array Variable;
+//   - a struct takes the most variable classification among its fields,
+//     where a non-final field holding RuntimeFixed values becomes Variable
+//     (the reference can be redirected to a differently-sized instance).
+
+// Classify runs the local classification analysis on t and returns its
+// size-type. It is purely structural: it uses no program facts beyond the
+// descriptor itself (field finality and type-sets). Use package analysis
+// for the global refinement.
+func Classify(t *Type) SizeType {
+	if t == nil {
+		return Variable
+	}
+	if hasCycle(t) {
+		return RecurDef
+	}
+	c := &localClassifier{memo: make(map[*Type]SizeType)}
+	return c.analyzeType(t)
+}
+
+type localClassifier struct {
+	memo map[*Type]SizeType
+}
+
+// analyzeType implements AnalyzeType from Algorithm 1 (lines 4-22).
+func (c *localClassifier) analyzeType(t *Type) SizeType {
+	if st, ok := c.memo[t]; ok {
+		return st
+	}
+	var st SizeType
+	switch t.Kind {
+	case KindPrimitive:
+		st = StaticFixed
+	case KindArray:
+		// Arrays with static fixed-sized elements are RuntimeFixed because
+		// different instances can have different lengths (lines 6-10).
+		if c.analyzeField(t.Elem) == StaticFixed {
+			st = RuntimeFixed
+		} else {
+			st = Variable
+		}
+	default:
+		// A struct is as variable as its most variable field (lines 12-20).
+		st = StaticFixed
+		for _, f := range t.Fields {
+			tmp := c.analyzeField(f)
+			if tmp == Variable {
+				st = Variable
+				break
+			}
+			if tmp == RuntimeFixed {
+				st = RuntimeFixed
+			}
+		}
+	}
+	c.memo[t] = st
+	return st
+}
+
+// analyzeField implements AnalyzeField from Algorithm 1 (lines 23-34): the
+// field's size-type is the most variable one in its type-set, and a
+// non-final field holding RuntimeFixed objects degrades to Variable because
+// the same reference may later point at an instance with a different
+// data-size (lines 28-29).
+func (c *localClassifier) analyzeField(f *Field) SizeType {
+	if f == nil {
+		return Variable
+	}
+	result := StaticFixed
+	for _, rt := range f.RuntimeTypes() {
+		tmp := c.analyzeType(rt)
+		if tmp == Variable {
+			return Variable
+		}
+		if tmp == RuntimeFixed {
+			if !f.Final {
+				return Variable
+			}
+			result = RuntimeFixed
+		}
+	}
+	return result
+}
+
+// hasCycle reports whether the type dependency graph reachable from t
+// contains a cycle (Algorithm 1, lines 1-2). Primitives terminate paths.
+func hasCycle(t *Type) bool {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[*Type]int)
+	var visit func(*Type) bool
+	visit = func(n *Type) bool {
+		if n == nil || n.Kind == KindPrimitive {
+			return false
+		}
+		switch color[n] {
+		case grey:
+			return true
+		case black:
+			return false
+		}
+		color[n] = grey
+		for _, f := range fieldsOf(n) {
+			for _, rt := range f.RuntimeTypes() {
+				if visit(rt) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	return visit(t)
+}
+
+// fieldsOf returns the outgoing reference fields of a descriptor: struct
+// fields, or the element pseudo-field for arrays.
+func fieldsOf(t *Type) []*Field {
+	switch t.Kind {
+	case KindArray:
+		if t.Elem == nil {
+			return nil
+		}
+		return []*Field{t.Elem}
+	case KindStruct:
+		return t.Fields
+	default:
+		return nil
+	}
+}

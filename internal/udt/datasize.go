@@ -1,0 +1,86 @@
+package udt
+
+import "fmt"
+
+// Data-size computation (paper §3.1): the data-size of an object is the sum
+// of the sizes of the primitive-type fields in its static object reference
+// graph. For a StaticFixed type the data-size is a compile-time constant
+// once the lengths of its fixed-length arrays are known; those lengths are
+// discovered by the global analysis (symbolic) and bound to concrete values
+// at plan time (e.g. the feature dimension D of the LR example).
+
+// Lengths binds array type descriptors to their statically-known element
+// counts. Keys are the array type's Name. It plays the role of the resolved
+// symbolic constants from the global analysis's constant propagation.
+type Lengths map[string]int
+
+// StaticDataSize computes the fixed data-size in bytes of a type classified
+// StaticFixed. Array lengths must be provided through lengths; a missing
+// binding or a type that is not statically fixed yields an error.
+func StaticDataSize(t *Type, lengths Lengths) (int, error) {
+	return staticSize(t, lengths, make(map[*Type]bool))
+}
+
+func staticSize(t *Type, lengths Lengths, onPath map[*Type]bool) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("udt: nil type has no data-size")
+	}
+	if onPath[t] {
+		return 0, fmt.Errorf("udt: type %s is recursively defined", t.Name)
+	}
+	onPath[t] = true
+	defer delete(onPath, t)
+
+	switch t.Kind {
+	case KindPrimitive:
+		return t.Prim.Size(), nil
+	case KindArray:
+		n, ok := lengths[t.Name]
+		if !ok {
+			return 0, fmt.Errorf("udt: no static length bound for array type %s", t.Name)
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("udt: negative length %d for array type %s", n, t.Name)
+		}
+		es, err := fieldStaticSize(t.Elem, lengths, onPath)
+		if err != nil {
+			return 0, err
+		}
+		return n * es, nil
+	default:
+		total := 0
+		for _, f := range t.Fields {
+			fs, err := fieldStaticSize(f, lengths, onPath)
+			if err != nil {
+				return 0, fmt.Errorf("udt: field %s.%s: %w", t.Name, f.Name, err)
+			}
+			total += fs
+		}
+		return total, nil
+	}
+}
+
+// fieldStaticSize requires every runtime type in the field's type-set to
+// have the same static size; otherwise instances of the owner would differ,
+// contradicting a StaticFixed classification.
+func fieldStaticSize(f *Field, lengths Lengths, onPath map[*Type]bool) (int, error) {
+	if f == nil {
+		return 0, fmt.Errorf("udt: nil field")
+	}
+	rts := f.RuntimeTypes()
+	if len(rts) == 0 {
+		return 0, fmt.Errorf("udt: field %s has an empty type-set", f.Name)
+	}
+	size := -1
+	for _, rt := range rts {
+		s, err := staticSize(rt, lengths, onPath)
+		if err != nil {
+			return 0, err
+		}
+		if size >= 0 && s != size {
+			return 0, fmt.Errorf("udt: field %s has runtime types of different static sizes (%d vs %d)", f.Name, size, s)
+		}
+		size = s
+	}
+	return size, nil
+}

@@ -1,0 +1,49 @@
+package udt
+
+// Descriptors for the paper's running example (Figure 1 / Figure 3): the
+// LabeledPoint and DenseVector UDTs from the Spark logistic-regression
+// program. They are used by tests, the analyzer CLI, and the LR workload.
+
+// DenseVectorType returns the descriptor of
+//
+//	class DenseVector[Double](val data: Array[Double],
+//	                          val offset: Int, val stride: Int, val length: Int)
+//
+// The data field is final (val), so the local classifier grades the vector
+// RuntimeFixed rather than Variable (Figure 3).
+func DenseVectorType() *Type {
+	doubleArr := ArrayOf("Array[float64]", Primitive(PrimFloat64))
+	return Struct("DenseVector",
+		NewField("data", doubleArr, true),
+		NewField("offset", Primitive(PrimInt32), false),
+		NewField("stride", Primitive(PrimInt32), false),
+		NewField("length", Primitive(PrimInt32), false),
+	)
+}
+
+// LabeledPointType returns the descriptor of
+//
+//	class LabeledPoint(var label: Double, var features: Vector[Double])
+//
+// where points-to analysis resolved the features field's type-set to
+// {DenseVector}. featuresFinal selects whether features is declared val
+// (true) or var (false, as in Figure 1); with var the local classifier must
+// return Variable (§3.2's walk-through).
+func LabeledPointType(featuresFinal bool) *Type {
+	return Struct("LabeledPoint",
+		NewField("label", Primitive(PrimFloat64), false),
+		NewField("features", DenseVectorType(), featuresFinal),
+	)
+}
+
+// SparseVectorType returns a descriptor for a sparse vector with index and
+// value arrays, as mentioned in §3.2 for high-dimensional LR: when the
+// features field's type-set is {DenseVector, SparseVector} the classifier
+// must consider both.
+func SparseVectorType() *Type {
+	return Struct("SparseVector",
+		NewField("indices", ArrayOf("Array[int32]", Primitive(PrimInt32)), true),
+		NewField("values", ArrayOf("Array[float64]", Primitive(PrimFloat64)), true),
+		NewField("size", Primitive(PrimInt32), false),
+	)
+}

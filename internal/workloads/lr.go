@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"math"
+
+	"deca/internal/datagen"
+	"deca/internal/engine"
+)
+
+// LRParams sizes a logistic-regression run (§6.2): the paper sweeps the
+// cached dataset size (to move from GC-light to GC-thrashing to spilling
+// regimes) and uses 10-dim synthetic and 4096-dim real vectors.
+type LRParams struct {
+	Points     int
+	Dim        int
+	Iterations int
+}
+
+// LogisticRegression runs the Figure 1 program: parse and cache the
+// training points, then iterate gradient descent over the cache. The
+// cache representation follows the mode — exactly the §6.2 comparison:
+//
+//	Spark:    []LabeledPoint objects (GC traces every point every cycle)
+//	SparkSer: serialized bytes, deserialized into fresh objects per pass
+//	Deca:     StaticFixed page layout; the gradient loop reads raw bytes
+//	          (the transformed code of Figure 12)
+//
+// The checksum is the final weight-vector norm; modes agree to floating-
+// point tolerance (cross-partition reduction order is scheduler-driven).
+func LogisticRegression(cfg Config, params LRParams) (Result, error) {
+	return run("LR", cfg, func(ctx *engine.Context) (float64, error) {
+		cfg := cfg.withDefaults()
+		perPart := params.Points / cfg.Partitions
+		if perPart == 0 {
+			perPart = 1
+		}
+		points := engine.Generate(ctx, cfg.Partitions, func(p int, emit func(datagen.LabeledPoint)) {
+			for _, pt := range datagen.Points(cfg.Seed+int64(p), perPart, params.Dim) {
+				emit(pt)
+			}
+		})
+
+		codec := LabeledPointCodec{Dim: params.Dim}
+		switch cfg.Mode {
+		case engine.ModeSpark:
+			points.Persist(engine.StorageObjects, engine.Storage[datagen.LabeledPoint]{
+				Estimate: lpEstimate, Ser: LabeledPointSer{},
+			})
+		case engine.ModeSparkSer:
+			points.Persist(engine.StorageSerialized, engine.Storage[datagen.LabeledPoint]{
+				Ser: LabeledPointSer{},
+			})
+		case engine.ModeDeca:
+			points.Persist(engine.StorageDeca, engine.Storage[datagen.LabeledPoint]{
+				Codec: codec,
+			})
+		}
+		if err := engine.Materialize(points); err != nil {
+			return 0, err
+		}
+
+		weights := make([]float64, params.Dim)
+		for i := range weights {
+			weights[i] = 2*pseudo(cfg.Seed+int64(i)) - 1
+		}
+
+		for iter := 0; iter < params.Iterations; iter++ {
+			var gradient []float64
+			var err error
+			if cfg.Mode == engine.ModeDeca {
+				gradient, err = lrGradientDeca(ctx, points, codec, weights)
+			} else {
+				gradient, err = lrGradientObjects(points, weights)
+			}
+			if err != nil {
+				return 0, err
+			}
+			for i := range weights {
+				weights[i] -= gradient[i] / float64(params.Points)
+			}
+		}
+
+		var norm float64
+		for _, w := range weights {
+			norm += w * w
+		}
+		return math.Sqrt(norm), nil
+	})
+}
+
+// lrGradientObjects is the lines 21-25 map/reduce of Figure 1 over
+// materialized LabeledPoint objects: each point contributes
+// (1/(1+exp(-y·w·x)) - 1)·y·x, summed across the dataset. Each map call
+// allocates a fresh gradient vector — the temporary DenseVector objects
+// whose reclamation triggers the GC churn of §2.2.
+func lrGradientObjects(points *engine.Dataset[datagen.LabeledPoint], weights []float64) ([]float64, error) {
+	contribs := engine.Map(points, func(p datagen.LabeledPoint) []float64 {
+		dot := 0.0
+		for i, x := range p.Features {
+			dot += weights[i] * x
+		}
+		factor := (1/(1+math.Exp(-p.Label*dot)) - 1) * p.Label
+		out := make([]float64, len(p.Features))
+		for i, x := range p.Features {
+			out[i] = factor * x
+		}
+		return out
+	})
+	grad, ok, err := engine.Reduce(contribs, func(a, b []float64) []float64 {
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return make([]float64, len(weights)), nil
+	}
+	return grad, nil
+}
+
+// lrGradientDeca is the transformed computation of Figure 12: it walks the
+// cache block's raw pages, reading label and features by offset, keeping
+// one accumulator per task — no LabeledPoint or gradient objects exist at
+// all.
+func lrGradientDeca(
+	ctx *engine.Context,
+	points *engine.Dataset[datagen.LabeledPoint],
+	codec LabeledPointCodec,
+	weights []float64,
+) ([]float64, error) {
+	dim := codec.Dim
+	recSize := codec.FixedSize()
+	partial := make([][]float64, points.Partitions())
+
+	err := engine.RunPartitions(ctx, points.Partitions(), func(p int) error {
+		blk, err := engine.DecaBlockFor(points, p)
+		if err != nil {
+			return err
+		}
+		defer engine.ReleaseBlock(points, p)
+
+		acc := make([]float64, dim)
+		// Decode each record's features once into a reused scratch vector;
+		// the dot product and the accumulation then run on plain floats
+		// (the locals form of the generated code, Appendix B).
+		scratch := make([]float64, dim)
+		g := blk.Group()
+		for pi := 0; pi < g.NumPages(); pi++ {
+			page := g.Page(pi)
+			for off := 0; off+recSize <= len(page); off += recSize {
+				label := pageF64(page, off)
+				fbase := off + 8
+				dot := 0.0
+				for i := 0; i < dim; i++ {
+					x := pageF64(page, fbase+8*i)
+					scratch[i] = x
+					dot += weights[i] * x
+				}
+				factor := (1/(1+math.Exp(-label*dot)) - 1) * label
+				for i, x := range scratch {
+					acc[i] += factor * x
+				}
+			}
+		}
+		partial[p] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	grad := make([]float64, dim)
+	for _, acc := range partial {
+		if acc == nil {
+			continue
+		}
+		for i, x := range acc {
+			grad[i] += x
+		}
+	}
+	return grad, nil
+}
+
+// pseudo is a tiny deterministic [0,1) hash for reproducible initial
+// weights across modes.
+func pseudo(x int64) float64 {
+	u := uint64(x) * 0x9e3779b97f4a7c15
+	u ^= u >> 33
+	u *= 0xc4ceb9fe1a85ec53
+	u ^= u >> 29
+	return float64(u>>11) / float64(1<<53)
+}

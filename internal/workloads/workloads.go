@@ -1,0 +1,116 @@
+// Package workloads implements the paper's five benchmark applications
+// (Table 1) on the engine, each runnable in the three execution modes the
+// evaluation compares:
+//
+//	WordCount (WC)           two stages, aggregated shuffle, no cache
+//	LogisticRegression (LR)  single stage, static cache, no shuffle
+//	KMeans                   two stages, static cache, aggregated shuffle
+//	PageRank (PR)            multi-stage, static cache, grouped+aggregated
+//	ConnectedComponents (CC) like PR with min-label propagation
+//
+// Every workload returns a Result with the wall time, GC cost, memory
+// footprints and an output checksum, so tests can assert that all three
+// modes compute identical answers and benches can print paper-style rows.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"deca/internal/engine"
+	"deca/internal/gcstats"
+)
+
+// Config sizes one workload run.
+type Config struct {
+	Mode        engine.Mode
+	Parallelism int
+	Partitions  int
+	// MemoryBudget bounds cache+shuffle bytes (0 = unlimited); the
+	// cache/shuffle split follows StorageFraction as in Table 4.
+	MemoryBudget    int64
+	StorageFraction float64
+	PageSize        int
+	SpillDir        string
+	// ShuffleSpillThreshold forces shuffle spilling at a per-buffer byte
+	// bound (<0 disables; 0 derives from budget).
+	ShuffleSpillThreshold int64
+	Seed                  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Parallelism
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) newEngine() *engine.Context {
+	return engine.New(engine.Config{
+		Parallelism:           c.Parallelism,
+		NumPartitions:         c.Partitions,
+		Mode:                  c.Mode,
+		PageSize:              c.PageSize,
+		MemoryBudget:          c.MemoryBudget,
+		StorageFraction:       c.StorageFraction,
+		SpillDir:              c.SpillDir,
+		ShuffleSpillThreshold: c.ShuffleSpillThreshold,
+	})
+}
+
+// Result is one workload execution's outcome.
+type Result struct {
+	Name     string
+	Mode     engine.Mode
+	Wall     time.Duration
+	GC       gcstats.Delta
+	Checksum float64
+	// CacheBytes is the resident cache footprint right after the cached
+	// data was materialized (the paper's "cached data" bars, Fig. 9).
+	CacheBytes int64
+	// SwapBytes / ShuffleSpillBytes are disk traffic from memory pressure.
+	SwapBytes         int64
+	ShuffleSpillBytes int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s[%s]: exec=%v gc=%.3fs (%.1f%%) cache=%.1fMB spill=%.1fMB checksum=%.6g",
+		r.Name, r.Mode, r.Wall.Round(time.Millisecond),
+		r.GC.GCCPUSeconds, 100*r.GC.GCRatio(),
+		float64(r.CacheBytes)/(1<<20), float64(r.SwapBytes+r.ShuffleSpillBytes)/(1<<20),
+		r.Checksum)
+}
+
+// run executes body under GC instrumentation. body returns the checksum.
+func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error)) (Result, error) {
+	cfg = cfg.withDefaults()
+	ctx := cfg.newEngine()
+	defer ctx.Close()
+
+	gcstats.ForceGC()
+	before := gcstats.Read()
+	start := time.Now()
+	checksum, err := body(ctx)
+	wall := time.Since(start)
+	delta := gcstats.Read().Sub(before)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s[%v]: %w", name, cfg.Mode, err)
+	}
+	cstats := ctx.CacheManager().Stats()
+	return Result{
+		Name:              name,
+		Mode:              cfg.Mode,
+		Wall:              wall,
+		GC:                delta,
+		Checksum:          checksum,
+		CacheBytes:        cstats.MemBytes + cstats.SwapOutBytes - cstats.SwapInBytes,
+		SwapBytes:         cstats.SwapOutBytes,
+		ShuffleSpillBytes: ctx.MetricsRef().ShuffleSpillBytes.Load(),
+	}, nil
+}
