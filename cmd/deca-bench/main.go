@@ -24,7 +24,8 @@ func main() {
 	var (
 		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		par      = flag.Int("parallelism", 4, "executor worker goroutines")
+		par      = flag.Int("parallelism", 4, "worker goroutines per executor")
+		execs    = flag.Int("executors", 1, "executors in the local cluster (scaling experiment sweeps its own)")
 		spillDir = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
 		listOnly = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Parallelism: *par, SpillDir: *spillDir}
+	opts := bench.Options{Scale: *scale, Parallelism: *par, NumExecutors: *execs, SpillDir: *spillDir}
 	if opts.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "deca-bench-*")
 		if err != nil {

@@ -11,6 +11,8 @@
 //	core           the lifetime planner: containers, ownership,
 //	               decomposition decisions
 //	engine         a mini-Spark substrate (datasets, shuffles, caching)
+//	               organized as a driver plus N executors
+//	transport      the shuffle-data seam between executors
 //	shuffle, cache the three shuffle-buffer shapes and the block store
 //	serial         the Kryo-equivalent baseline serializer
 //	workloads      WC, LR, KMeans, PageRank, ConnectedComponents ×

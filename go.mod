@@ -1,0 +1,3 @@
+module deca
+
+go 1.24

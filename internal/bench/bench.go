@@ -24,8 +24,12 @@ type Options struct {
 	Scale float64
 	// SpillDir receives spills and swaps; "" uses the OS temp dir.
 	SpillDir string
-	// Parallelism bounds worker goroutines (0 = 4).
+	// Parallelism bounds worker goroutines per executor (0 = 4).
 	Parallelism int
+	// NumExecutors shards each experiment's engine into a local cluster
+	// (0/1 = single executor). The scaling experiment sweeps its own
+	// executor counts regardless.
+	NumExecutors int
 }
 
 func (o Options) withDefaults() Options {
@@ -34,6 +38,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = 4
+	}
+	if o.NumExecutors <= 0 {
+		o.NumExecutors = 1
 	}
 	return o
 }
@@ -94,6 +101,7 @@ func All() []Experiment {
 		{"table4", "GC tuning: storage fraction and collector aggressiveness", Table4GCTuning},
 		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
 		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
+		{"scaling", "Executor scaling: budget split across 1/2/4/8 executors", ScalingExecutors},
 		{"ablation-pagesize", "Page-size sweep (design-choice ablation)", AblationPageSize},
 		{"ablation-value-reuse", "SFST value reuse vs boxed combines (ablation)", AblationValueReuse},
 		{"ablation-codec", "Reflection vs generated codec (ablation)", AblationReflectVsGenerated},
@@ -138,10 +146,11 @@ func resultRow(label string, r workloads.Result) string {
 // baseCfg builds a workload config for the given mode.
 func (o Options) baseCfg(mode engine.Mode) workloads.Config {
 	return workloads.Config{
-		Mode:        mode,
-		Parallelism: o.Parallelism,
-		Partitions:  o.Parallelism,
-		SpillDir:    o.SpillDir,
-		Seed:        1,
+		Mode:         mode,
+		NumExecutors: o.NumExecutors,
+		Parallelism:  o.Parallelism,
+		Partitions:   o.Parallelism * o.NumExecutors,
+		SpillDir:     o.SpillDir,
+		Seed:         1,
 	}
 }

@@ -27,7 +27,7 @@ func recoverErr(err *error) {
 // Collect gathers all records in partition order.
 func Collect[T any](d *Dataset[T]) ([]T, error) {
 	parts := make([][]T, d.parts)
-	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)
 		var out []T
 		if err := d.Iterate(p, func(v T) bool {
@@ -54,7 +54,7 @@ func Collect[T any](d *Dataset[T]) ([]T, error) {
 func CollectMap[K comparable, V any](d *Dataset[decompose.Pair[K, V]]) (map[K]V, error) {
 	var mu sync.Mutex
 	out := make(map[K]V)
-	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)
 		local := make(map[K]V)
 		if err := d.Iterate(p, func(kv decompose.Pair[K, V]) bool {
@@ -80,7 +80,7 @@ func CollectMap[K comparable, V any](d *Dataset[decompose.Pair[K, V]]) (map[K]V,
 func Count[T any](d *Dataset[T]) (int64, error) {
 	var mu sync.Mutex
 	var total int64
-	err := d.ctx.runTasks(d.parts, func(p int) (err error) {
+	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)
 		var n int64
 		if err := d.Iterate(p, func(T) bool {
@@ -103,7 +103,7 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
 	var mu sync.Mutex
 	var acc T
 	var has bool
-	err = d.ctx.runTasks(d.parts, func(p int) (err error) {
+	err = d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)
 		var localAcc T
 		localHas := false
@@ -137,7 +137,7 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
 // Foreach applies f to every record for its side effects. f runs
 // concurrently across partitions; it must be safe for that.
 func Foreach[T any](d *Dataset[T], f func(p int, v T)) error {
-	return d.ctx.runTasks(d.parts, func(p int) (err error) {
+	return d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)
 		return d.Iterate(p, func(v T) bool {
 			f(p, v)
@@ -155,10 +155,11 @@ func Materialize[T any](d *Dataset[T]) error {
 	return err
 }
 
-// RunPartitions runs fn for each partition index on the worker pool. It is
-// the escape hatch for transformed code that bypasses record iteration and
-// operates on raw cache pages (the Figure 12 access path): the workload
-// fetches each partition's DecaBlock and loops over bytes itself.
+// RunPartitions runs fn for each partition index on its affine executor's
+// worker pool. It is the escape hatch for transformed code that bypasses
+// record iteration and operates on raw cache pages (the Figure 12 access
+// path): the workload fetches each partition's DecaBlock and loops over
+// bytes itself.
 func RunPartitions(ctx *Context, parts int, fn func(p int) error) error {
-	return ctx.runTasks(parts, fn)
+	return ctx.runTasks(parts, func(p int, _ *Executor) error { return fn(p) })
 }

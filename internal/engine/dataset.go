@@ -151,11 +151,13 @@ func (d *Dataset[T]) Persist(level StorageLevel, s Storage[T]) *Dataset[T] {
 	return d
 }
 
-// Unpersist releases every cache block — the end of the container's
-// lifetime; for Deca blocks the page groups release wholesale.
+// Unpersist releases every cache block on every executor — the end of the
+// container's lifetime; for Deca blocks the page groups release wholesale.
 func (d *Dataset[T]) Unpersist() {
 	if d.persisted {
-		d.ctx.cache.Unpersist(d.id)
+		for _, ex := range d.ctx.execs {
+			ex.cache.Unpersist(d.id)
+		}
 	}
 }
 
@@ -174,16 +176,19 @@ func (d *Dataset[T]) iterateCached(p int, yield func(T) bool) error {
 	if err != nil {
 		return err
 	}
-	defer d.ctx.cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+	defer d.ctx.executorFor(p).cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
 	d.eachFromBlock(blk, yield)
 	return nil
 }
 
 // pinBlock returns partition p's cache block, pinned, computing and
-// publishing it on a miss. Production is serialized per partition.
+// publishing it on a miss. Blocks live on the partition's affine executor,
+// so repeated jobs always find them in the same executor's store.
+// Production is serialized per partition.
 func (d *Dataset[T]) pinBlock(p int) (cache.Block, error) {
+	ex := d.ctx.executorFor(p)
 	id := cache.BlockID{Dataset: d.id, Partition: p}
-	blk, ok, err := d.ctx.cache.Get(id)
+	blk, ok, err := ex.cache.Get(id)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +198,7 @@ func (d *Dataset[T]) pinBlock(p int) (cache.Block, error) {
 	d.blockMu[p].Lock()
 	defer d.blockMu[p].Unlock()
 	// Another task may have produced it while we waited.
-	blk, ok, err = d.ctx.cache.Get(id)
+	blk, ok, err = ex.cache.Get(id)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +209,7 @@ func (d *Dataset[T]) pinBlock(p int) (cache.Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := d.ctx.cache.Put(id, blk); err != nil {
+	if err := ex.cache.Put(id, blk); err != nil {
 		return nil, err
 	}
 	return blk, nil
@@ -222,7 +227,7 @@ func (d *Dataset[T]) buildBlock(p int) (cache.Block, error) {
 	case StorageSerialized:
 		return cache.NewSerializedBlock(values, d.storage.Ser), nil
 	case StorageDeca:
-		return cache.NewDecaBlock(d.ctx.mem, d.storage.Codec, values), nil
+		return cache.NewDecaBlock(d.ctx.executorFor(p).mem, d.storage.Codec, values), nil
 	default:
 		return nil, fmt.Errorf("engine: dataset %d has unsupported storage level %v", d.id, d.level)
 	}
@@ -262,7 +267,7 @@ func DecaBlockFor[T any](d *Dataset[T], p int) (*cache.DecaBlock[T], error) {
 
 // ReleaseBlock unpins partition p's cache block after direct access.
 func ReleaseBlock[T any](d *Dataset[T], p int) {
-	d.ctx.cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+	d.ctx.executorFor(p).cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
 }
 
 //

@@ -2,8 +2,17 @@
 // Spark execution model the paper builds on (§4.1): datasets are lazy,
 // partitioned collections transformed by narrow operators and materialized
 // across shuffle boundaries; jobs split into stages at shuffles; tasks run
-// in parallel on an executor worker pool; datasets can be persisted in
+// in parallel on executor worker pools; datasets can be persisted in
 // memory at explicit cache points whose lifetimes end at Unpersist.
+//
+// The engine is organized as a local cluster: a driver (the Context's
+// scheduler) plus NumExecutors executors, each owning a private
+// memory.Manager, cache.Manager and Metrics, as in the paper's
+// per-executor lifetime-managed heaps. Partitions have deterministic
+// executor affinity (partition mod executor count), so cache blocks stay
+// executor-local across jobs; shuffle map output crosses executors through
+// the transport seam (internal/transport). NumExecutors = 1 reproduces the
+// original single-executor engine exactly.
 //
 // The engine runs every workload in one of three execution modes that
 // differ only in how the two long-lived container kinds are represented:
@@ -18,12 +27,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"deca/internal/cache"
 	"deca/internal/memory"
+	"deca/internal/transport"
 )
 
 // Mode selects the memory-management strategy, the independent variable of
@@ -52,40 +63,49 @@ func (m Mode) String() string {
 	}
 }
 
-// Config sizes the executor.
+// Config sizes the cluster.
 type Config struct {
-	// Parallelism bounds concurrently running tasks (executor cores).
-	// Defaults to 4.
+	// NumExecutors is the number of executors in the local cluster, each
+	// with its own memory manager, cache and metrics. Defaults to 1 (the
+	// original single-executor engine).
+	NumExecutors int
+	// Parallelism bounds concurrently running tasks per executor (executor
+	// cores). Defaults to 4.
 	Parallelism int
 	// NumPartitions is the default partition count for new datasets.
-	// Defaults to Parallelism.
+	// Defaults to Parallelism * NumExecutors.
 	NumPartitions int
 	// Mode selects the memory-management strategy.
 	Mode Mode
 	// PageSize is the Deca page size (0 = memory.DefaultPageSize).
 	PageSize int
-	// MemoryBudget models the executor heap portion available to data
-	// containers, split between cache and shuffle by StorageFraction.
-	// 0 = unlimited.
+	// MemoryBudget models the cluster heap portion available to data
+	// containers. It is split evenly across executors, and within each
+	// executor between cache and shuffle by StorageFraction. 0 = unlimited.
 	MemoryBudget int64
-	// StorageFraction is the cache share of MemoryBudget (Spark's
-	// spark.storage.memoryFraction, the knob Table 4 sweeps). Default 0.6.
+	// StorageFraction is the cache share of each executor's budget
+	// (Spark's spark.storage.memoryFraction, the knob Table 4 sweeps).
+	// Default 0.6.
 	StorageFraction float64
 	// SpillDir holds shuffle spills and cache swaps. Empty disables both
 	// (evictions then drop blocks).
 	SpillDir string
 	// ShuffleSpillThreshold spills an individual shuffle buffer when its
 	// estimated footprint exceeds this many bytes. 0 derives it from the
-	// shuffle share of MemoryBudget; negative disables spilling.
+	// shuffle share of the owning executor's budget; negative disables
+	// spilling.
 	ShuffleSpillThreshold int64
 }
 
 func (c Config) withDefaults() Config {
+	if c.NumExecutors <= 0 {
+		c.NumExecutors = 1
+	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = 4
 	}
 	if c.NumPartitions <= 0 {
-		c.NumPartitions = c.Parallelism
+		c.NumPartitions = c.Parallelism * c.NumExecutors
 	}
 	if c.StorageFraction <= 0 || c.StorageFraction > 1 {
 		c.StorageFraction = 0.6
@@ -93,39 +113,75 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics aggregates executor counters across jobs.
+// Metrics aggregates execution counters. The Context holds a cluster-wide
+// instance; each Executor additionally holds its own, so per-executor
+// shuffle locality and task counts are observable.
 type Metrics struct {
 	ShuffleSpillBytes atomic.Int64
 	ShuffleRecords    atomic.Int64
 	TasksRun          atomic.Int64
+	TasksFailed       atomic.Int64
+	// LocalShuffleFetches counts map outputs a reduce task fetched from
+	// its own executor; RemoteShuffleFetches those fetched from another
+	// executor, with RemoteShuffleBytes the estimated volume that would
+	// cross the network on a distributed deployment.
+	LocalShuffleFetches  atomic.Int64
+	RemoteShuffleFetches atomic.Int64
+	RemoteShuffleBytes   atomic.Int64
 }
 
-// Context is the driver plus executor state: configuration, the page
-// memory manager, the cache manager, and the worker pool.
+// Context is the driver: configuration, the executor set, the shuffle
+// transport and the placement-aware scheduler.
 type Context struct {
 	conf    Config
-	mem     *memory.Manager
-	cache   *cache.Manager
+	execs   []*Executor
+	trans   transport.Transport
 	metrics Metrics
 	nextID  atomic.Int64
+	nextShf atomic.Int64
 
 	shufMu   sync.Mutex
 	shuffles map[int]releasable
 }
 
-// New creates an execution context.
+// New creates an execution context with NumExecutors executors. The
+// memory budget is split evenly across executors, the division remainder
+// spread over the first executors, so the per-executor limits always sum
+// to the configured budget. Shares are floored at one byte — a zero
+// share would mean "unlimited" to the managers — so the sum property
+// holds whenever MemoryBudget ≥ NumExecutors (any realistic sizing).
 func New(conf Config) *Context {
 	conf = conf.withDefaults()
-	var cacheBudget int64
-	if conf.MemoryBudget > 0 {
-		cacheBudget = int64(float64(conf.MemoryBudget) * conf.StorageFraction)
-	}
-	return &Context{
+	c := &Context{
 		conf:     conf,
-		mem:      memory.NewManager(conf.PageSize, conf.MemoryBudget),
-		cache:    cache.NewManager(cacheBudget, conf.SpillDir),
+		trans:    transport.NewInProcess(),
 		shuffles: make(map[int]releasable),
 	}
+	n := conf.NumExecutors
+	perExec := conf.MemoryBudget / int64(n)
+	rem := conf.MemoryBudget % int64(n)
+	for i := 0; i < n; i++ {
+		var budget, cacheBudget int64
+		if conf.MemoryBudget > 0 {
+			budget = perExec
+			if int64(i) < rem {
+				budget++
+			}
+			if budget == 0 {
+				budget = 1
+			}
+			cacheBudget = int64(float64(budget) * conf.StorageFraction)
+			if cacheBudget == 0 {
+				cacheBudget = 1
+			}
+		}
+		c.execs = append(c.execs, &Executor{
+			id:    i,
+			mem:   memory.NewManager(conf.PageSize, budget),
+			cache: cache.NewManager(cacheBudget, conf.SpillDir),
+		})
+	}
+	return c
 }
 
 // registerShuffle tracks a shuffle output for later release.
@@ -163,11 +219,13 @@ func (c *Context) ReleaseAllShuffles() {
 	}
 }
 
-// Close releases shuffles and cache blocks. The context is unusable
-// afterwards.
+// Close releases shuffles and every executor's cache blocks. The context
+// is unusable afterwards.
 func (c *Context) Close() {
 	c.ReleaseAllShuffles()
-	c.cache.Clear()
+	for _, ex := range c.execs {
+		ex.cache.Clear()
+	}
 }
 
 // Conf returns the effective configuration.
@@ -176,16 +234,63 @@ func (c *Context) Conf() Config { return c.conf }
 // Mode returns the execution mode.
 func (c *Context) Mode() Mode { return c.conf.Mode }
 
-// Memory returns the page memory manager.
-func (c *Context) Memory() *memory.Manager { return c.mem }
+// Executors returns the executor set.
+func (c *Context) Executors() []*Executor { return c.execs }
 
-// CacheManager returns the block store.
-func (c *Context) CacheManager() *cache.Manager { return c.cache }
+// executorFor is the deterministic partition→executor affinity: partition
+// p of every dataset lives on executor p mod NumExecutors, so a fused
+// narrow chain reads its parent's cache blocks executor-locally.
+func (c *Context) executorFor(p int) *Executor {
+	return c.execs[p%len(c.execs)]
+}
 
-// MetricsRef returns the executor counters.
+// ExecutorFor exposes the partition→executor placement (tests, tools).
+func (c *Context) ExecutorFor(p int) *Executor { return c.executorFor(p) }
+
+// Transport returns the shuffle transport.
+func (c *Context) Transport() transport.Transport { return c.trans }
+
+// Memory returns executor 0's page memory manager — the cluster's only
+// manager in single-executor configs. Multi-executor callers should range
+// over Executors() or use MemoryInUse.
+func (c *Context) Memory() *memory.Manager { return c.execs[0].mem }
+
+// CacheManager returns executor 0's block store (see Memory's caveat).
+func (c *Context) CacheManager() *cache.Manager { return c.execs[0].cache }
+
+// MemoryInUse sums live page bytes across every executor.
+func (c *Context) MemoryInUse() int64 {
+	var total int64
+	for _, ex := range c.execs {
+		total += ex.mem.InUse()
+	}
+	return total
+}
+
+// CacheStats sums cache counters across every executor.
+func (c *Context) CacheStats() cache.Stats {
+	var total cache.Stats
+	for _, ex := range c.execs {
+		s := ex.cache.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Evictions += s.Evictions
+		total.Drops += s.Drops
+		total.SwapOutBytes += s.SwapOutBytes
+		total.SwapInBytes += s.SwapInBytes
+		total.MemBytes += s.MemBytes
+	}
+	return total
+}
+
+// MetricsRef returns the cluster-wide counters. Per-executor views are on
+// each Executor.
 func (c *Context) MetricsRef() *Metrics { return &c.metrics }
 
-// shuffleSpillThreshold resolves the per-buffer spill trigger.
+// shuffleSpillThreshold resolves the per-buffer spill trigger. Each
+// executor holds numBuffers/NumExecutors of the stage's buffers against
+// its 1/NumExecutors share of the budget, so the global ratio is also the
+// per-executor one.
 func (c *Context) shuffleSpillThreshold(numBuffers int) int64 {
 	if c.conf.ShuffleSpillThreshold != 0 {
 		if c.conf.ShuffleSpillThreshold < 0 {
@@ -203,34 +308,82 @@ func (c *Context) shuffleSpillThreshold(numBuffers int) int64 {
 // datasetID issues unique dataset ids (cache block namespace).
 func (c *Context) datasetID() int { return int(c.nextID.Add(1)) }
 
-// runTasks executes fn for every partition index, bounding concurrency to
-// the configured parallelism, and waits. The semaphore is stage-local: a
-// task that transitively materializes a parent shuffle starts a nested
-// stage with its own semaphore, so parent stages cannot deadlock against
-// the slots their children hold (Spark likewise bounds concurrency per
-// running stage). The first error is returned after all tasks finish.
-func (c *Context) runTasks(parts int, fn func(p int) error) error {
-	sem := make(chan struct{}, c.conf.Parallelism)
+// shuffleID issues unique transport shuffle ids.
+func (c *Context) shuffleID() transport.ShuffleID {
+	return transport.ShuffleID(c.nextShf.Add(1))
+}
+
+// runTasks is the placement-aware scheduler: it executes fn for every
+// partition index on that partition's affine executor, bounding
+// concurrency to Parallelism tasks per executor, and waits. The
+// semaphores are stage-local: a task that transitively materializes a
+// parent shuffle starts a nested stage with its own semaphores, so parent
+// stages cannot deadlock against the slots their children hold (Spark
+// likewise bounds concurrency per running stage). All task errors are
+// joined in the returned error, and failures are counted per executor and
+// cluster-wide.
+func (c *Context) runTasks(parts int, fn func(p int, ex *Executor) error) error {
+	sems := make([]chan struct{}, len(c.execs))
+	for i := range sems {
+		sems[i] = make(chan struct{}, c.conf.Parallelism)
+	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, parts)
+	var mu sync.Mutex
+	var errs []error
 	for p := 0; p < parts; p++ {
+		ex := c.executorFor(p)
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(p int) {
+		go func(p int, ex *Executor) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			sems[ex.id] <- struct{}{}
+			defer func() { <-sems[ex.id] }()
+			ex.metrics.TasksRun.Add(1)
 			c.metrics.TasksRun.Add(1)
-			if err := fn(p); err != nil {
-				errCh <- err
+			if err := fn(p, ex); err != nil {
+				ex.metrics.TasksFailed.Add(1)
+				c.metrics.TasksFailed.Add(1)
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("task %d (executor %d): %w", p, ex.id, err))
+				mu.Unlock()
 			}
-		}(p)
+		}(p, ex)
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
+	return errors.Join(errs...)
+}
+
+// noteFetch records a map-output fetch's locality on the destination
+// executor and the cluster metrics.
+func (c *Context) noteFetch(dst *Executor, p transport.Payload) {
+	if p.SrcExecutor == dst.id {
+		dst.metrics.LocalShuffleFetches.Add(1)
+		c.metrics.LocalShuffleFetches.Add(1)
+		return
+	}
+	dst.metrics.RemoteShuffleFetches.Add(1)
+	dst.metrics.RemoteShuffleBytes.Add(p.Bytes)
+	c.metrics.RemoteShuffleFetches.Add(1)
+	c.metrics.RemoteShuffleBytes.Add(p.Bytes)
+}
+
+// noteSpill attributes spilled bytes to the executor that produced the
+// buffer and to the cluster metrics.
+func (c *Context) noteSpill(srcExec int, bytes int64) {
+	if bytes == 0 {
+		return
+	}
+	c.execs[srcExec].metrics.ShuffleSpillBytes.Add(bytes)
+	c.metrics.ShuffleSpillBytes.Add(bytes)
+}
+
+// dropShuffleOutputs removes any still-registered map outputs of the
+// shuffle from the transport and releases their buffers — the error-path
+// cleanup for a stage that failed between map and reduce.
+func (c *Context) dropShuffleOutputs(id transport.ShuffleID) {
+	for _, p := range c.trans.Drop(id) {
+		if r, ok := p.Data.(releasable); ok {
+			r.Release()
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"deca/internal/decompose"
 	"deca/internal/serial"
 	"deca/internal/shuffle"
+	"deca/internal/transport"
 )
 
 // KV builds a key-value pair (Spark's Tuple2).
@@ -65,6 +66,7 @@ type groupSink[K comparable, V any] interface {
 	Put(k K, v V)
 	Drain(yield func(K, []V) bool) error
 	Spill() error
+	SizeBytes() int64
 	SpilledBytes() int64
 	Release()
 }
@@ -74,8 +76,148 @@ type sortSink[K comparable, V any] interface {
 	Put(k K, v V)
 	DrainSorted(yield func(K, V) bool) error
 	Spill() error
+	SizeBytes() int64
 	SpilledBytes() int64
 	Release()
+}
+
+// pairSink is the surface the three sink shapes share: map-side fill and
+// the container lifecycle. Draining is shape-specific and stays with each
+// operator.
+type pairSink[K comparable, V any] interface {
+	Put(k K, v V)
+	Spill() error
+	SizeBytes() int64
+	SpilledBytes() int64
+	Release()
+}
+
+// exchange is the transport-backed map/reduce exchange every keyed
+// shuffle runs. Map task m (on partition m's affine executor) fills one
+// buffer per reduce partition from d, spilling under the derived
+// threshold, and registers each with the transport; reduce task r fetches
+// its M inputs — crossing executors where placement differs, with
+// locality noted per executor — merges them into a buffer created on its
+// own executor via merge (the only sink-shape-specific step), and
+// releases them. On any error, every buffer this exchange created or
+// still holds registered is released before returning.
+func exchange[K comparable, V any, S pairSink[K, V]](
+	d *Dataset[decompose.Pair[K, V]],
+	key shuffle.Key[K],
+	R int,
+	entrySize func(K, V) int,
+	newBuf func(ex *Executor) (S, error),
+	merge func(dst, src S) error,
+) ([]S, error) {
+	ctx := d.ctx
+	M := d.parts
+	shufID := ctx.shuffleID()
+	threshold := ctx.shuffleSpillThreshold(M * R)
+
+	err := ctx.runTasks(M, func(m int, ex *Executor) error {
+		bufs := make([]S, R)
+		made := 0
+		trackers := make([]*spillTracker, R)
+		// Until the task registers its output, the buffers are its to
+		// release: any error return must not leak their pages.
+		registered := false
+		defer func() {
+			if registered {
+				return
+			}
+			for _, b := range bufs[:made] {
+				b.Release()
+			}
+		}()
+		for r := range bufs {
+			b, err := newBuf(ex)
+			if err != nil {
+				return err
+			}
+			bufs[r] = b
+			made = r + 1
+			trackers[r] = newSpillTracker(threshold, entrySizeHint(entrySize))
+		}
+		var records int64
+		var iterErr error
+		walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
+			r := shuffle.Partition(key.Hash(p.Key), R)
+			bufs[r].Put(p.Key, p.Value)
+			records++
+			if trackers[r].add() {
+				if err := bufs[r].Spill(); err != nil {
+					iterErr = err
+					return false
+				}
+			}
+			return true
+		})
+		ex.metrics.ShuffleRecords.Add(records)
+		ctx.metrics.ShuffleRecords.Add(records)
+		if walkErr != nil {
+			return walkErr
+		}
+		if iterErr != nil {
+			return iterErr
+		}
+		for r, b := range bufs {
+			ctx.trans.Register(
+				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
+				transport.Payload{Data: b, SrcExecutor: ex.id, Bytes: b.SizeBytes() + b.SpilledBytes()})
+		}
+		registered = true
+		return nil
+	})
+	if err != nil {
+		ctx.dropShuffleOutputs(shufID)
+		return nil, err
+	}
+
+	outputs := make([]S, R)
+	have := make([]bool, R)
+	err = ctx.runTasks(R, func(r int, ex *Executor) error {
+		merged, err := newBuf(ex)
+		if err != nil {
+			return err
+		}
+		done := false
+		defer func() {
+			if !done {
+				merged.Release()
+			}
+		}()
+		for m := 0; m < M; m++ {
+			id := transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}
+			pl, ok := ctx.trans.Fetch(id, ex.id)
+			if !ok {
+				return fmt.Errorf("engine: missing map output %v", id)
+			}
+			ctx.noteFetch(ex, pl)
+			buf := pl.Data.(S)
+			err := merge(merged, buf)
+			// Once fetched, the buffer is this task's to release, merge
+			// error or not.
+			ctx.noteSpill(pl.SrcExecutor, buf.SpilledBytes())
+			buf.Release()
+			if err != nil {
+				return err
+			}
+		}
+		outputs[r] = merged
+		have[r] = true
+		done = true
+		return nil
+	})
+	if err != nil {
+		for r, ok := range have {
+			if ok {
+				outputs[r].Release()
+			}
+		}
+		ctx.dropShuffleOutputs(shufID)
+		return nil, err
+	}
+	return outputs, nil
 }
 
 // spillTracker triggers buffer spills on an incrementally-maintained size
@@ -108,10 +250,11 @@ func (s *spillTracker) add() bool {
 }
 
 // ReduceByKey shuffles d by key and eagerly combines values, Spark-style:
-// map tasks combine into per-reduce-partition hash buffers, reduce tasks
-// merge the map outputs. In Deca mode with a fixed-size value codec the
-// buffers reuse value segments in place (§4.3.2); otherwise they box a new
-// value per combine.
+// map tasks combine into per-reduce-partition hash buffers registered with
+// the transport; reduce tasks fetch and merge the map outputs, crossing
+// executors where the placement differs. In Deca mode with a fixed-size
+// value codec the buffers reuse value segments in place (§4.3.2);
+// otherwise they box a new value per combine.
 func ReduceByKey[K comparable, V any](
 	d *Dataset[decompose.Pair[K, V]],
 	ops PairOps[K, V],
@@ -119,11 +262,10 @@ func ReduceByKey[K comparable, V any](
 ) *Dataset[decompose.Pair[K, V]] {
 	ctx := d.ctx
 	R := ops.partitions(d.parts)
-	M := d.parts
 
-	newBuf := func() (aggSink[K, V], error) {
+	newBuf := func(ex *Executor) (aggSink[K, V], error) {
 		if ops.decaAble(ctx) {
-			return shuffle.NewDecaAgg(ctx.mem, combine, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			return shuffle.NewDecaAgg(ex.mem, combine, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 		}
 		return shuffle.NewObjectAgg(combine, shuffle.ObjectAggConfig[K, V]{
 			KeySer: ops.KeySer, ValSer: ops.ValSer,
@@ -131,75 +273,21 @@ func ReduceByKey[K comparable, V any](
 		}), nil
 	}
 
-	st := &shuffleState[decompose.Pair[K, V]]{}
+	st := newShuffleState[decompose.Pair[K, V]](R)
 	materialize := func() error {
-		threshold := ctx.shuffleSpillThreshold(M * R)
-		mapOut := make([][]aggSink[K, V], M)
-		err := ctx.runTasks(M, func(m int) error {
-			bufs := make([]aggSink[K, V], R)
-			trackers := make([]*spillTracker, R)
-			for r := range bufs {
-				b, err := newBuf()
-				if err != nil {
-					return err
-				}
-				bufs[r] = b
-				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
-			}
-			var iterErr error
-			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
-				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
-				bufs[r].Put(p.Key, p.Value)
-				ctx.metrics.ShuffleRecords.Add(1)
-				if trackers[r].add() {
-					if err := bufs[r].Spill(); err != nil {
-						iterErr = err
-						return false
-					}
-				}
-				return true
-			})
-			if walkErr != nil {
-				return walkErr
-			}
-			if iterErr != nil {
-				return iterErr
-			}
-			mapOut[m] = bufs
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		// Reduce stage: merge the M map outputs per reduce partition.
-		outputs := make([]aggSink[K, V], R)
-		err = ctx.runTasks(R, func(r int) error {
-			merged, err := newBuf()
-			if err != nil {
-				return err
-			}
-			for m := 0; m < M; m++ {
-				err := mapOut[m][r].Drain(func(k K, v V) bool {
-					merged.Put(k, v)
+		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf,
+			func(dst, src aggSink[K, V]) error {
+				return src.Drain(func(k K, v V) bool {
+					dst.Put(k, v)
 					return true
 				})
-				if err != nil {
-					return err
-				}
-				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
-				mapOut[m][r].Release()
-			}
-			outputs[r] = merged
-			return nil
-		})
+			})
 		if err != nil {
 			return err
 		}
 		st.release = func() {
 			for _, b := range outputs {
-				if b != nil {
-					b.Release()
-				}
+				b.Release()
 			}
 		}
 		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
@@ -226,11 +314,10 @@ func GroupByKey[K comparable, V any](
 ) *Dataset[decompose.Pair[K, []V]] {
 	ctx := d.ctx
 	R := ops.partitions(d.parts)
-	M := d.parts
 
-	newBuf := func() groupSink[K, V] {
+	newBuf := func(ex *Executor) groupSink[K, V] {
 		if ops.decaGroupAble(ctx) {
-			return shuffle.NewDecaGroup(ctx.mem, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			return shuffle.NewDecaGroup(ex.mem, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 		}
 		return shuffle.NewObjectGroup(shuffle.ObjectGroupConfig[K, V]{
 			KeySer: ops.KeySer, ValSer: ops.ValSer,
@@ -238,69 +325,24 @@ func GroupByKey[K comparable, V any](
 		})
 	}
 
-	st := &shuffleState[decompose.Pair[K, []V]]{}
+	st := newShuffleState[decompose.Pair[K, []V]](R)
 	materialize := func() error {
-		threshold := ctx.shuffleSpillThreshold(M * R)
-		mapOut := make([][]groupSink[K, V], M)
-		err := ctx.runTasks(M, func(m int) error {
-			bufs := make([]groupSink[K, V], R)
-			trackers := make([]*spillTracker, R)
-			for r := range bufs {
-				bufs[r] = newBuf()
-				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
-			}
-			var iterErr error
-			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
-				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
-				bufs[r].Put(p.Key, p.Value)
-				ctx.metrics.ShuffleRecords.Add(1)
-				if trackers[r].add() {
-					if err := bufs[r].Spill(); err != nil {
-						iterErr = err
-						return false
-					}
-				}
-				return true
-			})
-			if walkErr != nil {
-				return walkErr
-			}
-			if iterErr != nil {
-				return iterErr
-			}
-			mapOut[m] = bufs
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		outputs := make([]groupSink[K, V], R)
-		err = ctx.runTasks(R, func(r int) error {
-			merged := newBuf()
-			for m := 0; m < M; m++ {
-				err := mapOut[m][r].Drain(func(k K, vs []V) bool {
+		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
+			func(ex *Executor) (groupSink[K, V], error) { return newBuf(ex), nil },
+			func(dst, src groupSink[K, V]) error {
+				return src.Drain(func(k K, vs []V) bool {
 					for _, v := range vs {
-						merged.Put(k, v)
+						dst.Put(k, v)
 					}
 					return true
 				})
-				if err != nil {
-					return err
-				}
-				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
-				mapOut[m][r].Release()
-			}
-			outputs[r] = merged
-			return nil
-		})
+			})
 		if err != nil {
 			return err
 		}
 		st.release = func() {
 			for _, b := range outputs {
-				if b != nil {
-					b.Release()
-				}
+				b.Release()
 			}
 		}
 		st.drain = func(r int, yield func(decompose.Pair[K, []V]) bool) error {
@@ -327,11 +369,10 @@ func SortByKey[K comparable, V any](
 ) *Dataset[decompose.Pair[K, V]] {
 	ctx := d.ctx
 	R := ops.partitions(d.parts)
-	M := d.parts
 
-	newBuf := func() sortSink[K, V] {
+	newBuf := func(ex *Executor) sortSink[K, V] {
 		if ctx.Mode() == ModeDeca && ops.KeyCodec != nil && ops.ValCodec != nil {
-			return shuffle.NewDecaSort(ctx.mem, ops.Key.Less, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			return shuffle.NewDecaSort(ex.mem, ops.Key.Less, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 		}
 		return shuffle.NewObjectSort(ops.Key.Less, shuffle.ObjectSortConfig[K, V]{
 			KeySer: ops.KeySer, ValSer: ops.ValSer,
@@ -339,67 +380,22 @@ func SortByKey[K comparable, V any](
 		})
 	}
 
-	st := &shuffleState[decompose.Pair[K, V]]{}
+	st := newShuffleState[decompose.Pair[K, V]](R)
 	materialize := func() error {
-		threshold := ctx.shuffleSpillThreshold(M * R)
-		mapOut := make([][]sortSink[K, V], M)
-		err := ctx.runTasks(M, func(m int) error {
-			bufs := make([]sortSink[K, V], R)
-			trackers := make([]*spillTracker, R)
-			for r := range bufs {
-				bufs[r] = newBuf()
-				trackers[r] = newSpillTracker(threshold, entrySizeHint(ops.EntrySize))
-			}
-			var iterErr error
-			walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
-				r := shuffle.Partition(ops.Key.Hash(p.Key), R)
-				bufs[r].Put(p.Key, p.Value)
-				ctx.metrics.ShuffleRecords.Add(1)
-				if trackers[r].add() {
-					if err := bufs[r].Spill(); err != nil {
-						iterErr = err
-						return false
-					}
-				}
-				return true
-			})
-			if walkErr != nil {
-				return walkErr
-			}
-			if iterErr != nil {
-				return iterErr
-			}
-			mapOut[m] = bufs
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		outputs := make([]sortSink[K, V], R)
-		err = ctx.runTasks(R, func(r int) error {
-			merged := newBuf()
-			for m := 0; m < M; m++ {
-				err := mapOut[m][r].DrainSorted(func(k K, v V) bool {
-					merged.Put(k, v)
+		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
+			func(ex *Executor) (sortSink[K, V], error) { return newBuf(ex), nil },
+			func(dst, src sortSink[K, V]) error {
+				return src.DrainSorted(func(k K, v V) bool {
+					dst.Put(k, v)
 					return true
 				})
-				if err != nil {
-					return err
-				}
-				ctx.metrics.ShuffleSpillBytes.Add(mapOut[m][r].SpilledBytes())
-				mapOut[m][r].Release()
-			}
-			outputs[r] = merged
-			return nil
-		})
+			})
 		if err != nil {
 			return err
 		}
 		st.release = func() {
 			for _, b := range outputs {
-				if b != nil {
-					b.Release()
-				}
+				b.Release()
 			}
 		}
 		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
@@ -490,15 +486,23 @@ func Join[K comparable, V, W any](
 }
 
 // shuffleState memoizes a shuffle's materialized outputs across actions,
-// like Spark's shuffle files surviving between jobs.
+// like Spark's shuffle files surviving between jobs. Draining an output
+// buffer may fold spilled runs back in (a mutation), so drains of the
+// same output partition are serialized; concurrent actions over the same
+// shuffled dataset stay safe.
 type shuffleState[T any] struct {
 	once    sync.Once
 	err     error
 	drain   func(p int, yield func(T) bool) error
 	release func()
+	partMu  []sync.Mutex
 
 	mu       sync.Mutex
 	released bool
+}
+
+func newShuffleState[T any](parts int) *shuffleState[T] {
+	return &shuffleState[T]{partMu: make([]sync.Mutex, parts)}
 }
 
 func (st *shuffleState[T]) seq(materialize func() error, p int) Seq[T] {
@@ -513,6 +517,8 @@ func (st *shuffleState[T]) seq(materialize func() error, p int) Seq[T] {
 		if released {
 			panic(fmt.Errorf("engine: shuffle output read after release"))
 		}
+		st.partMu[p].Lock()
+		defer st.partMu[p].Unlock()
 		if err := st.drain(p, yield); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,76 @@
+package transport
+
+import "sync"
+
+// InProcess is the single-process Transport: a mutex-guarded map from
+// MapOutputID to Payload. Payloads cross executor boundaries by pointer,
+// which models a cluster whose executors share an address space (the
+// paper's single-machine multi-executor deployments); the local/remote
+// distinction is still tracked so the engine can report how much shuffle
+// data would travel on a real network.
+type InProcess struct {
+	mu      sync.Mutex
+	outputs map[MapOutputID]Payload
+	stats   Stats
+}
+
+// NewInProcess returns an empty in-process transport.
+func NewInProcess() *InProcess {
+	return &InProcess{outputs: make(map[MapOutputID]Payload)}
+}
+
+// Register publishes a map output.
+func (t *InProcess) Register(id MapOutputID, p Payload) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.outputs[id] = p
+	t.stats.Registered++
+}
+
+// Fetch removes and returns the output registered under id.
+func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.outputs[id]
+	if !ok {
+		return Payload{}, false
+	}
+	delete(t.outputs, id)
+	if p.SrcExecutor == dstExecutor {
+		t.stats.LocalFetches++
+		t.stats.LocalBytes += p.Bytes
+	} else {
+		t.stats.RemoteFetches++
+		t.stats.RemoteBytes += p.Bytes
+	}
+	return p, true
+}
+
+// Drop removes every output of the shuffle still registered.
+func (t *InProcess) Drop(shuffle ShuffleID) []Payload {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dropped []Payload
+	for id, p := range t.outputs {
+		if id.Shuffle == shuffle {
+			dropped = append(dropped, p)
+			delete(t.outputs, id)
+		}
+	}
+	return dropped
+}
+
+// Pending returns the number of registered, unfetched outputs (tests and
+// leak checks).
+func (t *InProcess) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.outputs)
+}
+
+// Stats snapshots the traffic counters.
+func (t *InProcess) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

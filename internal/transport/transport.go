@@ -1,0 +1,69 @@
+// Package transport is the shuffle-data seam between executors: map tasks
+// register their per-reduce-partition output buffers here, and reduce
+// tasks — possibly running on a different executor — fetch them. The
+// engine sees only the Transport interface, so the in-process
+// implementation (this package's InProcess) can later be swapped for a
+// networked one without touching the scheduler or the shuffle operators;
+// the interface is deliberately payload-agnostic because the shuffle
+// buffers are generic types the engine casts back on arrival.
+//
+// Ownership rule: a registered payload belongs to the transport until it
+// is fetched (fetch is single-consumer and removes the entry) or dropped;
+// after Fetch the reduce task owns it and must release it. Drop returns
+// whatever was still registered so the caller can release those buffers —
+// the error-path lifetime end of map output that was never consumed.
+package transport
+
+import "fmt"
+
+// ShuffleID identifies one shuffle across the cluster (the engine issues
+// them; unique per Context).
+type ShuffleID int
+
+// MapOutputID names one map task's output for one reduce partition.
+type MapOutputID struct {
+	Shuffle ShuffleID
+	MapTask int
+	Reduce  int
+}
+
+func (id MapOutputID) String() string {
+	return fmt.Sprintf("shuffle %d map %d reduce %d", id.Shuffle, id.MapTask, id.Reduce)
+}
+
+// Payload is a registered map output: the buffer itself plus its origin
+// executor and estimated size, for locality accounting. In-process the
+// Data crosses by pointer (zero copy, zero serialization); a network
+// transport would move Bytes over the wire instead.
+type Payload struct {
+	Data        any
+	SrcExecutor int
+	Bytes       int64
+}
+
+// Stats counts transport traffic. A fetch is "local" when the requesting
+// executor is the one that registered the output, "remote" otherwise —
+// the cross-executor shuffle traffic a network transport would pay for.
+type Stats struct {
+	Registered    uint64
+	LocalFetches  uint64
+	RemoteFetches uint64
+	LocalBytes    int64
+	RemoteBytes   int64
+}
+
+// Transport moves shuffle map output between executors.
+type Transport interface {
+	// Register publishes a map output. Registering the same id twice
+	// replaces the entry (task retry semantics); the caller is responsible
+	// for releasing a replaced buffer.
+	Register(id MapOutputID, p Payload)
+	// Fetch hands the output to the reduce task running on dstExecutor and
+	// removes the entry. ok is false when nothing is registered under id.
+	Fetch(id MapOutputID, dstExecutor int) (Payload, bool)
+	// Drop removes every output of the shuffle still registered and
+	// returns them, so the caller can release the buffers.
+	Drop(shuffle ShuffleID) []Payload
+	// Stats snapshots the traffic counters.
+	Stats() Stats
+}

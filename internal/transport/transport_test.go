@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterFetchLocality(t *testing.T) {
+	tr := NewInProcess()
+	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 2}
+	tr.Register(id, Payload{Data: "buf", SrcExecutor: 0, Bytes: 64})
+
+	if _, ok := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
+		t.Error("fetch of unregistered id should miss")
+	}
+	p, ok := tr.Fetch(id, 1)
+	if !ok || p.Data != "buf" || p.SrcExecutor != 0 {
+		t.Fatalf("fetch = %+v, %v", p, ok)
+	}
+	if _, ok := tr.Fetch(id, 1); ok {
+		t.Error("fetch must be single-consumer")
+	}
+
+	st := tr.Stats()
+	if st.Registered != 1 || st.RemoteFetches != 1 || st.RemoteBytes != 64 || st.LocalFetches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	tr.Register(id, Payload{Data: "buf2", SrcExecutor: 3, Bytes: 8})
+	if _, ok := tr.Fetch(id, 3); !ok {
+		t.Fatal("re-registered output should fetch")
+	}
+	st = tr.Stats()
+	if st.LocalFetches != 1 || st.LocalBytes != 8 {
+		t.Errorf("local stats = %+v", st)
+	}
+}
+
+func TestDropReturnsUnfetched(t *testing.T) {
+	tr := NewInProcess()
+	for m := 0; m < 3; m++ {
+		tr.Register(MapOutputID{Shuffle: 7, MapTask: m, Reduce: 0},
+			Payload{Data: m, SrcExecutor: m, Bytes: 1})
+	}
+	tr.Register(MapOutputID{Shuffle: 8, MapTask: 0, Reduce: 0}, Payload{Data: "other"})
+
+	if _, ok := tr.Fetch(MapOutputID{Shuffle: 7, MapTask: 1, Reduce: 0}, 0); !ok {
+		t.Fatal("fetch failed")
+	}
+	dropped := tr.Drop(7)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d payloads, want 2", len(dropped))
+	}
+	if tr.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (shuffle 8 untouched)", tr.Pending())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tr := NewInProcess()
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := MapOutputID{Shuffle: ShuffleID(i % 4), MapTask: i, Reduce: 0}
+			tr.Register(id, Payload{Data: i, SrcExecutor: i % 3, Bytes: 10})
+			tr.Fetch(id, (i+1)%3)
+		}(i)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Registered != n || st.LocalFetches+st.RemoteFetches != n {
+		t.Errorf("stats after concurrent use = %+v", st)
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}

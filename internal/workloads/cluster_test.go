@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"deca/internal/engine"
+)
+
+// The acceptance bar of the multi-executor refactor: WC, LR and PageRank
+// must produce the single-executor answer in every mode when the engine
+// is sharded across four executors, with cross-executor shuffle traffic
+// actually occurring on the shuffling workloads.
+func TestMultiExecutorWorkloadEquivalence(t *testing.T) {
+	type job struct {
+		name     string
+		shuffles bool
+		run      func(cfg Config) (Result, error)
+	}
+	jobs := []job{
+		{"WC", true, func(cfg Config) (Result, error) {
+			return WordCount(cfg, WCParams{DistinctKeys: 2000, WordsPerLine: 8, Lines: 3000})
+		}},
+		{"LR", false, func(cfg Config) (Result, error) {
+			return LogisticRegression(cfg, LRParams{Points: 4000, Dim: 8, Iterations: 4})
+		}},
+		{"PR", true, func(cfg Config) (Result, error) {
+			return PageRank(cfg, GraphParams{Vertices: 500, Edges: 4000, Skew: 1.1, Iterations: 3})
+		}},
+	}
+	for _, mode := range modes() {
+		for _, j := range jobs {
+			t.Run(j.name+"/"+mode.String(), func(t *testing.T) {
+				cfg := Config{
+					Mode: mode, Parallelism: 2, Partitions: 8,
+					SpillDir: t.TempDir(), Seed: 1,
+				}
+				ref, err := j.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.NumExecutors = 4
+				got, err := j.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !approxEqual(got.Checksum, ref.Checksum) {
+					t.Errorf("4-executor checksum %v != single-executor %v", got.Checksum, ref.Checksum)
+				}
+				if j.shuffles && got.RemoteShuffleFetches == 0 {
+					t.Error("expected cross-executor shuffle fetches on 4 executors")
+				}
+				if !j.shuffles && got.RemoteShuffleFetches != 0 {
+					t.Errorf("shuffle-free workload reported %d remote fetches", got.RemoteShuffleFetches)
+				}
+				if ref.RemoteShuffleFetches != 0 {
+					t.Errorf("single-executor run reported %d remote fetches", ref.RemoteShuffleFetches)
+				}
+			})
+		}
+	}
+}
+
+// Budget accounting: a workload run under a global budget must split it
+// exactly across the executors' memory managers.
+func TestMultiExecutorBudgetAccounting(t *testing.T) {
+	const budget = 32 << 20
+	cfg := Config{
+		Mode: engine.ModeDeca, NumExecutors: 4, Parallelism: 2, Partitions: 8,
+		MemoryBudget: budget, SpillDir: t.TempDir(), Seed: 1,
+	}
+	ctx := cfg.withDefaults().newEngine()
+	defer ctx.Close()
+	var sum int64
+	for _, ex := range ctx.Executors() {
+		sum += ex.Memory().Limit()
+		if math.Abs(float64(ex.Memory().Limit())-budget/4) > 1 {
+			t.Errorf("executor %d budget %d, want ~%d", ex.ID(), ex.Memory().Limit(), budget/4)
+		}
+	}
+	if sum != budget {
+		t.Errorf("executor budgets sum to %d, want %d", sum, budget)
+	}
+}

@@ -23,9 +23,12 @@ import (
 
 // Config sizes one workload run.
 type Config struct {
-	Mode        engine.Mode
-	Parallelism int
-	Partitions  int
+	Mode engine.Mode
+	// NumExecutors shards the engine into a local cluster (0/1 = the
+	// single-executor engine); workload code is placement-oblivious.
+	NumExecutors int
+	Parallelism  int
+	Partitions   int
 	// MemoryBudget bounds cache+shuffle bytes (0 = unlimited); the
 	// cache/shuffle split follows StorageFraction as in Table 4.
 	MemoryBudget    int64
@@ -53,6 +56,7 @@ func (c Config) withDefaults() Config {
 
 func (c Config) newEngine() *engine.Context {
 	return engine.New(engine.Config{
+		NumExecutors:          c.NumExecutors,
 		Parallelism:           c.Parallelism,
 		NumPartitions:         c.Partitions,
 		Mode:                  c.Mode,
@@ -77,6 +81,11 @@ type Result struct {
 	// SwapBytes / ShuffleSpillBytes are disk traffic from memory pressure.
 	SwapBytes         int64
 	ShuffleSpillBytes int64
+	// RemoteShuffleFetches / RemoteShuffleBytes are map outputs a reduce
+	// task fetched from a different executor, and their estimated volume —
+	// zero on single-executor runs.
+	RemoteShuffleFetches int64
+	RemoteShuffleBytes   int64
 }
 
 func (r Result) String() string {
@@ -102,15 +111,18 @@ func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error
 	if err != nil {
 		return Result{}, fmt.Errorf("%s[%v]: %w", name, cfg.Mode, err)
 	}
-	cstats := ctx.CacheManager().Stats()
+	cstats := ctx.CacheStats()
+	metrics := ctx.MetricsRef()
 	return Result{
-		Name:              name,
-		Mode:              cfg.Mode,
-		Wall:              wall,
-		GC:                delta,
-		Checksum:          checksum,
-		CacheBytes:        cstats.MemBytes + cstats.SwapOutBytes - cstats.SwapInBytes,
-		SwapBytes:         cstats.SwapOutBytes,
-		ShuffleSpillBytes: ctx.MetricsRef().ShuffleSpillBytes.Load(),
+		Name:                 name,
+		Mode:                 cfg.Mode,
+		Wall:                 wall,
+		GC:                   delta,
+		Checksum:             checksum,
+		CacheBytes:           cstats.MemBytes + cstats.SwapOutBytes - cstats.SwapInBytes,
+		SwapBytes:            cstats.SwapOutBytes,
+		ShuffleSpillBytes:    metrics.ShuffleSpillBytes.Load(),
+		RemoteShuffleFetches: metrics.RemoteShuffleFetches.Load(),
+		RemoteShuffleBytes:   metrics.RemoteShuffleBytes.Load(),
 	}, nil
 }
