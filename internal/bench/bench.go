@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
 		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
 		{"scaling", "Executor scaling: budget split across 1/2/4/8 executors", ScalingExecutors},
+		{"merge", "Zero-copy reduce merge vs drain/re-Put across modes and executor counts", MergeZeroCopy},
 		{"ablation-pagesize", "Page-size sweep (design-choice ablation)", AblationPageSize},
 		{"ablation-value-reuse", "SFST value reuse vs boxed combines (ablation)", AblationValueReuse},
 		{"ablation-codec", "Reflection vs generated codec (ablation)", AblationReflectVsGenerated},

@@ -95,6 +95,22 @@ type Config struct {
 	// shuffle share of the owning executor's budget; negative disables
 	// spilling.
 	ShuffleSpillThreshold int64
+	// FetchConcurrency bounds how many map outputs a reduce task fetches
+	// concurrently ahead of its merge loop. Defaults to 4; 1 narrows the
+	// pipeline to a single fetcher running at most one output ahead of
+	// the merge (the fetch of output m+1 still overlaps the merge of m).
+	FetchConcurrency int
+	// MaxFetchBytesInFlight caps the estimated bytes of map outputs a
+	// reduce task has fetched but not yet merged (Spark's
+	// spark.reducer.maxSizeInFlight). 0 selects 48 MiB; negative removes
+	// the cap. The cap can overshoot by up to FetchConcurrency payloads,
+	// because output sizes are only known once fetched.
+	MaxFetchBytesInFlight int64
+	// DisableZeroCopyMerge forces the reduce-side merge to drain and
+	// re-insert records even when both buffers are Deca page containers —
+	// the measured baseline of the merge experiment. Default off: Deca
+	// reduce tasks adopt map-output page groups by reference.
+	DisableZeroCopyMerge bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +125,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StorageFraction <= 0 || c.StorageFraction > 1 {
 		c.StorageFraction = 0.6
+	}
+	if c.FetchConcurrency <= 0 {
+		c.FetchConcurrency = 4
+	}
+	if c.MaxFetchBytesInFlight == 0 {
+		c.MaxFetchBytesInFlight = 48 << 20
 	}
 	return c
 }

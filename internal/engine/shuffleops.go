@@ -96,11 +96,12 @@ type pairSink[K comparable, V any] interface {
 // shuffle runs. Map task m (on partition m's affine executor) fills one
 // buffer per reduce partition from d, spilling under the derived
 // threshold, and registers each with the transport; reduce task r fetches
-// its M inputs — crossing executors where placement differs, with
-// locality noted per executor — merges them into a buffer created on its
-// own executor via merge (the only sink-shape-specific step), and
-// releases them. On any error, every buffer this exchange created or
-// still holds registered is released before returning.
+// its M inputs through a bounded-concurrency prefetch pipeline — crossing
+// executors where placement differs, with locality noted per executor —
+// and merges them, in map order, into a buffer created on its own
+// executor via merge (the only sink-shape-specific step), releasing each
+// source as it folds in. On any error, every buffer this exchange created,
+// fetched, or still holds registered is released before returning.
 func exchange[K comparable, V any, S pairSink[K, V]](
 	d *Dataset[decompose.Pair[K, V]],
 	key shuffle.Key[K],
@@ -163,7 +164,12 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 		for r, b := range bufs {
 			ctx.trans.Register(
 				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
-				transport.Payload{Data: b, SrcExecutor: ex.id, Bytes: b.SizeBytes() + b.SpilledBytes()})
+				transport.Payload{
+					Data:        b,
+					SrcExecutor: ex.id,
+					Bytes:       b.SizeBytes() + b.SpilledBytes(),
+					MemBytes:    b.SizeBytes(),
+				})
 		}
 		registered = true
 		return nil
@@ -180,25 +186,33 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 		if err != nil {
 			return err
 		}
+		fp := ctx.startFetchPipeline(shufID, r, M, ex)
 		done := false
 		defer func() {
+			// shutdown releases whatever the workers fetched ahead of a
+			// failed merge; after full consumption it is a no-op.
+			fp.shutdown(func(pl transport.Payload) {
+				if rel, ok := pl.Data.(releasable); ok {
+					rel.Release()
+				}
+			})
 			if !done {
 				merged.Release()
 			}
 		}()
 		for m := 0; m < M; m++ {
-			id := transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}
-			pl, ok := ctx.trans.Fetch(id, ex.id)
-			if !ok {
-				return fmt.Errorf("engine: missing map output %v", id)
+			res := fp.wait(m)
+			if !res.ok {
+				return fmt.Errorf("engine: missing map output %v",
+					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
 			}
-			ctx.noteFetch(ex, pl)
-			buf := pl.Data.(S)
+			buf := res.pl.Data.(S)
 			err := merge(merged, buf)
 			// Once fetched, the buffer is this task's to release, merge
 			// error or not.
-			ctx.noteSpill(pl.SrcExecutor, buf.SpilledBytes())
+			ctx.noteSpill(res.pl.SrcExecutor, buf.SpilledBytes())
 			buf.Release()
+			fp.merged(res.pl)
 			if err != nil {
 				return err
 			}
@@ -273,15 +287,27 @@ func ReduceByKey[K comparable, V any](
 		}), nil
 	}
 
+	// The reduce merge adopts map-output page groups by reference when
+	// both sides are Deca buffers (they always are when decaAble); the
+	// object path — and the DisableZeroCopyMerge baseline — drains and
+	// re-inserts records.
+	mergeBufs := func(dst, src aggSink[K, V]) error {
+		if !ctx.conf.DisableZeroCopyMerge {
+			if dd, ok := dst.(*shuffle.DecaAgg[K, V]); ok {
+				if ss, ok := src.(*shuffle.DecaAgg[K, V]); ok {
+					return dd.MergeFrom(ss)
+				}
+			}
+		}
+		return src.Drain(func(k K, v V) bool {
+			dst.Put(k, v)
+			return true
+		})
+	}
+
 	st := newShuffleState[decompose.Pair[K, V]](R)
 	materialize := func() error {
-		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf,
-			func(dst, src aggSink[K, V]) error {
-				return src.Drain(func(k K, v V) bool {
-					dst.Put(k, v)
-					return true
-				})
-			})
+		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf, mergeBufs)
 		if err != nil {
 			return err
 		}
@@ -325,18 +351,27 @@ func GroupByKey[K comparable, V any](
 		})
 	}
 
+	mergeBufs := func(dst, src groupSink[K, V]) error {
+		if !ctx.conf.DisableZeroCopyMerge {
+			if dd, ok := dst.(*shuffle.DecaGroup[K, V]); ok {
+				if ss, ok := src.(*shuffle.DecaGroup[K, V]); ok {
+					return dd.MergeFrom(ss)
+				}
+			}
+		}
+		return src.Drain(func(k K, vs []V) bool {
+			for _, v := range vs {
+				dst.Put(k, v)
+			}
+			return true
+		})
+	}
+
 	st := newShuffleState[decompose.Pair[K, []V]](R)
 	materialize := func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (groupSink[K, V], error) { return newBuf(ex), nil },
-			func(dst, src groupSink[K, V]) error {
-				return src.Drain(func(k K, vs []V) bool {
-					for _, v := range vs {
-						dst.Put(k, v)
-					}
-					return true
-				})
-			})
+			mergeBufs)
 		if err != nil {
 			return err
 		}
@@ -380,16 +415,25 @@ func SortByKey[K comparable, V any](
 		})
 	}
 
+	mergeBufs := func(dst, src sortSink[K, V]) error {
+		if !ctx.conf.DisableZeroCopyMerge {
+			if dd, ok := dst.(*shuffle.DecaSort[K, V]); ok {
+				if ss, ok := src.(*shuffle.DecaSort[K, V]); ok {
+					return dd.MergeFrom(ss)
+				}
+			}
+		}
+		return src.DrainSorted(func(k K, v V) bool {
+			dst.Put(k, v)
+			return true
+		})
+	}
+
 	st := newShuffleState[decompose.Pair[K, V]](R)
 	materialize := func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (sortSink[K, V], error) { return newBuf(ex), nil },
-			func(dst, src sortSink[K, V]) error {
-				return src.DrainSorted(func(k K, v V) bool {
-					dst.Put(k, v)
-					return true
-				})
-			})
+			mergeBufs)
 		if err != nil {
 			return err
 		}

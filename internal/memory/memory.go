@@ -38,13 +38,22 @@ type Stats struct {
 
 // Manager allocates fixed-size pages, pools released ones, and tracks a
 // soft memory budget. It is safe for concurrent use.
+//
+// The pool keeps two free lists: standard-size pages in a LIFO stack
+// served by popping the tail (O(1) under the global mutex — the hot path
+// every shuffle buffer and cache block allocation takes), and the rare
+// oversized pages — dedicated pages for single objects larger than the
+// page size — in a separate, small list scanned only when an oversized
+// request arrives.
 type Manager struct {
 	pageSize int
 	limit    int64 // soft budget in bytes; 0 means unlimited
 
 	mu         sync.Mutex
-	free       [][]byte
-	pooledMax  int // max pages kept in the pool
+	free       [][]byte // standard-size pages; pop from the tail
+	freeBig    [][]byte // oversized pages; scanned only for oversized wants
+	pooledMax  int      // max standard pages kept in the pool
+	bigMax     int      // max oversized pages kept in the pool
 	inUse      int64
 	pooled     int64
 	allocated  uint64
@@ -61,13 +70,15 @@ func NewManager(pageSize int, limit int64) *Manager {
 	}
 	m := &Manager{pageSize: pageSize, limit: limit}
 	// Keep at most the budget's worth of pages pooled, or a generous
-	// default when unlimited.
+	// default when unlimited. Oversized pages are exceptional by
+	// construction, so their pool stays small.
 	m.pooledMax = 1024
 	if limit > 0 {
 		if n := int(limit / int64(pageSize)); n > 0 {
 			m.pooledMax = n
 		}
 	}
+	m.bigMax = 16
 	return m
 }
 
@@ -107,18 +118,34 @@ func (m *Manager) Stats() Stats {
 }
 
 // getPage returns a zero-length page with capacity ≥ want (normally the
-// page size; larger only for oversized single objects).
+// page size; larger only for oversized single objects). Standard requests
+// pop the free stack's tail — O(1); only oversized requests scan the
+// (small, separate) oversized pool.
 func (m *Manager) getPage(want int) []byte {
-	size := m.pageSize
-	if want > size {
-		size = want
-	}
 	m.mu.Lock()
-	// Serve from the pool when a pooled page is large enough.
-	for i := len(m.free) - 1; i >= 0; i-- {
-		if cap(m.free[i]) >= size {
-			p := m.free[i]
-			m.free = append(m.free[:i], m.free[i+1:]...)
+	if want <= m.pageSize {
+		if n := len(m.free); n > 0 {
+			p := m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+			m.pooled -= int64(cap(p))
+			m.reused++
+			m.inUse += int64(cap(p))
+			m.mu.Unlock()
+			return p[:0]
+		}
+		m.allocated++
+		m.inUse += int64(m.pageSize)
+		m.mu.Unlock()
+		return make([]byte, 0, m.pageSize)
+	}
+	// Oversized: first fit in the dedicated pool.
+	for i := len(m.freeBig) - 1; i >= 0; i-- {
+		if cap(m.freeBig[i]) >= want {
+			p := m.freeBig[i]
+			m.freeBig[i] = m.freeBig[len(m.freeBig)-1]
+			m.freeBig[len(m.freeBig)-1] = nil
+			m.freeBig = m.freeBig[:len(m.freeBig)-1]
 			m.pooled -= int64(cap(p))
 			m.reused++
 			m.inUse += int64(cap(p))
@@ -127,9 +154,9 @@ func (m *Manager) getPage(want int) []byte {
 		}
 	}
 	m.allocated++
-	m.inUse += int64(size)
+	m.inUse += int64(want)
 	m.mu.Unlock()
-	return make([]byte, 0, size)
+	return make([]byte, 0, want)
 }
 
 // putPages returns pages to the pool (or drops them if the pool is full).
@@ -139,8 +166,12 @@ func (m *Manager) putPages(pages [][]byte) {
 	for _, p := range pages {
 		m.inUse -= int64(cap(p))
 		m.released++
-		if len(m.free) < m.pooledMax && cap(p) == m.pageSize {
+		switch {
+		case cap(p) == m.pageSize && len(m.free) < m.pooledMax:
 			m.free = append(m.free, p[:0])
+			m.pooled += int64(cap(p))
+		case cap(p) > m.pageSize && len(m.freeBig) < m.bigMax:
+			m.freeBig = append(m.freeBig, p[:0])
 			m.pooled += int64(cap(p))
 		}
 	}
@@ -156,6 +187,16 @@ type Ptr struct {
 
 func (p Ptr) String() string { return fmt.Sprintf("page %d off %d", p.Page, p.Off) }
 
+// Rebase translates a pointer minted inside a source group into the
+// address space of a group that adopted the source's pages at page index
+// base (the value AdoptPages returned). It is the group-spanning segment
+// reference of the zero-copy shuffle merge: a merged container addresses
+// segments across several retained source groups through rebased
+// pointers, without the bytes ever moving.
+func (p Ptr) Rebase(base int) Ptr {
+	return Ptr{Page: p.Page + int32(base), Off: p.Off}
+}
+
 // Group is a page group plus its page-info metadata (§4.3.1): the page
 // array, the end offset of the unused part of the last page, and a
 // reference count used when secondary containers share the group
@@ -165,12 +206,23 @@ func (p Ptr) String() string { return fmt.Sprintf("page %d off %d", p.Page, p.Of
 // Objects never span pages: an allocation that does not fit in the last
 // page's remainder starts a new page. Oversized allocations get a
 // dedicated, larger page.
+//
+// A group's page array may mix pages it allocated itself with pages
+// *adopted* from other groups (AdoptPages): adopted pages are addressed
+// exactly like owned ones — cursors and pointers span them transparently —
+// but they are returned to the manager by their owning group, whose
+// lifetime the adopter pins through deps.
 type Group struct {
 	m     *Manager
 	pages [][]byte
-	bytes int64
-	refs  atomic.Int32
-	deps  []*Group // page groups of primary containers (Fig. 7(a) depPages)
+	// adopted marks pages shared from another group via AdoptPages; nil
+	// until the first adoption, so the common non-merged group pays
+	// nothing. Adopted pages are excluded from putPages and sealed
+	// against further Alloc.
+	adopted []bool
+	bytes   int64
+	refs    atomic.Int32
+	deps    []*Group // page groups of primary containers (Fig. 7(a) depPages)
 }
 
 // NewGroup returns an empty page group with reference count 1.
@@ -192,8 +244,11 @@ func (g *Group) Alloc(n int) ([]byte, Ptr) {
 		panic("memory: negative allocation")
 	}
 	last := len(g.pages) - 1
-	if last < 0 || cap(g.pages[last])-len(g.pages[last]) < n {
+	if last < 0 || g.isAdopted(last) || cap(g.pages[last])-len(g.pages[last]) < n {
 		g.pages = append(g.pages, g.m.getPage(n))
+		if g.adopted != nil {
+			g.adopted = append(g.adopted, false)
+		}
 		last = len(g.pages) - 1
 	}
 	p := g.pages[last]
@@ -284,6 +339,98 @@ func (g *Group) AddDep(dep *Group) {
 // Deps returns the dependent (primary) groups.
 func (g *Group) Deps() []*Group { return g.deps }
 
+// isAdopted reports whether page i was adopted from another group.
+func (g *Group) isAdopted(i int) bool { return g.adopted != nil && g.adopted[i] }
+
+// AdoptPages appends src's page array to g by reference — no data bytes
+// move — and returns the page index the first adopted page landed on, so
+// pointers into src translate into g with Ptr.Rebase(base). The source
+// group is retained as a dependency (AddDep) and stays alive, with its
+// pages returning to its own manager exactly once, until g releases.
+//
+// This is the zero-copy merge primitive: a reduce-side container adopts
+// each fetched map output's page group and addresses all of them through
+// one group-spanning page array. Adopted pages are sealed — a subsequent
+// Alloc on g starts a fresh owned page rather than extending a shared
+// one. The caller owns the transfer contract: after adopting, the source
+// must not grow, and segments reachable from g may be mutated in place
+// (combine-in-place on key collisions), so the source's contents must not
+// be read independently afterwards.
+func (g *Group) AdoptPages(src *Group) int {
+	g.checkLive()
+	src.checkLive()
+	if src == g {
+		panic("memory: group cannot adopt its own pages")
+	}
+	base := len(g.pages)
+	if len(src.pages) == 0 {
+		return base
+	}
+	if g.adopted == nil {
+		g.adopted = make([]bool, base, base+len(src.pages))
+	}
+	g.pages = append(g.pages, src.pages...)
+	for range src.pages {
+		g.adopted = append(g.adopted, true)
+	}
+	g.bytes += src.bytes
+	g.AddDep(src)
+	src.rehome(g.m)
+	return base
+}
+
+// rehome transfers the group's page accounting — and the pool its owned
+// pages will eventually return to — to the adopter's manager, then
+// re-homes its own dependencies the same way. Cross-executor adoption
+// (a reduce container adopting a map output allocated on another
+// executor) would otherwise leave the source executor's budget charged
+// for bytes the reduce executor's container now holds, for as long as
+// the memoized shuffle output lives.
+func (g *Group) rehome(dst *Manager) {
+	if g.m == dst {
+		return
+	}
+	var owned int64
+	for i, p := range g.pages {
+		if !g.isAdopted(i) {
+			owned += int64(cap(p))
+		}
+	}
+	src := g.m
+	src.mu.Lock()
+	src.inUse -= owned
+	src.liveGroups--
+	src.mu.Unlock()
+	dst.mu.Lock()
+	dst.inUse += owned
+	dst.liveGroups++
+	dst.mu.Unlock()
+	g.m = dst
+	for _, d := range g.deps {
+		d.rehome(dst)
+	}
+}
+
+// reclaim returns g's owned pages to its manager and drops the page
+// array; adopted pages are left to their owning groups, which the caller
+// releases through deps.
+func (g *Group) reclaim() {
+	if g.adopted == nil {
+		g.m.putPages(g.pages)
+	} else {
+		owned := g.pages[:0]
+		for i, p := range g.pages {
+			if !g.adopted[i] {
+				owned = append(owned, p)
+			}
+		}
+		g.m.putPages(owned)
+	}
+	g.pages = nil
+	g.adopted = nil
+	g.bytes = 0
+}
+
 // Release decrements the reference count; the last release returns all
 // pages to the manager's pool and releases dependencies. Releasing more
 // times than retained panics: refcount bugs must not be silent.
@@ -295,9 +442,7 @@ func (g *Group) Release() {
 	if n > 0 {
 		return
 	}
-	g.m.putPages(g.pages)
-	g.pages = nil
-	g.bytes = 0
+	g.reclaim()
 	g.m.mu.Lock()
 	g.m.liveGroups--
 	g.m.mu.Unlock()
@@ -307,13 +452,16 @@ func (g *Group) Release() {
 	g.deps = nil
 }
 
-// Reset drops the group's content but keeps it alive, returning its pages
-// to the pool. Used when a shuffle buffer spills and restarts.
+// Reset drops the group's content but keeps it alive, returning its owned
+// pages to the pool and releasing any adopted dependencies. Used when a
+// shuffle buffer spills and restarts.
 func (g *Group) Reset() {
 	g.checkLive()
-	g.m.putPages(g.pages)
-	g.pages = nil
-	g.bytes = 0
+	g.reclaim()
+	for _, d := range g.deps {
+		d.Release()
+	}
+	g.deps = nil
 }
 
 // Refs returns the current reference count (for tests and diagnostics).

@@ -16,6 +16,7 @@ type ObjectAgg[K comparable, V any] struct {
 	combine   func(V, V) V
 	table     map[K]*V
 	entrySize func(K, V) int
+	approx    int64 // running SizeBytes estimate, maintained by Put/Spill
 
 	keySer   serial.Serializer[K]
 	valSer   serial.Serializer[V]
@@ -58,23 +59,22 @@ func NewObjectAgg[K comparable, V any](combine func(V, V) V, cfg ObjectAggConfig
 func (b *ObjectAgg[K, V]) Put(k K, v V) {
 	if old, ok := b.table[k]; ok {
 		nv := b.combine(*old, v)
+		b.approx += int64(b.entrySize(k, nv)) - int64(b.entrySize(k, *old))
 		b.table[k] = &nv
 		return
 	}
+	b.approx += int64(b.entrySize(k, v))
 	b.table[k] = &v
 }
 
 // Len returns the number of distinct keys in memory.
 func (b *ObjectAgg[K, V]) Len() int { return len(b.table) }
 
-// SizeBytes estimates the in-memory footprint.
-func (b *ObjectAgg[K, V]) SizeBytes() int64 {
-	var total int64
-	for k, v := range b.table {
-		total += int64(b.entrySize(k, *v))
-	}
-	return total
-}
+// SizeBytes estimates the in-memory footprint. The estimate is maintained
+// incrementally by Put and Spill — the exchange registers a payload size
+// per map output, and an O(records) table walk there would dwarf the walk
+// it prices.
+func (b *ObjectAgg[K, V]) SizeBytes() int64 { return b.approx }
 
 // SpilledBytes returns the cumulative spill volume.
 func (b *ObjectAgg[K, V]) SpilledBytes() int64 { return b.spilled }
@@ -87,12 +87,15 @@ func (b *ObjectAgg[K, V]) Spill() error {
 	if len(b.table) == 0 {
 		return nil
 	}
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for k, v := range b.table {
-			dst = b.keySer.Marshal(dst, k)
-			dst = b.valSer.Marshal(dst, *v)
+			rec := b.keySer.Marshal(w.stage(0), k)
+			rec = b.valSer.Marshal(rec, *v)
+			if err := w.emitScratch(rec); err != nil {
+				return err
+			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -100,6 +103,7 @@ func (b *ObjectAgg[K, V]) Spill() error {
 	b.spills = append(b.spills, run)
 	b.spilled += run.size
 	b.table = make(map[K]*V)
+	b.approx = 0
 	return nil
 }
 
@@ -139,6 +143,7 @@ func (b *ObjectAgg[K, V]) Release() {
 	}
 	b.released = true
 	b.table = nil
+	b.approx = 0
 	for _, run := range b.spills {
 		run.remove()
 	}
@@ -225,15 +230,20 @@ func (b *DecaAgg[K, V]) Spill() error {
 	if len(b.slots) == 0 {
 		return nil
 	}
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for k, ptr := range b.slots {
-			kn := b.keyCodec.Size(k)
-			off := len(dst)
-			dst = append(dst, make([]byte, kn)...)
-			b.keyCodec.Encode(dst[off:off+kn], k)
-			dst = append(dst, b.group.Bytes(ptr, b.valSize)...)
+			key := w.stage(b.keyCodec.Size(k))
+			b.keyCodec.Encode(key, k)
+			if err := w.emit(key); err != nil {
+				return err
+			}
+			// Value bytes stream straight out of the page — already in
+			// I/O form, no serialization pass (Appendix C).
+			if err := w.emit(b.group.Bytes(ptr, b.valSize)); err != nil {
+				return err
+			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -283,6 +293,43 @@ func (b *DecaAgg[K, V]) ValueBytes(k K) ([]byte, bool) {
 		return nil, false
 	}
 	return b.group.Bytes(ptr, b.valSize), true
+}
+
+// MergeFrom folds src into b without decoding or re-encoding records:
+// b adopts src's page group wholesale (the pages are retained as a
+// dependency, no bytes move — §4.3.3's depPages applied to the reduce
+// merge), keys absent from b take over their source segment through a
+// rebased pointer, and only key collisions decode — the source value is
+// combined into b's existing segment in place. Spilled runs transfer by
+// file handle; b's Drain folds them like its own.
+//
+// Ownership contract: MergeFrom consumes src. The caller must Release src
+// afterwards and must not read it in between — collision segments inside
+// the adopted pages may be mutated by b, and transferred spill files now
+// belong to b. Both buffers must share the codecs they were built with
+// (the exchange constructs them from one PairOps).
+func (b *DecaAgg[K, V]) MergeFrom(src *DecaAgg[K, V]) error {
+	if src == b {
+		return fmt.Errorf("shuffle: DecaAgg cannot merge from itself")
+	}
+	b.spills = append(b.spills, src.spills...)
+	b.spilled += src.spilled
+	src.spills = nil
+	if len(src.slots) == 0 {
+		return nil
+	}
+	base := b.group.AdoptPages(src.group)
+	for k, ptr := range src.slots {
+		if dptr, ok := b.slots[k]; ok {
+			sv, _ := b.valCodec.Decode(src.group.Bytes(ptr, b.valSize))
+			seg := b.group.Bytes(dptr, b.valSize)
+			old, _ := b.valCodec.Decode(seg)
+			b.valCodec.Encode(seg, b.combine(old, sv))
+			continue
+		}
+		b.slots[k] = ptr.Rebase(base)
+	}
+	return nil
 }
 
 // Release frees the page group wholesale and deletes spill files: the

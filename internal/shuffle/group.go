@@ -15,6 +15,7 @@ import (
 type ObjectGroup[K comparable, V any] struct {
 	table     map[K][]*V
 	entrySize func(K, V) int
+	approx    int64 // running SizeBytes estimate, maintained by Put/Spill
 
 	keySer   serial.Serializer[K]
 	valSer   serial.Serializer[V]
@@ -53,6 +54,7 @@ func NewObjectGroup[K comparable, V any](cfg ObjectGroupConfig[K, V]) *ObjectGro
 func (b *ObjectGroup[K, V]) Put(k K, v V) {
 	b.table[k] = append(b.table[k], &v)
 	b.count++
+	b.approx += int64(b.entrySize(k, v))
 }
 
 // Len returns the number of distinct keys in memory.
@@ -61,16 +63,9 @@ func (b *ObjectGroup[K, V]) Len() int { return len(b.table) }
 // Values returns the total number of buffered values in memory.
 func (b *ObjectGroup[K, V]) Values() int { return b.count }
 
-// SizeBytes estimates the footprint.
-func (b *ObjectGroup[K, V]) SizeBytes() int64 {
-	var total int64
-	for k, vs := range b.table {
-		for _, v := range vs {
-			total += int64(b.entrySize(k, *v))
-		}
-	}
-	return total
-}
+// SizeBytes estimates the footprint, maintained incrementally by Put and
+// Spill instead of walking every buffered value on each call.
+func (b *ObjectGroup[K, V]) SizeBytes() int64 { return b.approx }
 
 // SpilledBytes returns the cumulative spill volume.
 func (b *ObjectGroup[K, V]) SpilledBytes() int64 { return b.spilled }
@@ -84,14 +79,17 @@ func (b *ObjectGroup[K, V]) Spill() error {
 	if len(b.table) == 0 {
 		return nil
 	}
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for k, vs := range b.table {
 			for _, v := range vs {
-				dst = b.keySer.Marshal(dst, k)
-				dst = b.valSer.Marshal(dst, *v)
+				rec := b.keySer.Marshal(w.stage(0), k)
+				rec = b.valSer.Marshal(rec, *v)
+				if err := w.emitScratch(rec); err != nil {
+					return err
+				}
 			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -100,6 +98,7 @@ func (b *ObjectGroup[K, V]) Spill() error {
 	b.spilled += run.size
 	b.table = make(map[K][]*V)
 	b.count = 0
+	b.approx = 0
 	return nil
 }
 
@@ -142,6 +141,7 @@ func (b *ObjectGroup[K, V]) Release() {
 	}
 	b.released = true
 	b.table = nil
+	b.approx = 0
 	for _, run := range b.spills {
 		run.remove()
 	}
@@ -216,20 +216,24 @@ func (b *DecaGroup[K, V]) Spill() error {
 	if len(b.slots) == 0 {
 		return nil
 	}
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for k, ptrs := range b.slots {
 			for _, ptr := range ptrs {
-				kn := b.keyCodec.Size(k)
-				off := len(dst)
-				dst = append(dst, make([]byte, kn)...)
-				b.keyCodec.Encode(dst[off:off+kn], k)
-				// Re-read the value's exact size from its segment.
+				key := w.stage(b.keyCodec.Size(k))
+				b.keyCodec.Encode(key, k)
+				if err := w.emit(key); err != nil {
+					return err
+				}
+				// Re-read the value's exact size from its segment; the
+				// bytes stream straight out of the page.
 				page := b.group.Page(int(ptr.Page))
 				_, vn := b.valCodec.Decode(page[ptr.Off:])
-				dst = append(dst, page[ptr.Off:int(ptr.Off)+vn]...)
+				if err := w.emit(page[ptr.Off : int(ptr.Off)+vn]); err != nil {
+					return err
+				}
 			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -292,6 +296,38 @@ func (b *DecaGroup[K, V]) mergeSpills() error {
 		run.remove()
 	}
 	b.spills = nil
+	return nil
+}
+
+// MergeFrom folds src into b zero-copy: b adopts src's page group by
+// reference and appends each key's pointer array wholesale — rebased to
+// b's page address space, never decoded. Spilled runs transfer by file
+// handle. Same ownership contract as DecaAgg.MergeFrom: src is consumed
+// and must only be Released afterwards.
+func (b *DecaGroup[K, V]) MergeFrom(src *DecaGroup[K, V]) error {
+	if src == b {
+		return fmt.Errorf("shuffle: DecaGroup cannot merge from itself")
+	}
+	b.spills = append(b.spills, src.spills...)
+	b.spilled += src.spilled
+	src.spills = nil
+	if len(src.slots) == 0 {
+		return nil
+	}
+	base := b.group.AdoptPages(src.group)
+	for k, ptrs := range src.slots {
+		if base != 0 {
+			for i := range ptrs {
+				ptrs[i] = ptrs[i].Rebase(base)
+			}
+		}
+		if existing, ok := b.slots[k]; ok {
+			b.slots[k] = append(existing, ptrs...)
+		} else {
+			b.slots[k] = ptrs // adopt the source's pointer array wholesale
+		}
+	}
+	b.count += src.count
 	return nil
 }
 

@@ -1,0 +1,338 @@
+package shuffle
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"deca/internal/decompose"
+	"deca/internal/memory"
+)
+
+// mergeSources builds n DecaAgg sources with overlapping key ranges; every
+// source s holds keys [s*stride, s*stride+keys) so neighbours collide on
+// half their keys.
+func aggSources(t *testing.T, m *memory.Manager, n int, spill bool, dir string) []*DecaAgg[int64, int64] {
+	t.Helper()
+	var out []*DecaAgg[int64, int64]
+	for s := 0; s < n; s++ {
+		b, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+			decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 64; i++ {
+			b.Put(int64(s)*32+i, i+1)
+		}
+		if spill && s%2 == 0 {
+			if err := b.Spill(); err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < 16; i++ {
+				b.Put(int64(s)*32+i, 100)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestDecaAggMergeFromMatchesDrainMerge(t *testing.T) {
+	for _, spill := range []bool{false, true} {
+		m := memory.NewManager(512, 0)
+		dir := t.TempDir()
+
+		zc, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+			decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range aggSources(t, m, 4, spill, dir) {
+			if err := zc.MergeFrom(src); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+
+		base, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+			decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range aggSources(t, m, 4, spill, dir) {
+			if err := src.Drain(func(k, v int64) bool { base.Put(k, v); return true }); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+
+		got := drainAggToMap[int64, int64](t, zc)
+		want := drainAggToMap[int64, int64](t, base)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("spill=%v: zero-copy merge = %v records, drain merge = %v records, maps differ",
+				spill, len(got), len(want))
+		}
+		zc.Release()
+		base.Release()
+		if in := m.InUse(); in != 0 {
+			t.Errorf("spill=%v: %d bytes leaked after releasing merged buffers", spill, in)
+		}
+	}
+}
+
+func groupSources(t *testing.T, m *memory.Manager, n int, spill bool, dir string) []*DecaGroup[int64, string] {
+	t.Helper()
+	var out []*DecaGroup[int64, string]
+	for s := 0; s < n; s++ {
+		b := NewDecaGroup[int64, string](m, decompose.Int64Codec{}, decompose.StringCodec{}, dir)
+		for i := 0; i < 48; i++ {
+			b.Put(int64(i%12), string(rune('a'+s))+string(rune('0'+i%10)))
+		}
+		if spill && s%2 == 1 {
+			if err := b.Spill(); err != nil {
+				t.Fatal(err)
+			}
+			b.Put(int64(s), "post-spill")
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func drainGroupToMap(t *testing.T, b *DecaGroup[int64, string]) map[int64][]string {
+	t.Helper()
+	out := make(map[int64][]string)
+	if err := b.Drain(func(k int64, vs []string) bool {
+		cp := append([]string(nil), vs...)
+		sort.Strings(cp)
+		out[k] = cp
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDecaGroupMergeFromMatchesDrainMerge(t *testing.T) {
+	for _, spill := range []bool{false, true} {
+		m := memory.NewManager(512, 0)
+		dir := t.TempDir()
+
+		zc := NewDecaGroup[int64, string](m, decompose.Int64Codec{}, decompose.StringCodec{}, dir)
+		for _, src := range groupSources(t, m, 4, spill, dir) {
+			if err := zc.MergeFrom(src); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+
+		base := NewDecaGroup[int64, string](m, decompose.Int64Codec{}, decompose.StringCodec{}, dir)
+		for _, src := range groupSources(t, m, 4, spill, dir) {
+			if err := src.Drain(func(k int64, vs []string) bool {
+				for _, v := range vs {
+					base.Put(k, v)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+
+		got := drainGroupToMap(t, zc)
+		want := drainGroupToMap(t, base)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("spill=%v: zero-copy group merge differs from drain merge", spill)
+		}
+		if zc.Values() != base.Values() {
+			t.Errorf("spill=%v: value counts %d != %d", spill, zc.Values(), base.Values())
+		}
+		zc.Release()
+		base.Release()
+		if in := m.InUse(); in != 0 {
+			t.Errorf("spill=%v: %d bytes leaked", spill, in)
+		}
+	}
+}
+
+func sortSources(t *testing.T, m *memory.Manager, n int, spill bool, dir string) []*DecaSort[int64, int64] {
+	t.Helper()
+	less := func(a, b int64) bool { return a < b }
+	var out []*DecaSort[int64, int64]
+	for s := 0; s < n; s++ {
+		b := NewDecaSort[int64, int64](m, less, decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		for i := 0; i < 64; i++ {
+			b.Put(int64((i*2654435761+s)%40), int64(s*1000+i))
+		}
+		if spill && s == 1 {
+			if err := b.Spill(); err != nil {
+				t.Fatal(err)
+			}
+			b.Put(7, 9999)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestDecaSortMergeFromMatchesDrainMerge(t *testing.T) {
+	for _, spill := range []bool{false, true} {
+		m := memory.NewManager(512, 0)
+		dir := t.TempDir()
+		less := func(a, b int64) bool { return a < b }
+
+		collect := func(b *DecaSort[int64, int64]) []decompose.Pair[int64, int64] {
+			var out []decompose.Pair[int64, int64]
+			if err := b.DrainSorted(func(k, v int64) bool {
+				out = append(out, decompose.Pair[int64, int64]{Key: k, Value: v})
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+
+		zc := NewDecaSort[int64, int64](m, less, decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		for _, src := range sortSources(t, m, 4, spill, dir) {
+			if err := zc.MergeFrom(src); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+		got := collect(zc)
+
+		base := NewDecaSort[int64, int64](m, less, decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+		for _, src := range sortSources(t, m, 4, spill, dir) {
+			if err := src.DrainSorted(func(k, v int64) bool { base.Put(k, v); return true }); err != nil {
+				t.Fatal(err)
+			}
+			src.Release()
+		}
+		want := collect(base)
+
+		if len(got) != len(want) {
+			t.Fatalf("spill=%v: %d records, want %d", spill, len(got), len(want))
+		}
+		// Key order must match exactly; equal-key runs may order values
+		// differently (stable sort over different insertion orders), so
+		// compare them as sets.
+		sortPairs := func(ps []decompose.Pair[int64, int64]) {
+			sort.Slice(ps, func(i, j int) bool {
+				if ps[i].Key != ps[j].Key {
+					return ps[i].Key < ps[j].Key
+				}
+				return ps[i].Value < ps[j].Value
+			})
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("spill=%v: key order diverges at %d: %d vs %d", spill, i, got[i].Key, want[i].Key)
+			}
+		}
+		sortPairs(got)
+		sortPairs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("spill=%v: record multisets differ", spill)
+		}
+		zc.Release()
+		base.Release()
+		if in := m.InUse(); in != 0 {
+			t.Errorf("spill=%v: %d bytes leaked", spill, in)
+		}
+	}
+}
+
+// TestSortDrainRepeatsAfterMergeFrom pins the memoized-output contract:
+// a merged sort buffer holding spill runs transferred by MergeFrom must
+// yield the identical record set on every DrainSorted — draining must not
+// consume the runs (they are Release's to delete).
+func TestSortDrainRepeatsAfterMergeFrom(t *testing.T) {
+	m := memory.NewManager(512, 0)
+	dir := t.TempDir()
+	less := func(a, b int64) bool { return a < b }
+
+	dst := NewDecaSort[int64, int64](m, less, decompose.Int64Codec{}, decompose.Int64Codec{}, dir)
+	defer dst.Release()
+	for _, src := range sortSources(t, m, 3, true, dir) {
+		if err := dst.MergeFrom(src); err != nil {
+			t.Fatal(err)
+		}
+		src.Release()
+	}
+
+	collect := func() []decompose.Pair[int64, int64] {
+		var out []decompose.Pair[int64, int64]
+		if err := dst.DrainSorted(func(k, v int64) bool {
+			out = append(out, decompose.Pair[int64, int64]{Key: k, Value: v})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := collect()
+	second := collect()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("second drain lost records: %d then %d", len(first), len(second))
+	}
+}
+
+// TestMergeFromRefcounts pins the dependency-retention semantics: the
+// source group survives the source buffer's Release because the merged
+// buffer holds a dep, pages free exactly once when the merged buffer
+// releases, and releasing the source again still panics.
+func TestMergeFromRefcounts(t *testing.T) {
+	m := memory.NewManager(512, 0)
+	dst, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDecaAgg[int64, int64](m, func(a, c int64) int64 { return a + c },
+		decompose.Int64Codec{}, decompose.Int64Codec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		src.Put(i, i)
+	}
+	if err := dst.MergeFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if refs := src.group.Refs(); refs != 2 {
+		t.Fatalf("source group refs = %d after merge, want 2", refs)
+	}
+	inUse := m.InUse()
+	releasedBefore := m.Stats().PagesReleased
+
+	src.Release()
+	if refs := src.group.Refs(); refs != 1 {
+		t.Fatalf("source group refs = %d after source release, want 1 (dep)", refs)
+	}
+	if got := m.InUse(); got != inUse {
+		t.Errorf("source release freed dep-retained pages: InUse %d -> %d", inUse, got)
+	}
+	// The merged buffer still reads the adopted segments.
+	got := drainAggToMap[int64, int64](t, dst)
+	if len(got) != 100 || got[42] != 42 {
+		t.Fatalf("merged drain after source release = %d records (got[42]=%d)", len(got), got[42])
+	}
+
+	dst.Release()
+	if got := m.InUse(); got != 0 {
+		t.Errorf("InUse = %d after merged release", got)
+	}
+	if m.Stats().LiveGroups != 0 {
+		t.Errorf("live groups = %d after merged release", m.Stats().LiveGroups)
+	}
+	if m.Stats().PagesReleased == releasedBefore {
+		t.Error("no pages returned on merged release")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on over-releasing the source group")
+		}
+	}()
+	src.group.Release()
+}

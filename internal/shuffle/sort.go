@@ -22,6 +22,7 @@ type ObjectSort[K comparable, V any] struct {
 	spills    []spillFile
 	spilled   int64
 	entrySize func(K, V) int
+	approx    int64 // running SizeBytes estimate, maintained by Put/Spill
 	released  bool
 }
 
@@ -51,19 +52,15 @@ func NewObjectSort[K comparable, V any](less func(a, b K) bool, cfg ObjectSortCo
 // Put inserts one record.
 func (b *ObjectSort[K, V]) Put(k K, v V) {
 	b.records = append(b.records, decompose.Pair[K, V]{Key: k, Value: v})
+	b.approx += int64(b.entrySize(k, v))
 }
 
 // Len returns the number of in-memory records.
 func (b *ObjectSort[K, V]) Len() int { return len(b.records) }
 
-// SizeBytes estimates the footprint.
-func (b *ObjectSort[K, V]) SizeBytes() int64 {
-	var total int64
-	for _, r := range b.records {
-		total += int64(b.entrySize(r.Key, r.Value))
-	}
-	return total
-}
+// SizeBytes estimates the footprint, maintained incrementally by Put and
+// Spill instead of walking every buffered record on each call.
+func (b *ObjectSort[K, V]) SizeBytes() int64 { return b.approx }
 
 // SpilledBytes returns the cumulative spill volume.
 func (b *ObjectSort[K, V]) SpilledBytes() int64 { return b.spilled }
@@ -79,12 +76,15 @@ func (b *ObjectSort[K, V]) Spill() error {
 		return nil
 	}
 	b.sortRecords()
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for _, r := range b.records {
-			dst = b.keySer.Marshal(dst, r.Key)
-			dst = b.valSer.Marshal(dst, r.Value)
+			rec := b.keySer.Marshal(w.stage(0), r.Key)
+			rec = b.valSer.Marshal(rec, r.Value)
+			if err := w.emitScratch(rec); err != nil {
+				return err
+			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -92,6 +92,7 @@ func (b *ObjectSort[K, V]) Spill() error {
 	b.spills = append(b.spills, run)
 	b.spilled += run.size
 	b.records = nil
+	b.approx = 0
 	return nil
 }
 
@@ -102,7 +103,10 @@ func (b *ObjectSort[K, V]) sortRecords() {
 }
 
 // DrainSorted yields all records in key order, k-way merging any sorted
-// spill runs with the in-memory records.
+// spill runs with the in-memory records. Draining does not consume the
+// buffer: spill runs stay on disk until Release, so a memoized shuffle
+// output — which may hold runs transferred in by MergeFrom — drains
+// identically on every action.
 func (b *ObjectSort[K, V]) DrainSorted(yield func(K, V) bool) error {
 	b.sortRecords()
 	runs := make([]*runCursor[K, V], 0, len(b.spills)+1)
@@ -124,10 +128,6 @@ func (b *ObjectSort[K, V]) DrainSorted(yield func(K, V) bool) error {
 	runs = append(runs, mem)
 
 	mergeRuns(runs, b.less, yield)
-	for _, run := range b.spills {
-		run.remove()
-	}
-	b.spills = nil
 	return nil
 }
 
@@ -138,6 +138,7 @@ func (b *ObjectSort[K, V]) Release() {
 	}
 	b.released = true
 	b.records = nil
+	b.approx = 0
 	for _, run := range b.spills {
 		run.remove()
 	}
@@ -213,13 +214,17 @@ func (b *DecaSort[K, V]) Spill() error {
 		return nil
 	}
 	b.sortPtrs()
-	run, err := writeSpill(b.dir, func(dst []byte) []byte {
+	run, err := writeSpill(b.dir, func(w *spillWriter) error {
 		for _, ptr := range b.ptrs {
+			// Record bytes dump straight from the page in pointer order —
+			// no staging buffer at all.
 			page := b.group.Page(int(ptr.Page))
 			_, n := b.pairCodec.Decode(page[ptr.Off:])
-			dst = append(dst, page[ptr.Off:int(ptr.Off)+n]...)
+			if err := w.emit(page[ptr.Off : int(ptr.Off)+n]); err != nil {
+				return err
+			}
 		}
-		return dst
+		return nil
 	})
 	if err != nil {
 		return err
@@ -232,7 +237,10 @@ func (b *DecaSort[K, V]) Spill() error {
 }
 
 // DrainSorted yields all records in key order, merging sorted spill runs
-// with the sorted in-memory pointer array.
+// with the sorted in-memory pointer array. Like ObjectSort, draining
+// leaves the spill runs in place — Release owns their deletion — so
+// repeated drains of a memoized output (possibly holding MergeFrom-
+// transferred runs) all see the full record set.
 func (b *DecaSort[K, V]) DrainSorted(yield func(K, V) bool) error {
 	b.sortPtrs()
 	runs := make([]*runCursor[K, V], 0, len(b.spills)+1)
@@ -254,10 +262,29 @@ func (b *DecaSort[K, V]) DrainSorted(yield func(K, V) bool) error {
 	runs = append(runs, memRun)
 
 	mergeRuns(runs, b.less, yield)
-	for _, run := range b.spills {
-		run.remove()
+	return nil
+}
+
+// MergeFrom folds src into b zero-copy: b adopts src's page group by
+// reference and appends src's pointer array rebased to b's page address
+// space; records are never decoded — ordering is established lazily by
+// the next DrainSorted/Spill. Sorted spill runs transfer by file handle
+// and join b's k-way merge untouched. Same ownership contract as
+// DecaAgg.MergeFrom: src is consumed and must only be Released afterwards.
+func (b *DecaSort[K, V]) MergeFrom(src *DecaSort[K, V]) error {
+	if src == b {
+		return fmt.Errorf("shuffle: DecaSort cannot merge from itself")
 	}
-	b.spills = nil
+	b.spills = append(b.spills, src.spills...)
+	b.spilled += src.spilled
+	src.spills = nil
+	if len(src.ptrs) == 0 {
+		return nil
+	}
+	base := b.group.AdoptPages(src.group)
+	for _, ptr := range src.ptrs {
+		b.ptrs = append(b.ptrs, ptr.Rebase(base))
+	}
 	return nil
 }
 

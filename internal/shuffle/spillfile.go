@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 )
 
 // spillFile is one on-disk run of encoded records shared by all buffer
@@ -18,24 +19,56 @@ type spillFile struct {
 	size int64
 }
 
+// spillWriter streams records into a run file through a buffered writer,
+// so spilling never materializes the whole run in memory: Deca buffers
+// emit value segments straight out of their pages, object buffers stage
+// one record at a time in a reusable scratch buffer.
+type spillWriter struct {
+	w       *bufio.Writer
+	n       int64
+	scratch []byte
+}
+
+// emit appends b to the run.
+func (w *spillWriter) emit(b []byte) error {
+	nn, err := w.w.Write(b)
+	w.n += int64(nn)
+	if err != nil {
+		return fmt.Errorf("shuffle: writing spill: %w", err)
+	}
+	return nil
+}
+
+// stage returns the writer's scratch buffer resized to n bytes, growing
+// it in place (no per-record throwaway allocation) and reusing it across
+// records.
+func (w *spillWriter) stage(n int) []byte {
+	w.scratch = slices.Grow(w.scratch[:0], n)[:n]
+	return w.scratch
+}
+
+// emitScratch writes whatever the caller built in buf — usually an
+// extension of the staged buffer — and keeps the backing array for the
+// next record.
+func (w *spillWriter) emitScratch(buf []byte) error {
+	w.scratch = buf[:0]
+	return w.emit(buf)
+}
+
 // writeSpill streams records through fn into a new temp file in dir.
-// fn appends any number of records to the buffer it is given and returns
-// the extended slice; it is called once.
-func writeSpill(dir string, fn func(dst []byte) []byte) (spillFile, error) {
+// fn emits any number of records through the writer; it is called once.
+func writeSpill(dir string, fn func(w *spillWriter) error) (spillFile, error) {
 	f, err := os.CreateTemp(dir, "deca-spill-*.bin")
 	if err != nil {
 		return spillFile{}, fmt.Errorf("shuffle: creating spill file: %w", err)
 	}
-	// Encode in memory then write through a buffered writer. Runs are
-	// bounded by the shuffle budget, so this stays small by construction.
-	data := fn(nil)
-	w := bufio.NewWriter(f)
-	if _, err := w.Write(data); err != nil {
+	sw := &spillWriter{w: bufio.NewWriter(f)}
+	if err := fn(sw); err != nil {
 		f.Close()
 		os.Remove(f.Name())
-		return spillFile{}, fmt.Errorf("shuffle: writing spill: %w", err)
+		return spillFile{}, err
 	}
-	if err := w.Flush(); err != nil {
+	if err := sw.w.Flush(); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return spillFile{}, fmt.Errorf("shuffle: flushing spill: %w", err)
@@ -44,7 +77,7 @@ func writeSpill(dir string, fn func(dst []byte) []byte) (spillFile, error) {
 		os.Remove(f.Name())
 		return spillFile{}, fmt.Errorf("shuffle: closing spill: %w", err)
 	}
-	return spillFile{path: f.Name(), size: int64(len(data))}, nil
+	return spillFile{path: f.Name(), size: sw.n}, nil
 }
 
 // read loads the whole run back. Spill merging re-aggregates, so streaming

@@ -34,11 +34,17 @@ func (id MapOutputID) String() string {
 // Payload is a registered map output: the buffer itself plus its origin
 // executor and estimated size, for locality accounting. In-process the
 // Data crosses by pointer (zero copy, zero serialization); a network
-// transport would move Bytes over the wire instead.
+// transport would move Bytes over the wire instead. MemBytes is the
+// in-memory portion of Bytes (excluding spill files, which stay on disk
+// until drained) — the amount a fetch actually brings into the reduce
+// executor's memory, used to budget fetch pipelining. A fully-spilled
+// output legitimately carries MemBytes 0: fetching it moves nothing into
+// memory.
 type Payload struct {
 	Data        any
 	SrcExecutor int
 	Bytes       int64
+	MemBytes    int64
 }
 
 // Stats counts transport traffic. A fetch is "local" when the requesting

@@ -38,7 +38,13 @@ type Config struct {
 	// ShuffleSpillThreshold forces shuffle spilling at a per-buffer byte
 	// bound (<0 disables; 0 derives from budget).
 	ShuffleSpillThreshold int64
-	Seed                  int64
+	// FetchConcurrency bounds concurrent map-output fetches per reduce
+	// task (0 = engine default; 1 = a single fetcher, depth-1 pipeline).
+	FetchConcurrency int
+	// DisableZeroCopyMerge drains and re-inserts records on the reduce
+	// merge even in Deca mode — the merge experiment's baseline.
+	DisableZeroCopyMerge bool
+	Seed                 int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +71,8 @@ func (c Config) newEngine() *engine.Context {
 		StorageFraction:       c.StorageFraction,
 		SpillDir:              c.SpillDir,
 		ShuffleSpillThreshold: c.ShuffleSpillThreshold,
+		FetchConcurrency:      c.FetchConcurrency,
+		DisableZeroCopyMerge:  c.DisableZeroCopyMerge,
 	})
 }
 
