@@ -18,18 +18,26 @@ import (
 	"time"
 
 	"deca/internal/bench"
+	"deca/internal/engine"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		par      = flag.Int("parallelism", 4, "worker goroutines per executor")
-		execs    = flag.Int("executors", 1, "executors in the local cluster (scaling experiment sweeps its own)")
-		spillDir = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
-		listOnly = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		par       = flag.Int("parallelism", 4, "worker goroutines per executor")
+		execs     = flag.Int("executors", 1, "executors in the local cluster (scaling experiment sweeps its own)")
+		transport = flag.String("transport", "inprocess", "shuffle transport: inprocess or tcp (loopback sockets)")
+		spillDir  = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
+		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	transportKind, err := engine.ParseTransportKind(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deca-bench:", err)
+		os.Exit(1)
+	}
 
 	if *listOnly {
 		for _, e := range bench.All() {
@@ -38,7 +46,10 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Parallelism: *par, NumExecutors: *execs, SpillDir: *spillDir}
+	opts := bench.Options{
+		Scale: *scale, Parallelism: *par, NumExecutors: *execs,
+		SpillDir: *spillDir, TransportKind: transportKind,
+	}
 	if opts.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "deca-bench-*")
 		if err != nil {

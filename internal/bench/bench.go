@@ -30,6 +30,9 @@ type Options struct {
 	// (0/1 = single executor). The scaling experiment sweeps its own
 	// executor counts regardless.
 	NumExecutors int
+	// TransportKind selects the shuffle transport every experiment's
+	// engine uses (deca-bench -transport tcp).
+	TransportKind engine.TransportKind
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +105,7 @@ func All() []Experiment {
 		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
 		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
 		{"scaling", "Executor scaling: budget split across 1/2/4/8 executors", ScalingExecutors},
+		{"wire", "Wire format: container encode/decode throughput, Deca vs Object", WireThroughput},
 		{"merge", "Zero-copy reduce merge vs drain/re-Put across modes and executor counts", MergeZeroCopy},
 		{"ablation-pagesize", "Page-size sweep (design-choice ablation)", AblationPageSize},
 		{"ablation-value-reuse", "SFST value reuse vs boxed combines (ablation)", AblationValueReuse},
@@ -147,11 +151,12 @@ func resultRow(label string, r workloads.Result) string {
 // baseCfg builds a workload config for the given mode.
 func (o Options) baseCfg(mode engine.Mode) workloads.Config {
 	return workloads.Config{
-		Mode:         mode,
-		NumExecutors: o.NumExecutors,
-		Parallelism:  o.Parallelism,
-		Partitions:   o.Parallelism * o.NumExecutors,
-		SpillDir:     o.SpillDir,
-		Seed:         1,
+		Mode:          mode,
+		NumExecutors:  o.NumExecutors,
+		Parallelism:   o.Parallelism,
+		Partitions:    o.Parallelism * o.NumExecutors,
+		SpillDir:      o.SpillDir,
+		TransportKind: o.TransportKind,
+		Seed:          1,
 	}
 }

@@ -56,13 +56,14 @@ func ScalingExecutors(o Options) (*Report, error) {
 			var baseline float64
 			for _, execs := range []int{1, 2, 4, 8} {
 				cfg := workloads.Config{
-					Mode:         mode,
-					NumExecutors: execs,
-					Parallelism:  o.Parallelism,
-					Partitions:   parts,
-					MemoryBudget: totalBudget,
-					SpillDir:     o.SpillDir,
-					Seed:         1,
+					Mode:          mode,
+					NumExecutors:  execs,
+					Parallelism:   o.Parallelism,
+					Partitions:    parts,
+					MemoryBudget:  totalBudget,
+					SpillDir:      o.SpillDir,
+					TransportKind: o.TransportKind,
+					Seed:          1,
 				}
 				res, err := a.run(cfg)
 				if err != nil {

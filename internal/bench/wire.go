@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"deca/internal/decompose"
+	"deca/internal/memory"
+	"deca/internal/serial"
+	"deca/internal/shuffle"
+)
+
+// WireThroughput is the serialization claim of §6.5 measured end to end
+// on the shuffle wire path: a Deca container's network frame is its key
+// table plus a bulk page snapshot (the records are already bytes), while
+// an object container must marshal — and on decode re-materialize —
+// every record through the Kryo-style serializer. The experiment fills
+// an aggregation and a sort container of each flavour with identical
+// LR-shaped records (int64 key, fixed-dimension float vector), then
+// measures encode and decode throughput over the frames.
+func WireThroughput(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{
+		ID:    "wire",
+		Title: "Wire format: container encode/decode throughput, Deca vs Object",
+		PaperClaim: "Deca saves the cost of data (de-)serialization by directly outputting " +
+			"the raw bytes; Spark's serializer pays per record on both ends (§6.5, Table 5)",
+	}
+
+	const dim = 48
+	records := o.scaled(100_000)
+	// Small scales make single encodes microsecond-short; more iterations
+	// keep the throughput numbers out of timer noise.
+	iters := 5
+	if n := 500_000 / records; n > iters {
+		iters = min(n, 100)
+	}
+
+	// Aggregation containers (ReduceByKey map output).
+	decaMem := memory.NewManager(0, 0)
+	dAgg, err := shuffle.NewDecaAgg[int64, []int64](decaMem,
+		combineVec, decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, o.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	oAgg := shuffle.NewObjectAgg(combineVec, shuffle.ObjectAggConfig[int64, []int64]{
+		KeySer: serial.Int64{}, ValSer: serial.I64Slice{}, SpillDir: o.SpillDir,
+	})
+	// Sort containers (SortByKey map output): the leanest Deca frame —
+	// pointer array + pages, no key table.
+	dSort := shuffle.NewDecaSort[int64, []int64](decaMem, lessI64,
+		decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, o.SpillDir)
+	oSort := shuffle.NewObjectSort(lessI64, shuffle.ObjectSortConfig[int64, []int64]{
+		KeySer: serial.Int64{}, ValSer: serial.I64Slice{}, SpillDir: o.SpillDir,
+	})
+	defer dAgg.Release()
+	defer oAgg.Release()
+	defer dSort.Release()
+	defer oSort.Release()
+
+	// Wide-varint element values exercise the serializer's per-element
+	// cost; Deca's page layout stores them as raw words either way. The
+	// reusable vec feeds the Deca puts (the codec copies into pages
+	// immediately); the object puts box a fresh slice per record, exactly
+	// as the JVM's object containers hold distinct heap objects.
+	vec := make([]int64, dim)
+	for i := 0; i < records; i++ {
+		for d := range vec {
+			vec[d] = int64(1)<<55 + int64(i*dim+d)
+		}
+		boxed := make([]int64, dim)
+		copy(boxed, vec)
+		dAgg.Put(int64(i), vec)
+		oAgg.Put(int64(i), boxed)
+		dSort.Put(int64(i), vec)
+		oSort.Put(int64(i), boxed)
+	}
+
+	type path struct {
+		label  string
+		encode func(w io.Writer) error
+		decode func(frame []byte) error
+	}
+	spill := o.SpillDir
+	// One long-lived destination manager, as on a real executor: restored
+	// pages return to its pool on release and recycle across fetches —
+	// the steady-state-no-allocation property the decode path inherits.
+	dstMem := memory.NewManager(0, 0)
+	paths := []path{
+		{"agg  Deca", dAgg.EncodeWire, func(frame []byte) error {
+			b, err := shuffle.DecodeDecaAgg[int64, []int64](bytes.NewReader(frame), dstMem,
+				combineVec, decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, spill)
+			if err != nil {
+				return err
+			}
+			b.Release()
+			return nil
+		}},
+		{"agg  Object", oAgg.EncodeWire, func(frame []byte) error {
+			b, err := shuffle.DecodeObjectAgg[int64, []int64](bytes.NewReader(frame),
+				combineVec, shuffle.ObjectAggConfig[int64, []int64]{
+					KeySer: serial.Int64{}, ValSer: serial.I64Slice{}, SpillDir: spill,
+				})
+			if err != nil {
+				return err
+			}
+			b.Release()
+			return nil
+		}},
+		{"sort Deca", dSort.EncodeWire, func(frame []byte) error {
+			b, err := shuffle.DecodeDecaSort[int64, []int64](bytes.NewReader(frame), dstMem, lessI64,
+				decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, spill)
+			if err != nil {
+				return err
+			}
+			b.Release()
+			return nil
+		}},
+		{"sort Object", oSort.EncodeWire, func(frame []byte) error {
+			b, err := shuffle.DecodeObjectSort[int64, []int64](bytes.NewReader(frame), lessI64,
+				shuffle.ObjectSortConfig[int64, []int64]{
+					KeySer: serial.Int64{}, ValSer: serial.I64Slice{}, SpillDir: spill,
+				})
+			if err != nil {
+				return err
+			}
+			b.Release()
+			return nil
+		}},
+	}
+
+	mbps := make([][2]float64, len(paths)) // per path: {encode, decode} MB/s
+	for pi, p := range paths {
+		var frame bytes.Buffer
+		if err := p.encode(&frame); err != nil {
+			return nil, fmt.Errorf("wire: %s encode: %w", p.label, err)
+		}
+		size := int64(frame.Len())
+
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			frame.Reset()
+			if err := p.encode(&frame); err != nil {
+				return nil, fmt.Errorf("wire: %s encode: %w", p.label, err)
+			}
+		}
+		encDur := time.Since(start)
+
+		buf := frame.Bytes()
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := p.decode(buf); err != nil {
+				return nil, fmt.Errorf("wire: %s decode: %w", p.label, err)
+			}
+		}
+		decDur := time.Since(start)
+
+		enc := throughputMBps(size, iters, encDur)
+		dec := throughputMBps(size, iters, decDur)
+		mbps[pi] = [2]float64{enc, dec}
+		rep.add("%-11s frame=%-9s encode=%8.1fMB/s decode=%8.1fMB/s (records=%d dim=%d)",
+			p.label, mb(size), enc, dec, records, dim)
+	}
+	// Paths alternate Deca/Object per shape: agg at 0/1, sort at 2/3.
+	for i, shape := range []string{"agg", "sort"} {
+		d, obj := mbps[2*i], mbps[2*i+1]
+		rep.add("%-4s Deca/Object ratio: encode %.1fx, decode %.1fx",
+			shape, ratio(d[0], obj[0]), ratio(d[1], obj[1]))
+	}
+	return rep, nil
+}
+
+func combineVec(a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func lessI64(a, b int64) bool { return a < b }
+
+func throughputMBps(size int64, iters int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(size) * float64(iters) / (1 << 20) / d.Seconds()
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -163,6 +163,31 @@ func (c Float64VecCodec) Decode(seg []byte) ([]float64, int) {
 	return v, 8 * c.Dim
 }
 
+// Int64VecCodec encodes fixed-dimension int64 vectors as raw
+// little-endian words: the StaticFixed layout of constant-width integer
+// arrays (feature ids, adjacency degrees) once the global analysis has
+// proven the dimension constant (§3.3). Same contract as Float64VecCodec:
+// Encode panics on a dimension mismatch.
+type Int64VecCodec struct{ Dim int }
+
+func (c Int64VecCodec) FixedSize() int     { return 8 * c.Dim }
+func (c Int64VecCodec) Size(v []int64) int { return 8 * c.Dim }
+func (c Int64VecCodec) Encode(seg []byte, v []int64) {
+	if len(v) != c.Dim {
+		panic("decompose: vector dimension mismatch with StaticFixed layout")
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(seg[i*8:], uint64(x))
+	}
+}
+func (c Int64VecCodec) Decode(seg []byte) ([]int64, int) {
+	v := make([]int64, c.Dim)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(seg[i*8:]))
+	}
+	return v, 8 * c.Dim
+}
+
 // Float64SliceCodec encodes variable-length float64 slices with a uint32
 // count prefix (RuntimeFixed).
 type Float64SliceCodec struct{}

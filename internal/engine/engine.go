@@ -63,6 +63,42 @@ func (m Mode) String() string {
 	}
 }
 
+// TransportKind selects the shuffle transport implementation.
+type TransportKind int
+
+const (
+	// TransportInProcess crosses executor boundaries by pointer (the
+	// default): zero copies, with the would-be network volume accounted.
+	TransportInProcess TransportKind = iota
+	// TransportTCP runs one loopback listener per executor and moves
+	// cross-executor map output as encoded wire frames over real sockets;
+	// executor-local fetches keep the pointer path.
+	TransportTCP
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportInProcess:
+		return "inprocess"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// ParseTransportKind resolves the -transport flag values.
+func ParseTransportKind(s string) (TransportKind, error) {
+	switch s {
+	case "", "inprocess":
+		return TransportInProcess, nil
+	case "tcp":
+		return TransportTCP, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown transport %q (want inprocess or tcp)", s)
+	}
+}
+
 // Config sizes the cluster.
 type Config struct {
 	// NumExecutors is the number of executors in the local cluster, each
@@ -111,6 +147,10 @@ type Config struct {
 	// the measured baseline of the merge experiment. Default off: Deca
 	// reduce tasks adopt map-output page groups by reference.
 	DisableZeroCopyMerge bool
+	// TransportKind selects how shuffle map output crosses executors:
+	// TransportInProcess (default) by pointer, TransportTCP as wire
+	// frames over per-executor loopback sockets.
+	TransportKind TransportKind
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +204,11 @@ type Context struct {
 
 	shufMu   sync.Mutex
 	shuffles map[int]releasable
+
+	// testAfterMapStage, when set, runs between a shuffle's map and reduce
+	// stages (tests: injecting map-output loss to drive the reduce error
+	// path).
+	testAfterMapStage func(transport.ShuffleID)
 }
 
 // New creates an execution context with NumExecutors executors. The
@@ -174,9 +219,22 @@ type Context struct {
 // holds whenever MemoryBudget ≥ NumExecutors (any realistic sizing).
 func New(conf Config) *Context {
 	conf = conf.withDefaults()
+	var trans transport.Transport
+	switch conf.TransportKind {
+	case TransportTCP:
+		tcp, err := transport.NewTCP(conf.NumExecutors)
+		if err != nil {
+			// Loopback listeners failing is an environment fault, not a
+			// recoverable job condition; keep New's signature and fail loudly.
+			panic(fmt.Sprintf("engine: starting TCP transport: %v", err))
+		}
+		trans = tcp
+	default:
+		trans = transport.NewInProcess()
+	}
 	c := &Context{
 		conf:     conf,
-		trans:    transport.NewInProcess(),
+		trans:    trans,
 		shuffles: make(map[int]releasable),
 	}
 	n := conf.NumExecutors
@@ -241,13 +299,14 @@ func (c *Context) ReleaseAllShuffles() {
 	}
 }
 
-// Close releases shuffles and every executor's cache blocks. The context
-// is unusable afterwards.
+// Close releases shuffles, every executor's cache blocks, and the
+// transport's listeners. The context is unusable afterwards.
 func (c *Context) Close() {
 	c.ReleaseAllShuffles()
 	for _, ex := range c.execs {
 		ex.cache.Clear()
 	}
+	c.trans.Close()
 }
 
 // Conf returns the effective configuration.

@@ -95,13 +95,17 @@ type pairSink[K comparable, V any] interface {
 // exchange is the transport-backed map/reduce exchange every keyed
 // shuffle runs. Map task m (on partition m's affine executor) fills one
 // buffer per reduce partition from d, spilling under the derived
-// threshold, and registers each with the transport; reduce task r fetches
-// its M inputs through a bounded-concurrency prefetch pipeline — crossing
+// threshold, and registers each with the transport — wrapped by codec in
+// a payload carrying the buffer's wire encoder, so a networked transport
+// can frame it without knowing its type; reduce task r fetches its M
+// inputs through a bounded-concurrency prefetch pipeline — crossing
 // executors where placement differs, with locality noted per executor —
-// and merges them, in map order, into a buffer created on its own
-// executor via merge (the only sink-shape-specific step), releasing each
-// source as it folds in. On any error, every buffer this exchange created,
-// fetched, or still holds registered is released before returning.
+// decodes any wire frames into a container in its own executor's memory
+// manager (local fetches keep the pointer path), and merges them, in map
+// order, into a buffer created on its own executor via merge (the only
+// sink-shape-specific step), releasing each source as it folds in. On any
+// error, every buffer this exchange created, fetched, or still holds
+// registered is released before returning.
 func exchange[K comparable, V any, S pairSink[K, V]](
 	d *Dataset[decompose.Pair[K, V]],
 	key shuffle.Key[K],
@@ -109,6 +113,7 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 	entrySize func(K, V) int,
 	newBuf func(ex *Executor) (S, error),
 	merge func(dst, src S) error,
+	codec wireCodec[S],
 ) ([]S, error) {
 	ctx := d.ctx
 	M := d.parts
@@ -162,14 +167,16 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 			return iterErr
 		}
 		for r, b := range bufs {
-			ctx.trans.Register(
+			prev, replaced := ctx.trans.Register(
 				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
-				transport.Payload{
-					Data:        b,
-					SrcExecutor: ex.id,
-					Bytes:       b.SizeBytes() + b.SpilledBytes(),
-					MemBytes:    b.SizeBytes(),
-				})
+				codec.payloadFor(b, ex, b.SizeBytes(), b.SpilledBytes()))
+			if replaced {
+				// Task-retry semantics: the displaced registration's buffers
+				// are nobody else's to free anymore.
+				if rel, ok := prev.Data.(releasable); ok {
+					rel.Release()
+				}
+			}
 		}
 		registered = true
 		return nil
@@ -177,6 +184,9 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 	if err != nil {
 		ctx.dropShuffleOutputs(shufID)
 		return nil, err
+	}
+	if ctx.testAfterMapStage != nil {
+		ctx.testAfterMapStage(shufID)
 	}
 
 	outputs := make([]S, R)
@@ -206,10 +216,16 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 				return fmt.Errorf("engine: missing map output %v",
 					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
 			}
-			buf := res.pl.Data.(S)
-			err := merge(merged, buf)
-			// Once fetched, the buffer is this task's to release, merge
-			// error or not.
+			// A payload that crossed the wire decodes into this executor's
+			// memory manager; a pointer payload casts straight back.
+			buf, err := codec.open(res.pl, ex)
+			if err != nil {
+				fp.merged(res.pl)
+				return err
+			}
+			err = merge(merged, buf)
+			// Once fetched (or decoded), the buffer is this task's to
+			// release, merge error or not.
 			ctx.noteSpill(res.pl.SrcExecutor, buf.SpilledBytes())
 			buf.Release()
 			fp.merged(res.pl)
@@ -307,7 +323,8 @@ func ReduceByKey[K comparable, V any](
 
 	st := newShuffleState[decompose.Pair[K, V]](R)
 	materialize := func() error {
-		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf, mergeBufs)
+		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf, mergeBufs,
+			aggWireCodec(ctx, ops, combine))
 		if err != nil {
 			return err
 		}
@@ -371,7 +388,7 @@ func GroupByKey[K comparable, V any](
 	materialize := func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (groupSink[K, V], error) { return newBuf(ex), nil },
-			mergeBufs)
+			mergeBufs, groupWireCodec(ctx, ops))
 		if err != nil {
 			return err
 		}
@@ -433,7 +450,7 @@ func SortByKey[K comparable, V any](
 	materialize := func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (sortSink[K, V], error) { return newBuf(ex), nil },
-			mergeBufs)
+			mergeBufs, sortWireCodec(ctx, ops))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"deca/internal/shuffle"
+	"deca/internal/transport"
+)
+
+// The codec registry: the seam between the generic shuffle operators and
+// the payload-agnostic transport. Each keyed-shuffle operator registers
+// one wireCodec for its sink shape (built from the same PairOps both
+// sides of the exchange share), the exchange hands the transport only the
+// codec's Encode closure via Payload.Encode, and frames that come back
+// from a remote fetch decode into a container allocated in the
+// *destination* executor's memory manager. The scheduler and the
+// transport never learn the payload's generic type; local fetches never
+// touch the codec at all and keep the pointer path.
+
+// wireCodec is one shuffle's codec-registry entry for sink type S.
+type wireCodec[S any] struct {
+	// encode writes s's self-describing wire frame.
+	encode func(s S, w io.Writer) error
+	// decode rebuilds a container from a frame inside executor ex.
+	decode func(frame []byte, ex *Executor) (S, error)
+}
+
+// open resolves a fetched payload into a usable sink on executor ex:
+// payloads that crossed by pointer cast directly, Wire payloads decode
+// into ex's memory manager. The returned sink is owned by the caller
+// either way.
+func (wc wireCodec[S]) open(pl transport.Payload, ex *Executor) (S, error) {
+	var zero S
+	if w, ok := pl.Data.(transport.Wire); ok {
+		if wc.decode == nil {
+			return zero, fmt.Errorf("engine: received a wire frame but the shuffle has no decoder")
+		}
+		return wc.decode(w.Frame, ex)
+	}
+	s, ok := pl.Data.(S)
+	if !ok {
+		return zero, fmt.Errorf("engine: shuffle payload has type %T, want %T", pl.Data, zero)
+	}
+	return s, nil
+}
+
+// payloadFor wraps a sink into a transport payload, attaching the codec's
+// encoder so any wire-capable transport can ship it.
+func (wc wireCodec[S]) payloadFor(s S, ex *Executor, sizeBytes, spilledBytes int64) transport.Payload {
+	pl := transport.Payload{
+		Data:        s,
+		SrcExecutor: ex.id,
+		Bytes:       sizeBytes + spilledBytes,
+		MemBytes:    sizeBytes,
+	}
+	if wc.encode != nil {
+		pl.Encode = func(w io.Writer) error { return wc.encode(s, w) }
+	}
+	return pl
+}
+
+// aggWireCodec builds the codec-registry entry for ReduceByKey's sinks.
+// The frame is self-describing (a kind byte leads), and both ends derive
+// the container flavour from the same Config and PairOps, so encode
+// dispatches on the concrete sink and decode on the mode.
+func aggWireCodec[K comparable, V any](
+	ctx *Context, ops PairOps[K, V], combine func(V, V) V,
+) wireCodec[aggSink[K, V]] {
+	return wireCodec[aggSink[K, V]]{
+		encode: func(s aggSink[K, V], w io.Writer) error {
+			switch b := s.(type) {
+			case *shuffle.DecaAgg[K, V]:
+				return b.EncodeWire(w)
+			case *shuffle.ObjectAgg[K, V]:
+				return b.EncodeWire(w)
+			}
+			return fmt.Errorf("engine: aggregation buffer %T has no wire form", s)
+		},
+		decode: func(frame []byte, ex *Executor) (aggSink[K, V], error) {
+			r := bytes.NewReader(frame)
+			if ops.decaAble(ctx) {
+				return shuffle.DecodeDecaAgg(r, ex.mem, combine, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			}
+			return shuffle.DecodeObjectAgg(r, combine, shuffle.ObjectAggConfig[K, V]{
+				KeySer: ops.KeySer, ValSer: ops.ValSer,
+				SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+			})
+		},
+	}
+}
+
+// groupWireCodec builds the codec-registry entry for GroupByKey's sinks.
+func groupWireCodec[K comparable, V any](
+	ctx *Context, ops PairOps[K, V],
+) wireCodec[groupSink[K, V]] {
+	return wireCodec[groupSink[K, V]]{
+		encode: func(s groupSink[K, V], w io.Writer) error {
+			switch b := s.(type) {
+			case *shuffle.DecaGroup[K, V]:
+				return b.EncodeWire(w)
+			case *shuffle.ObjectGroup[K, V]:
+				return b.EncodeWire(w)
+			}
+			return fmt.Errorf("engine: grouping buffer %T has no wire form", s)
+		},
+		decode: func(frame []byte, ex *Executor) (groupSink[K, V], error) {
+			r := bytes.NewReader(frame)
+			if ops.decaGroupAble(ctx) {
+				return shuffle.DecodeDecaGroup(r, ex.mem, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			}
+			return shuffle.DecodeObjectGroup(r, shuffle.ObjectGroupConfig[K, V]{
+				KeySer: ops.KeySer, ValSer: ops.ValSer,
+				SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+			})
+		},
+	}
+}
+
+// sortWireCodec builds the codec-registry entry for SortByKey's sinks.
+func sortWireCodec[K comparable, V any](
+	ctx *Context, ops PairOps[K, V],
+) wireCodec[sortSink[K, V]] {
+	return wireCodec[sortSink[K, V]]{
+		encode: func(s sortSink[K, V], w io.Writer) error {
+			switch b := s.(type) {
+			case *shuffle.DecaSort[K, V]:
+				return b.EncodeWire(w)
+			case *shuffle.ObjectSort[K, V]:
+				return b.EncodeWire(w)
+			}
+			return fmt.Errorf("engine: sort buffer %T has no wire form", s)
+		},
+		decode: func(frame []byte, ex *Executor) (sortSink[K, V], error) {
+			r := bytes.NewReader(frame)
+			if ctx.Mode() == ModeDeca && ops.KeyCodec != nil && ops.ValCodec != nil {
+				return shuffle.DecodeDecaSort(r, ex.mem, ops.Key.Less, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
+			}
+			return shuffle.DecodeObjectSort(r, ops.Key.Less, shuffle.ObjectSortConfig[K, V]{
+				KeySer: ops.KeySer, ValSer: ops.ValSer,
+				SpillDir: ctx.conf.SpillDir, EntrySize: ops.EntrySize,
+			})
+		},
+	}
+}

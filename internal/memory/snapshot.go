@@ -1,0 +1,115 @@
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The page-group wire frame: because a group already holds records as
+// contiguous bytes, its network representation is the pages themselves —
+// a count header followed by each page's used prefix, length-prefixed.
+// Page boundaries are preserved exactly, so every Ptr minted in the
+// source group addresses the same segment in the restored group without
+// translation (a restore starts at page 0, making Ptr.Rebase the
+// identity). This is the property the paper's serialization experiments
+// (§6.5) turn on: shipping a Deca container costs a handful of bulk
+// copies, not a per-record encode.
+
+// maxSnapshotPage bounds a single restored page, guarding RestoreGroup
+// against corrupt or hostile length headers off the wire.
+const maxSnapshotPage = 1 << 31
+
+// ByteReader is the stream shape RestoreGroup consumes: byte-level reads
+// for the varint headers plus bulk reads for page bodies. *bufio.Reader
+// and *bytes.Reader both satisfy it. Byte-level varint reads consume
+// exactly the frame's bytes, so a caller may continue decoding its own
+// trailing sections from the same stream.
+type ByteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Snapshot writes the group as a framed page sequence and returns the
+// number of bytes written: uvarint page count, then for each page a
+// uvarint length and the page's used bytes, emitted straight from the
+// page — no per-record work, no staging copy.
+func (g *Group) Snapshot(w io.Writer) (int64, error) {
+	g.checkLive()
+	var written int64
+	var hdr [binary.MaxVarintLen64]byte
+	n, err := w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(g.pages)))])
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("memory: snapshot header: %w", err)
+	}
+	for _, p := range g.pages {
+		n, err = w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(p)))])
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("memory: snapshot page header: %w", err)
+		}
+		n, err = w.Write(p)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("memory: snapshot page: %w", err)
+		}
+	}
+	return written, nil
+}
+
+// SnapshotSize returns the exact byte length Snapshot will write.
+func (g *Group) SnapshotSize() int64 {
+	g.checkLive()
+	total := int64(uvarintLen(uint64(len(g.pages))))
+	for _, p := range g.pages {
+		total += int64(uvarintLen(uint64(len(p)))) + int64(len(p))
+	}
+	return total
+}
+
+func uvarintLen(v uint64) int {
+	var b [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(b[:], v)
+}
+
+// RestoreGroup rebuilds a snapshotted page group inside this manager: the
+// destination executor's side of a remote shuffle fetch. Pages come from
+// this manager's pool and are charged against its budget, page boundaries
+// and offsets are preserved one-to-one with the source, and the restored
+// group owns all of its pages (no adoptions, refcount 1). On any error
+// the partially restored group is released before returning.
+func (m *Manager) RestoreGroup(r ByteReader) (*Group, error) {
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("memory: restore header: %w", err)
+	}
+	if count > maxSnapshotPage {
+		return nil, fmt.Errorf("memory: restore: implausible page count %d", count)
+	}
+	g := m.NewGroup()
+	for i := uint64(0); i < count; i++ {
+		plen, err := binary.ReadUvarint(r)
+		if err != nil {
+			g.Release()
+			return nil, fmt.Errorf("memory: restore page %d header: %w", i, err)
+		}
+		if plen > maxSnapshotPage {
+			g.Release()
+			return nil, fmt.Errorf("memory: restore page %d: implausible length %d", i, plen)
+		}
+		page := m.getPage(int(plen))[:plen]
+		// Append the page directly — Alloc would pack small source pages
+		// together and break the Ptr address space.
+		g.pages = append(g.pages, page)
+		if g.adopted != nil {
+			g.adopted = append(g.adopted, false)
+		}
+		g.bytes += int64(plen)
+		if _, err := io.ReadFull(r, page); err != nil {
+			g.Release()
+			return nil, fmt.Errorf("memory: restore page %d body: %w", i, err)
+		}
+	}
+	return g, nil
+}

@@ -49,8 +49,13 @@ func AppendFloat64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
-// Float64 decodes a fixed 8-byte float.
+// Float64 decodes a fixed 8-byte float. Truncated input returns 0
+// consumed (records may arrive off a wire or a corrupt spill; decoders
+// must fail, not panic).
 func Float64(src []byte) (float64, int) {
+	if len(src) < 8 {
+		return 0, 0
+	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(src)), 8
 }
 
@@ -60,9 +65,14 @@ func AppendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-// String decodes a length-prefixed string.
+// String decodes a length-prefixed string. A malformed prefix or a length
+// running past the buffer returns 0 consumed — the error signal every
+// record drainer checks — instead of panicking on truncated input.
 func String(src []byte) (string, int) {
 	n, k := Uvarint(src)
+	if k <= 0 || n > uint64(len(src)-k) {
+		return "", 0
+	}
 	return string(src[k : k+int(n)]), k + int(n)
 }
 
@@ -102,6 +112,11 @@ func (F64Slice) Marshal(dst []byte, v []float64) []byte {
 
 func (F64Slice) Unmarshal(src []byte) ([]float64, int) {
 	n, k := Uvarint(src)
+	// Reject malformed prefixes and counts the buffer cannot hold before
+	// allocating: 8 bytes per element must fit in what remains.
+	if k <= 0 || n > uint64(len(src)-k)/8 {
+		return nil, 0
+	}
 	v := make([]float64, n)
 	for i := range v {
 		var x float64
@@ -125,9 +140,17 @@ func (I64Slice) Marshal(dst []byte, v []int64) []byte {
 
 func (I64Slice) Unmarshal(src []byte) ([]int64, int) {
 	n, k := Uvarint(src)
+	// Varint elements take at least one byte each; a count beyond the
+	// remaining bytes is corrupt.
+	if k <= 0 || n > uint64(len(src)-k) {
+		return nil, 0
+	}
 	v := make([]int64, n)
 	for i := range v {
 		x, m := Varint(src[k:])
+		if m <= 0 {
+			return nil, 0
+		}
 		v[i] = x
 		k += m
 	}
@@ -153,7 +176,13 @@ func (p Pair[K, V]) Marshal(dst []byte, v KV[K, V]) []byte {
 
 func (p Pair[K, V]) Unmarshal(src []byte) (KV[K, V], int) {
 	k, kn := p.Key.Unmarshal(src)
+	if kn <= 0 {
+		return KV[K, V]{}, 0
+	}
 	v, vn := p.Value.Unmarshal(src[kn:])
+	if vn <= 0 {
+		return KV[K, V]{}, 0
+	}
 	return KV[K, V]{Key: k, Value: v}, kn + vn
 }
 
@@ -170,10 +199,18 @@ func (s Slice[T]) Marshal(dst []byte, v []T) []byte {
 
 func (s Slice[T]) Unmarshal(src []byte) ([]T, int) {
 	n, k := Uvarint(src)
+	// Elements take at least one byte each under every Serializer here;
+	// larger counts cannot be backed by the buffer.
+	if k <= 0 || n > uint64(len(src)-k) {
+		return nil, 0
+	}
 	v := make([]T, n)
 	for i := range v {
 		var m int
 		v[i], m = s.Elem.Unmarshal(src[k:])
+		if m <= 0 {
+			return nil, 0
+		}
 		k += m
 	}
 	return v, k

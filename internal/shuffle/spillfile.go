@@ -80,6 +80,39 @@ func writeSpill(dir string, fn func(w *spillWriter) error) (spillFile, error) {
 	return spillFile{path: f.Name(), size: sw.n}, nil
 }
 
+// writeTo streams the run file into w (the wire encode path: spill runs
+// cross the network as raw file bytes, no re-read into a record pass).
+func (s spillFile) writeTo(w io.Writer) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("shuffle: opening spill %s: %w", s.path, err)
+	}
+	defer f.Close()
+	if _, err := io.Copy(w, f); err != nil {
+		return fmt.Errorf("shuffle: streaming spill %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// restoreSpill writes the next size bytes of r into a fresh run file in
+// dir — the receiving end of a spill run that crossed the wire.
+func restoreSpill(dir string, r io.Reader, size int64) (spillFile, error) {
+	f, err := os.CreateTemp(dir, "deca-spill-*.bin")
+	if err != nil {
+		return spillFile{}, fmt.Errorf("shuffle: creating restored spill: %w", err)
+	}
+	if _, err := io.CopyN(f, r, size); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return spillFile{}, fmt.Errorf("shuffle: restoring spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return spillFile{}, fmt.Errorf("shuffle: closing restored spill: %w", err)
+	}
+	return spillFile{path: f.Name(), size: size}, nil
+}
+
 // read loads the whole run back. Spill merging re-aggregates, so streaming
 // granularity buys nothing at these run sizes.
 func (s spillFile) read() ([]byte, error) {

@@ -19,12 +19,14 @@ func NewInProcess() *InProcess {
 	return &InProcess{outputs: make(map[MapOutputID]Payload)}
 }
 
-// Register publishes a map output.
-func (t *InProcess) Register(id MapOutputID, p Payload) {
+// Register publishes a map output, returning any entry it replaced.
+func (t *InProcess) Register(id MapOutputID, p Payload) (Payload, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	prev, replaced := t.outputs[id]
 	t.outputs[id] = p
 	t.stats.Registered++
+	return prev, replaced
 }
 
 // Fetch removes and returns the output registered under id.
@@ -74,3 +76,6 @@ func (t *InProcess) Stats() Stats {
 	defer t.mu.Unlock()
 	return t.stats
 }
+
+// Close is a no-op: the in-process transport holds no resources.
+func (t *InProcess) Close() error { return nil }

@@ -1,0 +1,443 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is the networked Transport: one listener per executor on loopback,
+// a driver-side location map from output id to the executor holding it,
+// and per-destination connection pools. It models the paper's cluster
+// deployments honestly within one process: a map output fetched by its
+// own executor crosses by pointer exactly as in-process does, while a
+// cross-executor fetch speaks a length-prefixed request/response protocol
+// ("FETCH id" → frame | NOTFOUND) over a real socket — the payload is
+// encoded by the source (Payload.Encode), the frame bytes travel through
+// the kernel's TCP stack, and the fetcher receives a Wire payload to
+// decode into its own executor's memory. RemoteBytes counts the actual
+// frame bytes moved, not an estimate.
+//
+// Serving is consuming: once a frame is written, the source buffer is
+// released by the server (the bytes left; the destination rebuilds its
+// own container), preserving the single-consumer ownership rule. Drop
+// purges whatever is still registered on every node and returns it.
+type TCP struct {
+	mu     sync.Mutex
+	nodes  []*tcpNode
+	loc    map[MapOutputID]int // output id → executor holding it
+	stats  Stats
+	closed bool
+}
+
+// tcpNode is one executor's endpoint: its listener, its registered
+// outputs, and the pool of client connections other executors hold to it.
+type tcpNode struct {
+	id   int
+	ln   net.Listener
+	addr string
+
+	mu      sync.Mutex
+	outputs map[MapOutputID]Payload
+
+	pool chan *tcpConn
+}
+
+// tcpConn is a pooled client connection with its buffered endpoints (the
+// reader may hold response bytes between requests, so it travels with the
+// connection).
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Protocol constants. Every request and response is length-delimited by
+// construction: the request is three uvarints, the response a status byte
+// followed (on a hit) by a uvarint frame length and the frame.
+const (
+	statusNotFound byte = 0
+	statusOK       byte = 1
+
+	// maxWireFrame bounds a response frame length read off the wire.
+	maxWireFrame = 1 << 32
+	// connPoolSize caps idle pooled connections per destination node.
+	connPoolSize = 4
+	// maxRetainedServeBuffer caps the staging buffer a server connection
+	// keeps between requests; a larger frame's buffer is dropped after
+	// serving rather than pinned for the connection's lifetime.
+	maxRetainedServeBuffer = 1 << 20
+)
+
+// NewTCP returns a TCP transport with one loopback listener per executor,
+// serving immediately.
+func NewTCP(numExecutors int) (*TCP, error) {
+	if numExecutors <= 0 {
+		return nil, fmt.Errorf("transport: TCP needs at least one executor, got %d", numExecutors)
+	}
+	t := &TCP{loc: make(map[MapOutputID]int)}
+	for i := 0; i < numExecutors; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listening for executor %d: %w", i, err)
+		}
+		node := &tcpNode{
+			id:      i,
+			ln:      ln,
+			addr:    ln.Addr().String(),
+			outputs: make(map[MapOutputID]Payload),
+			pool:    make(chan *tcpConn, connPoolSize),
+		}
+		t.nodes = append(t.nodes, node)
+		go t.acceptLoop(node)
+	}
+	return t, nil
+}
+
+// Addrs returns each executor endpoint's listen address (diagnostics and
+// tests).
+func (t *TCP) Addrs() []string {
+	addrs := make([]string, len(t.nodes))
+	for i, n := range t.nodes {
+		addrs[i] = n.addr
+	}
+	return addrs
+}
+
+// Register publishes a map output on its source executor's node and
+// records its location, returning any entry it displaced — possibly from
+// a different node, when a retried task re-registered elsewhere.
+func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
+	if p.SrcExecutor < 0 || p.SrcExecutor >= len(t.nodes) {
+		panic(fmt.Sprintf("transport: Register %v from unknown executor %d", id, p.SrcExecutor))
+	}
+	t.mu.Lock()
+	prevSrc, had := t.loc[id]
+	t.loc[id] = p.SrcExecutor
+	t.stats.Registered++
+	t.mu.Unlock()
+
+	var prev Payload
+	var replaced bool
+	if had {
+		prev, replaced = t.nodes[prevSrc].take(id)
+	}
+	node := t.nodes[p.SrcExecutor]
+	node.mu.Lock()
+	node.outputs[id] = p
+	node.mu.Unlock()
+	return prev, replaced
+}
+
+// take removes and returns the node's entry for id.
+func (n *tcpNode) take(id MapOutputID) (Payload, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.outputs[id]
+	if ok {
+		delete(n.outputs, id)
+	}
+	return p, ok
+}
+
+// Fetch resolves the output's location and either hands it over by
+// pointer (same executor) or fetches its frame over the socket.
+func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Payload{}, false
+	}
+	src, ok := t.loc[id]
+	if !ok {
+		t.mu.Unlock()
+		return Payload{}, false
+	}
+	delete(t.loc, id)
+	t.mu.Unlock()
+
+	node := t.nodes[src]
+	if src == dstExecutor {
+		p, ok := node.take(id)
+		if !ok {
+			return Payload{}, false
+		}
+		t.mu.Lock()
+		t.stats.LocalFetches++
+		t.stats.LocalBytes += p.Bytes
+		t.mu.Unlock()
+		return p, true
+	}
+
+	frame, err := t.fetchRemote(node, id)
+	if err != nil {
+		// The round-trip failed (dial, write, read) — the output may well
+		// still be registered on the serving node. Restore the location
+		// entry so Drop (or a retried fetch) can still reach it; if the
+		// server did serve-and-release before the failure, the later
+		// take() simply misses.
+		t.mu.Lock()
+		if !t.closed {
+			t.loc[id] = src
+		}
+		t.mu.Unlock()
+		return Payload{}, false
+	}
+	if frame == nil {
+		// NOTFOUND: the serving node no longer holds the output.
+		return Payload{}, false
+	}
+	t.mu.Lock()
+	t.stats.RemoteFetches++
+	t.stats.RemoteBytes += int64(len(frame))
+	t.mu.Unlock()
+	return Payload{
+		Data:        Wire{Frame: frame},
+		SrcExecutor: src,
+		Bytes:       int64(len(frame)),
+		MemBytes:    int64(len(frame)),
+	}, true
+}
+
+// fetchRemote runs one FETCH round-trip against node, pooling the
+// connection on success. A nil frame with nil error is NOTFOUND; an
+// error means the round-trip itself failed and the output's fate is
+// unknown to the caller.
+func (t *TCP) fetchRemote(node *tcpNode, id MapOutputID) ([]byte, error) {
+	conn, err := node.getConn()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := conn.fetch(id)
+	if err != nil {
+		conn.c.Close()
+		return nil, err
+	}
+	node.putConn(conn)
+	return frame, nil
+}
+
+func (n *tcpNode) getConn() (*tcpConn, error) {
+	select {
+	case c := <-n.pool:
+		return c, nil
+	default:
+	}
+	c, err := net.Dial("tcp", n.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing executor %d (%s): %w", n.id, n.addr, err)
+	}
+	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+func (n *tcpNode) putConn(c *tcpConn) {
+	select {
+	case n.pool <- c:
+	default:
+		c.c.Close()
+	}
+}
+
+// fetch writes one request and reads one response on the connection.
+func (c *tcpConn) fetch(id MapOutputID) ([]byte, error) {
+	var hdr [3 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(hdr[:], uint64(id.Shuffle))
+	k += binary.PutUvarint(hdr[k:], uint64(id.MapTask))
+	k += binary.PutUvarint(hdr[k:], uint64(id.Reduce))
+	if _, err := c.bw.Write(hdr[:k]); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if status == statusNotFound {
+		return nil, nil
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("transport: unknown response status %d", status)
+	}
+	n, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("transport: implausible frame length %d", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.br, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// acceptLoop serves one node's listener until Close.
+func (t *TCP) acceptLoop(node *tcpNode) {
+	for {
+		conn, err := node.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.serve(node, conn)
+	}
+}
+
+// serve answers FETCH requests on one server-side connection. Serving
+// pops the output and — after the frame is captured — releases the
+// source buffer: the transfer consumed it.
+func (t *TCP) serve(node *tcpNode, conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var frame bytes.Buffer
+	for {
+		id, err := readFetchRequest(br)
+		if err != nil {
+			return // client closed or spoke garbage; drop the connection
+		}
+		p, ok := node.take(id)
+		frame.Reset()
+		if ok {
+			if p.Encode != nil {
+				err = p.Encode(&frame)
+			} else {
+				err = fmt.Errorf("transport: payload %v has no wire form", id)
+			}
+			// The entry left the registry: release the source buffer
+			// whether encoding succeeded (bytes captured) or not (the
+			// fetcher will error the stage; nothing else owns this).
+			releasePayload(p)
+			if err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			if err := bw.WriteByte(statusNotFound); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		if err := bw.WriteByte(statusOK); err != nil {
+			return
+		}
+		if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frame.Len()))]); err != nil {
+			return
+		}
+		if _, err := bw.Write(frame.Bytes()); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if frame.Cap() > maxRetainedServeBuffer {
+			frame = bytes.Buffer{}
+		}
+	}
+}
+
+func readFetchRequest(br *bufio.Reader) (MapOutputID, error) {
+	shuf, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	mapTask, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	reduce, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	return MapOutputID{Shuffle: ShuffleID(shuf), MapTask: int(mapTask), Reduce: int(reduce)}, nil
+}
+
+// releasePayload frees a payload's buffers when its Data supports it.
+func releasePayload(p Payload) {
+	if r, ok := p.Data.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// Drop removes every output of the shuffle still registered on any node
+// and returns them.
+func (t *TCP) Drop(shuffle ShuffleID) []Payload {
+	t.mu.Lock()
+	var ids []MapOutputID
+	var srcs []int
+	for id, src := range t.loc {
+		if id.Shuffle == shuffle {
+			ids = append(ids, id)
+			srcs = append(srcs, src)
+		}
+	}
+	for _, id := range ids {
+		delete(t.loc, id)
+	}
+	t.mu.Unlock()
+	var dropped []Payload
+	for i, id := range ids {
+		if p, ok := t.nodes[srcs[i]].take(id); ok {
+			dropped = append(dropped, p)
+		}
+	}
+	return dropped
+}
+
+// Pending returns the number of registered, unfetched outputs across all
+// nodes (tests and leak checks).
+func (t *TCP) Pending() int {
+	total := 0
+	for _, n := range t.nodes {
+		n.mu.Lock()
+		total += len(n.outputs)
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// Stats snapshots the traffic counters.
+func (t *TCP) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Close shuts every listener and pooled connection. Registered payloads
+// are left to the caller (Drop them first); in-flight serves finish on
+// their own connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, n := range t.nodes {
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		for {
+			select {
+			case c := <-n.pool:
+				c.c.Close()
+				continue
+			default:
+			}
+			break
+		}
+	}
+	return nil
+}

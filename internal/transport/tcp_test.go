@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeBuf is a payload body with a wire form and release tracking.
+type fakeBuf struct {
+	frame    []byte
+	released atomic.Bool
+}
+
+func (f *fakeBuf) Release() {
+	if f.released.Swap(true) {
+		panic("fakeBuf released twice")
+	}
+}
+
+func (f *fakeBuf) payload(src int) Payload {
+	return Payload{
+		Data:        f,
+		SrcExecutor: src,
+		Bytes:       int64(len(f.frame)),
+		MemBytes:    int64(len(f.frame)),
+		Encode: func(w io.Writer) error {
+			_, err := w.Write(f.frame)
+			return err
+		},
+	}
+}
+
+func newTCPT(t *testing.T, execs int) *TCP {
+	t.Helper()
+	tr, err := NewTCP(execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestTCPLocalFetchIsPointerPath(t *testing.T) {
+	tr := newTCPT(t, 2)
+	buf := &fakeBuf{frame: []byte("hello")}
+	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 0}
+	tr.Register(id, buf.payload(1))
+
+	p, ok := tr.Fetch(id, 1)
+	if !ok {
+		t.Fatal("local fetch missed")
+	}
+	if p.Data != buf {
+		t.Errorf("local fetch returned %T, want the registered pointer", p.Data)
+	}
+	if buf.released.Load() {
+		t.Error("local fetch must not release the buffer (the fetcher owns it)")
+	}
+	st := tr.Stats()
+	if st.LocalFetches != 1 || st.RemoteFetches != 0 || st.LocalBytes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
+	tr := newTCPT(t, 3)
+	buf := &fakeBuf{frame: []byte("wire-frame-bytes")}
+	id := MapOutputID{Shuffle: 2, MapTask: 1, Reduce: 4}
+	tr.Register(id, buf.payload(0))
+
+	p, ok := tr.Fetch(id, 2)
+	if !ok {
+		t.Fatal("remote fetch missed")
+	}
+	w, isWire := p.Data.(Wire)
+	if !isWire {
+		t.Fatalf("remote fetch returned %T, want Wire", p.Data)
+	}
+	if string(w.Frame) != "wire-frame-bytes" {
+		t.Errorf("frame = %q", w.Frame)
+	}
+	if p.SrcExecutor != 0 || p.Bytes != int64(len(w.Frame)) || p.MemBytes != p.Bytes {
+		t.Errorf("payload metadata = %+v", p)
+	}
+	if !buf.released.Load() {
+		t.Error("serving a frame must release the source buffer")
+	}
+	st := tr.Stats()
+	if st.RemoteFetches != 1 || st.RemoteBytes != int64(len(w.Frame)) {
+		t.Errorf("stats = %+v", st)
+	}
+	// Single-consumer: the entry is gone.
+	if _, ok := tr.Fetch(id, 2); ok {
+		t.Error("second fetch of a served id must miss")
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}
+
+func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
+	tr := newTCPT(t, 2)
+	if _, ok := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
+		t.Error("fetch of unregistered id should miss")
+	}
+	// A payload with no wire form can only cross by pointer; remote
+	// fetches miss and the popped buffer is released server-side.
+	buf := &fakeBuf{frame: []byte("x")}
+	id := MapOutputID{Shuffle: 3, MapTask: 0, Reduce: 0}
+	tr.Register(id, Payload{Data: buf, SrcExecutor: 0, Bytes: 1})
+	if _, ok := tr.Fetch(id, 1); ok {
+		t.Error("remote fetch of unencodable payload should miss")
+	}
+	if !buf.released.Load() {
+		t.Error("unencodable payload must be released after the failed serve")
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}
+
+func TestTCPDropReturnsUnfetched(t *testing.T) {
+	tr := newTCPT(t, 4)
+	var bufs []*fakeBuf
+	for m := 0; m < 4; m++ {
+		b := &fakeBuf{frame: []byte{byte(m)}}
+		bufs = append(bufs, b)
+		tr.Register(MapOutputID{Shuffle: 5, MapTask: m, Reduce: 0}, b.payload(m))
+	}
+	tr.Register(MapOutputID{Shuffle: 6, MapTask: 0, Reduce: 0}, (&fakeBuf{frame: []byte("other")}).payload(0))
+
+	if _, ok := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1); !ok {
+		t.Fatal("fetch failed")
+	}
+	dropped := tr.Drop(5)
+	if len(dropped) != 3 {
+		t.Fatalf("dropped %d payloads, want 3", len(dropped))
+	}
+	for _, p := range dropped {
+		releasePayload(p)
+	}
+	for m, b := range bufs {
+		if !b.released.Load() {
+			t.Errorf("map %d output not released after drop+release (or serve)", m)
+		}
+	}
+	if tr.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (shuffle 6 untouched)", tr.Pending())
+	}
+}
+
+func TestTCPRegisterTwiceReturnsReplaced(t *testing.T) {
+	tr := newTCPT(t, 3)
+	id := MapOutputID{Shuffle: 7, MapTask: 0, Reduce: 0}
+	old := &fakeBuf{frame: []byte("old")}
+	if _, replaced := tr.Register(id, old.payload(0)); replaced {
+		t.Fatal("first Register reported a replacement")
+	}
+	// Task retry re-registers on a different executor: the displaced
+	// payload comes back so the caller can release it.
+	fresh := &fakeBuf{frame: []byte("new")}
+	prev, replaced := tr.Register(id, fresh.payload(2))
+	if !replaced || prev.Data != old {
+		t.Fatalf("Register replace = (%+v, %v), want the old payload", prev, replaced)
+	}
+	releasePayload(prev)
+	if !old.released.Load() {
+		t.Error("released replaced payload still live")
+	}
+	p, ok := tr.Fetch(id, 2)
+	if !ok || p.Data != fresh {
+		t.Fatalf("fetch after replace = %+v, %v", p, ok)
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}
+
+func TestInProcessRegisterTwiceReturnsReplaced(t *testing.T) {
+	tr := NewInProcess()
+	id := MapOutputID{Shuffle: 1, MapTask: 2, Reduce: 3}
+	if _, replaced := tr.Register(id, Payload{Data: "a"}); replaced {
+		t.Fatal("first Register reported a replacement")
+	}
+	prev, replaced := tr.Register(id, Payload{Data: "b"})
+	if !replaced || prev.Data != "a" {
+		t.Fatalf("Register replace = (%+v, %v)", prev, replaced)
+	}
+	p, _ := tr.Fetch(id, 0)
+	if p.Data != "b" {
+		t.Errorf("fetch after replace = %v", p.Data)
+	}
+}
+
+func TestTCPConcurrentFetches(t *testing.T) {
+	const execs = 4
+	const n = 120
+	tr := newTCPT(t, execs)
+	bufs := make([]*fakeBuf, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = &fakeBuf{frame: []byte(fmt.Sprintf("frame-%04d", i))}
+		tr.Register(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, bufs[i].payload(i%execs))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := (i + 1) % execs
+			p, ok := tr.Fetch(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, dst)
+			if !ok {
+				t.Errorf("fetch %d missed", i)
+				return
+			}
+			want := fmt.Sprintf("frame-%04d", i)
+			switch d := p.Data.(type) {
+			case Wire:
+				if string(d.Frame) != want {
+					t.Errorf("fetch %d: frame %q, want %q", i, d.Frame, want)
+				}
+			case *fakeBuf:
+				if string(d.frame) != want {
+					t.Errorf("fetch %d: local buf %q, want %q", i, d.frame, want)
+				}
+			default:
+				t.Errorf("fetch %d: unexpected payload %T", i, p.Data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.LocalFetches+st.RemoteFetches != n {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RemoteFetches == 0 {
+		t.Error("expected remote fetches")
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}
+
+// TestTCPFailedRemoteFetchKeepsPayloadDroppable: when the round-trip
+// itself fails (serving node unreachable), the registered buffer must
+// remain reachable through Drop — a failed fetch must not strand pages.
+func TestTCPFailedRemoteFetchKeepsPayloadDroppable(t *testing.T) {
+	tr := newTCPT(t, 2)
+	buf := &fakeBuf{frame: []byte("stranded?")}
+	id := MapOutputID{Shuffle: 4, MapTask: 0, Reduce: 0}
+	tr.Register(id, buf.payload(0))
+	// Kill node 0's listener (and any pooled conns) so the remote fetch
+	// round-trip fails rather than returning NOTFOUND.
+	tr.nodes[0].ln.Close()
+
+	if _, ok := tr.Fetch(id, 1); ok {
+		t.Fatal("fetch against a dead listener should fail")
+	}
+	if buf.released.Load() {
+		t.Fatal("failed fetch must not release the source buffer")
+	}
+	dropped := tr.Drop(4)
+	if len(dropped) != 1 {
+		t.Fatalf("Drop returned %d payloads after failed fetch, want 1", len(dropped))
+	}
+	releasePayload(dropped[0])
+	if !buf.released.Load() {
+		t.Error("dropped payload not released")
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d", tr.Pending())
+	}
+}
+
+func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := MapOutputID{Shuffle: 1}
+	tr.Register(id, (&fakeBuf{frame: []byte("z")}).payload(0))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Fetch(id, 1); ok {
+		t.Error("fetch after Close should miss")
+	}
+}

@@ -14,7 +14,10 @@
 // the error-path lifetime end of map output that was never consumed.
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // ShuffleID identifies one shuffle across the cluster (the engine issues
 // them; unique per Context).
@@ -45,6 +48,22 @@ type Payload struct {
 	SrcExecutor int
 	Bytes       int64
 	MemBytes    int64
+	// Encode writes the payload's self-describing wire frame — the byte
+	// representation a network transport ships instead of the Data
+	// pointer. Nil means the payload has no wire form; such entries can
+	// only be fetched executor-locally. After a remote serve, the
+	// transport releases the source buffer (Data's Release method, when
+	// present): the bytes have left, and the destination rebuilds its own
+	// container from the frame.
+	Encode func(w io.Writer) error
+}
+
+// Wire is the Data of a payload that arrived over a network transport:
+// the raw frame bytes produced by the source's Payload.Encode. The
+// fetching layer decodes it into a container in the destination
+// executor's memory manager; the transport itself never interprets it.
+type Wire struct {
+	Frame []byte
 }
 
 // Stats counts transport traffic. A fetch is "local" when the requesting
@@ -61,15 +80,23 @@ type Stats struct {
 // Transport moves shuffle map output between executors.
 type Transport interface {
 	// Register publishes a map output. Registering the same id twice
-	// replaces the entry (task retry semantics); the caller is responsible
-	// for releasing a replaced buffer.
-	Register(id MapOutputID, p Payload)
+	// replaces the entry (task retry semantics) and returns the payload it
+	// displaced with replaced=true, so the caller can release the old
+	// buffers instead of leaking them.
+	Register(id MapOutputID, p Payload) (prev Payload, replaced bool)
 	// Fetch hands the output to the reduce task running on dstExecutor and
 	// removes the entry. ok is false when nothing is registered under id.
+	// A networked transport returns the registered payload by pointer when
+	// dstExecutor is the registering executor, and a Wire-framed payload —
+	// Data holding the encoded frame, Bytes/MemBytes the frame length —
+	// after a cross-executor fetch.
 	Fetch(id MapOutputID, dstExecutor int) (Payload, bool)
 	// Drop removes every output of the shuffle still registered and
 	// returns them, so the caller can release the buffers.
 	Drop(shuffle ShuffleID) []Payload
 	// Stats snapshots the traffic counters.
 	Stats() Stats
+	// Close releases transport resources (listeners, pooled connections).
+	// Registered payloads are not touched; drop them first.
+	Close() error
 }

@@ -82,3 +82,54 @@ func TestMultiExecutorBudgetAccounting(t *testing.T) {
 		t.Errorf("executor budgets sum to %d, want %d", sum, budget)
 	}
 }
+
+// The acceptance bar of the wire-format refactor: WC, LR and PageRank
+// over the TCP transport must produce the in-process answer in every
+// mode, with real frame bytes crossing executor sockets on the shuffling
+// workloads.
+func TestTCPTransportWorkloadEquivalence(t *testing.T) {
+	type job struct {
+		name     string
+		shuffles bool
+		run      func(cfg Config) (Result, error)
+	}
+	jobs := []job{
+		{"WC", true, func(cfg Config) (Result, error) {
+			return WordCount(cfg, WCParams{DistinctKeys: 2000, WordsPerLine: 8, Lines: 3000})
+		}},
+		{"LR", false, func(cfg Config) (Result, error) {
+			return LogisticRegression(cfg, LRParams{Points: 4000, Dim: 8, Iterations: 4})
+		}},
+		{"PR", true, func(cfg Config) (Result, error) {
+			return PageRank(cfg, GraphParams{Vertices: 500, Edges: 4000, Skew: 1.1, Iterations: 3})
+		}},
+	}
+	for _, mode := range modes() {
+		for _, j := range jobs {
+			t.Run(j.name+"/"+mode.String(), func(t *testing.T) {
+				cfg := Config{
+					Mode: mode, NumExecutors: 4, Parallelism: 2, Partitions: 8,
+					SpillDir: t.TempDir(), Seed: 1,
+				}
+				ref, err := j.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.TransportKind = engine.TransportTCP
+				got, err := j.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !approxEqual(got.Checksum, ref.Checksum) {
+					t.Errorf("TCP checksum %v != in-process %v", got.Checksum, ref.Checksum)
+				}
+				if j.shuffles && got.RemoteShuffleBytes == 0 {
+					t.Error("expected wire bytes on the TCP transport")
+				}
+				if !j.shuffles && got.RemoteShuffleBytes != 0 {
+					t.Errorf("shuffle-free workload moved %d wire bytes", got.RemoteShuffleBytes)
+				}
+			})
+		}
+	}
+}

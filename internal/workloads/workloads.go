@@ -44,7 +44,11 @@ type Config struct {
 	// DisableZeroCopyMerge drains and re-inserts records on the reduce
 	// merge even in Deca mode — the merge experiment's baseline.
 	DisableZeroCopyMerge bool
-	Seed                 int64
+	// TransportKind selects how shuffle map output crosses executors
+	// (default in-process pointers; engine.TransportTCP moves wire frames
+	// over loopback sockets).
+	TransportKind engine.TransportKind
+	Seed          int64
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +77,7 @@ func (c Config) newEngine() *engine.Context {
 		ShuffleSpillThreshold: c.ShuffleSpillThreshold,
 		FetchConcurrency:      c.FetchConcurrency,
 		DisableZeroCopyMerge:  c.DisableZeroCopyMerge,
+		TransportKind:         c.TransportKind,
 	})
 }
 
