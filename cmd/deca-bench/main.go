@@ -29,6 +29,9 @@ func main() {
 		execs     = flag.Int("executors", 1, "executors in the local cluster (scaling experiment sweeps its own)")
 		transport = flag.String("transport", "inprocess", "shuffle transport: inprocess or tcp (loopback sockets)")
 		spillDir  = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault injector (0 = 1; used when -failure-rate > 0)")
+		failRate  = flag.Float64("failure-rate", 0, "inject this per-attempt task failure probability into every experiment (0 = no chaos)")
+		maxRetry  = flag.Int("max-retries", 0, "per-task retry budget (0 = engine default of 3, negative disables retries)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -49,6 +52,7 @@ func main() {
 	opts := bench.Options{
 		Scale: *scale, Parallelism: *par, NumExecutors: *execs,
 		SpillDir: *spillDir, TransportKind: transportKind,
+		ChaosSeed: *chaosSeed, FailureRate: *failRate, MaxRetries: *maxRetry,
 	}
 	if opts.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "deca-bench-*")

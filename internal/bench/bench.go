@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"deca/internal/chaos"
 	"deca/internal/engine"
 	"deca/internal/workloads"
 )
@@ -33,6 +34,16 @@ type Options struct {
 	// TransportKind selects the shuffle transport every experiment's
 	// engine uses (deca-bench -transport tcp).
 	TransportKind engine.TransportKind
+	// ChaosSeed seeds the deterministic fault injector (deca-bench
+	// -chaos-seed); 0 selects seed 1 when FailureRate asks for chaos.
+	ChaosSeed int64
+	// FailureRate injects a per-attempt task failure probability into
+	// every experiment's engine (deca-bench -failure-rate). The faults
+	// experiment sweeps its own rates regardless.
+	FailureRate float64
+	// MaxRetries overrides the per-task retry budget (deca-bench
+	// -max-retries; 0 = engine default of 3, negative disables).
+	MaxRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +116,7 @@ func All() []Experiment {
 		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
 		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
 		{"scaling", "Executor scaling: budget split across 1/2/4/8 executors", ScalingExecutors},
+		{"faults", "Fault tolerance: wall time and recomputed attempts vs failure rate", FaultTolerance},
 		{"wire", "Wire format: container encode/decode throughput, Deca vs Object", WireThroughput},
 		{"merge", "Zero-copy reduce merge vs drain/re-Put across modes and executor counts", MergeZeroCopy},
 		{"ablation-pagesize", "Page-size sweep (design-choice ablation)", AblationPageSize},
@@ -148,9 +160,11 @@ func resultRow(label string, r workloads.Result) string {
 		mb(r.CacheBytes), mb(r.SwapBytes+r.ShuffleSpillBytes))
 }
 
-// baseCfg builds a workload config for the given mode.
+// baseCfg builds a workload config for the given mode, wiring in the
+// global chaos flags: every engine the experiment builds gets its own
+// injector (fresh counters) with the same seed, so runs stay repeatable.
 func (o Options) baseCfg(mode engine.Mode) workloads.Config {
-	return workloads.Config{
+	cfg := workloads.Config{
 		Mode:          mode,
 		NumExecutors:  o.NumExecutors,
 		Parallelism:   o.Parallelism,
@@ -159,4 +173,26 @@ func (o Options) baseCfg(mode engine.Mode) workloads.Config {
 		TransportKind: o.TransportKind,
 		Seed:          1,
 	}
+	o.applyChaos(&cfg)
+	return cfg
+}
+
+// applyChaos wires the global chaos flags into a workload config —
+// experiments that build their configs inline (scaling, merge) call it
+// too, so -failure-rate covers every engine the bench starts.
+func (o Options) applyChaos(cfg *workloads.Config) {
+	cfg.MaxTaskRetries = o.MaxRetries
+	if o.FailureRate > 0 {
+		inj := chaos.New(o.chaosSeed())
+		inj.TaskFailureRate = o.FailureRate
+		cfg.Chaos = inj
+	}
+}
+
+// chaosSeed resolves the injector seed (default 1).
+func (o Options) chaosSeed() int64 {
+	if o.ChaosSeed != 0 {
+		return o.ChaosSeed
+	}
+	return 1
 }

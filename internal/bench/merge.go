@@ -251,6 +251,7 @@ func mergeClusterRows(o Options, rep *Report) error {
 				DisableZeroCopyMerge: v.disable,
 				Seed:                 1,
 			}
+			o.applyChaos(&cfg)
 			res, err := workloads.PageRank(cfg, params)
 			if err != nil {
 				return fmt.Errorf("PR[%s] x%d executors: %w", v.label, execs, err)

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math"
 
 	"deca/internal/engine"
 	"deca/internal/workloads"
@@ -65,15 +64,14 @@ func ScalingExecutors(o Options) (*Report, error) {
 					TransportKind: o.TransportKind,
 					Seed:          1,
 				}
+				o.applyChaos(&cfg)
 				res, err := a.run(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("%s[%v] x%d executors: %w", a.name, mode, execs, err)
 				}
 				if execs == 1 {
 					baseline = res.Checksum
-				} else if diff := math.Abs(res.Checksum - baseline); diff > 1e-6*math.Abs(baseline) {
-					// Same tolerance the workload tests use: float folds
-					// are scheduler-order sensitive in the last bits.
+				} else if !checksumClose(res.Checksum, baseline) {
 					return nil, fmt.Errorf("%s[%v] x%d executors: checksum %g != single-executor %g",
 						a.name, mode, execs, res.Checksum, baseline)
 				}

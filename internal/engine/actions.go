@@ -135,7 +135,12 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
 }
 
 // Foreach applies f to every record for its side effects. f runs
-// concurrently across partitions; it must be safe for that.
+// concurrently across partitions; it must be safe for that. Under the
+// retrying scheduler the semantics are at-least-once: an attempt that
+// fails mid-partition is re-run and re-applies f to records the failed
+// attempt already visited — make f idempotent, or disable retries with
+// Config.MaxTaskRetries = -1. (The other actions are unaffected: they
+// accumulate attempt-locally and publish only on success.)
 func Foreach[T any](d *Dataset[T], f func(p int, v T)) error {
 	return d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
 		defer recoverErr(&err)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"deca/internal/cache"
@@ -206,7 +207,15 @@ func TestCacheBlocksAreExecutorLocal(t *testing.T) {
 }
 
 func TestRunTasksJoinsAllErrors(t *testing.T) {
-	ctx := clusterCtx(t, ModeSpark, 2)
+	// MaxTaskRetries -1 disables retries: each task fails exactly once and
+	// the legacy error-joining semantics apply unchanged.
+	ctx := New(Config{
+		NumExecutors:   2,
+		Parallelism:    2,
+		Mode:           ModeSpark,
+		MaxTaskRetries: -1,
+	})
+	t.Cleanup(ctx.Close)
 	err := ctx.runTasks(6, func(p int, _ *Executor) error {
 		if p%2 == 1 {
 			return fmt.Errorf("boom-%d", p)
@@ -221,6 +230,11 @@ func TestRunTasksJoinsAllErrors(t *testing.T) {
 			t.Errorf("joined error missing %q: %v", want, err)
 		}
 	}
+	// The task error names its attempt count and final executor.
+	if !strings.Contains(err.Error(), "failed after 1 attempts") ||
+		!strings.Contains(err.Error(), "on executor 1") {
+		t.Errorf("error lacks attempt/executor context: %v", err)
+	}
 	if got := ctx.MetricsRef().TasksFailed.Load(); got != 3 {
 		t.Errorf("TasksFailed = %d, want 3", got)
 	}
@@ -230,6 +244,61 @@ func TestRunTasksJoinsAllErrors(t *testing.T) {
 	}
 	if perExec != 3 {
 		t.Errorf("per-executor TasksFailed sums to %d, want 3", perExec)
+	}
+}
+
+// TestRunTasksRetriesCountPerAttempt: with the default retry budget a
+// deterministic failure is attempted MaxTaskRetries+1 times, TasksFailed
+// counts once per attempt, and TaskRetries counts the re-launches.
+func TestRunTasksRetriesCountPerAttempt(t *testing.T) {
+	ctx := clusterCtx(t, ModeSpark, 2)
+	var calls atomic.Int64
+	err := ctx.runTasks(1, func(p int, _ *Executor) error {
+		calls.Add(1)
+		return fmt.Errorf("always-boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	wantAttempts := int64(ctx.Conf().MaxTaskRetries + 1)
+	if got := calls.Load(); got != wantAttempts {
+		t.Errorf("task body ran %d times, want %d", got, wantAttempts)
+	}
+	m := ctx.MetricsRef()
+	if got := m.TasksFailed.Load(); got != wantAttempts {
+		t.Errorf("TasksFailed = %d, want %d (once per attempt)", got, wantAttempts)
+	}
+	if got := m.TaskRetries.Load(); got != wantAttempts-1 {
+		t.Errorf("TaskRetries = %d, want %d", got, wantAttempts-1)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("failed after %d attempts", wantAttempts)) {
+		t.Errorf("error lacks attempt count: %v", err)
+	}
+}
+
+// TestRunTasksRetryRecovers: a task that fails on its first two attempts
+// succeeds within the budget and the stage reports no error.
+func TestRunTasksRetryRecovers(t *testing.T) {
+	ctx := clusterCtx(t, ModeSpark, 2)
+	var calls atomic.Int64
+	err := ctx.runTasks(4, func(p int, _ *Executor) error {
+		if p == 2 && calls.Add(1) <= 2 {
+			return fmt.Errorf("flaky-boom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	m := ctx.MetricsRef()
+	if got := m.TaskRetries.Load(); got != 2 {
+		t.Errorf("TaskRetries = %d, want 2", got)
+	}
+	if got := m.TasksFailed.Load(); got != 2 {
+		t.Errorf("TasksFailed = %d, want 2", got)
+	}
+	if got := m.TasksRun.Load(); got != 4+2 {
+		t.Errorf("TasksRun = %d, want 6 (4 tasks + 2 retries)", got)
 	}
 }
 

@@ -172,50 +172,54 @@ func (d *Dataset[T]) Iterate(p int, yield func(T) bool) error {
 }
 
 func (d *Dataset[T]) iterateCached(p int, yield func(T) bool) error {
-	blk, err := d.pinBlock(p)
+	blk, unpin, err := d.pinBlock(p)
 	if err != nil {
 		return err
 	}
-	defer d.ctx.executorFor(p).cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+	defer unpin()
 	d.eachFromBlock(blk, yield)
 	return nil
 }
 
 // pinBlock returns partition p's cache block, pinned, computing and
-// publishing it on a miss. Blocks live on the partition's affine executor,
-// so repeated jobs always find them in the same executor's store.
+// publishing it on a miss, together with the matching unpin. Blocks live
+// on the partition's affine executor, so repeated jobs find them in the
+// same executor's store — but the affinity is blacklist-aware and can
+// change between pin and unpin, so the executor is resolved exactly once
+// here and the returned unpin targets the same store the pin hit.
 // Production is serialized per partition.
-func (d *Dataset[T]) pinBlock(p int) (cache.Block, error) {
+func (d *Dataset[T]) pinBlock(p int) (cache.Block, func(), error) {
 	ex := d.ctx.executorFor(p)
 	id := cache.BlockID{Dataset: d.id, Partition: p}
+	unpin := func() { ex.cache.Unpin(id) }
 	blk, ok, err := ex.cache.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ok {
-		return blk, nil
+		return blk, unpin, nil
 	}
 	d.blockMu[p].Lock()
 	defer d.blockMu[p].Unlock()
 	// Another task may have produced it while we waited.
 	blk, ok, err = ex.cache.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ok {
-		return blk, nil
+		return blk, unpin, nil
 	}
-	blk, err = d.buildBlock(p)
+	blk, err = d.buildBlock(p, ex)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ex.cache.Put(id, blk); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return blk, nil
+	return blk, unpin, nil
 }
 
-func (d *Dataset[T]) buildBlock(p int) (cache.Block, error) {
+func (d *Dataset[T]) buildBlock(p int, ex *Executor) (cache.Block, error) {
 	var values []T
 	d.compute(p)(func(v T) bool {
 		values = append(values, v)
@@ -227,7 +231,7 @@ func (d *Dataset[T]) buildBlock(p int) (cache.Block, error) {
 	case StorageSerialized:
 		return cache.NewSerializedBlock(values, d.storage.Ser), nil
 	case StorageDeca:
-		return cache.NewDecaBlock(d.ctx.executorFor(p).mem, d.storage.Codec, values), nil
+		return cache.NewDecaBlock(ex.mem, d.storage.Codec, values), nil
 	default:
 		return nil, fmt.Errorf("engine: dataset %d has unsupported storage level %v", d.id, d.level)
 	}
@@ -251,23 +255,20 @@ func (d *Dataset[T]) eachFromBlock(blk cache.Block, yield func(T) bool) {
 }
 
 // DecaBlockFor returns partition p's decomposed page block, materializing
-// it if needed. It is the raw-bytes access path for transformed code
-// (Figure 12): callers read fields straight from the pages via the block's
-// Group. The caller must call ReleaseBlock when done (unpins).
-func DecaBlockFor[T any](d *Dataset[T], p int) (*cache.DecaBlock[T], error) {
+// it if needed, plus the release that unpins it. It is the raw-bytes
+// access path for transformed code (Figure 12): callers read fields
+// straight from the pages via the block's Group, then call release. The
+// release is bound to the executor the pin actually hit — placement can
+// shift between pin and unpin when an executor gets blacklisted.
+func DecaBlockFor[T any](d *Dataset[T], p int) (*cache.DecaBlock[T], func(), error) {
 	if d.level != StorageDeca {
-		return nil, fmt.Errorf("engine: dataset %d is not Deca-persisted (level %v)", d.id, d.level)
+		return nil, nil, fmt.Errorf("engine: dataset %d is not Deca-persisted (level %v)", d.id, d.level)
 	}
-	blk, err := d.pinBlock(p)
+	blk, unpin, err := d.pinBlock(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return blk.(*cache.DecaBlock[T]), nil
-}
-
-// ReleaseBlock unpins partition p's cache block after direct access.
-func ReleaseBlock[T any](d *Dataset[T], p int) {
-	d.ctx.executorFor(p).cache.Unpin(cache.BlockID{Dataset: d.id, Partition: p})
+	return blk.(*cache.DecaBlock[T]), unpin, nil
 }
 
 //

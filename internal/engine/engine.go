@@ -27,13 +27,15 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deca/internal/cache"
+	"deca/internal/chaos"
 	"deca/internal/memory"
+	"deca/internal/sched"
 	"deca/internal/transport"
 )
 
@@ -151,6 +153,46 @@ type Config struct {
 	// TransportInProcess (default) by pointer, TransportTCP as wire
 	// frames over per-executor loopback sockets.
 	TransportKind TransportKind
+
+	// MaxTaskRetries is the retry budget per task: a failed task attempt
+	// is re-run (possibly on another executor) up to this many extra
+	// times before the stage fails. 0 selects the default of 3 (Spark's
+	// spark.task.maxFailures=4); negative disables retries.
+	MaxTaskRetries int
+	// MaxExecutorFailures blacklists an executor once this many task
+	// attempts have failed on it: its partitions re-place onto the
+	// healthy executors, and its cache blocks become misses recomputed
+	// elsewhere. 0 disables blacklisting; the last healthy executor is
+	// never blacklisted.
+	MaxExecutorFailures int
+	// FetchRetries is how many times a reduce task re-tries one map-output
+	// fetch that failed with a transient transport error (socket fault,
+	// timeout, injected fault) before treating it as missing. 0 selects
+	// the default of 2; negative disables fetch retries.
+	FetchRetries int
+	// FetchTimeout bounds each TCP FETCH round-trip with socket deadlines
+	// so a hung peer surfaces as a retryable error instead of a stuck
+	// stage. 0 selects the default of 30s; negative disables deadlines.
+	// Ignored by the in-process transport.
+	FetchTimeout time.Duration
+	// SpeculationEnabled duplicates straggler map tasks (reduce and action
+	// stages never speculate: fetches are single-consumer and result
+	// slots are not idempotent). Default off.
+	SpeculationEnabled bool
+	// SpeculationQuantile is the fraction of a stage's tasks that must
+	// finish before stragglers are duplicated (0 = 0.75).
+	SpeculationQuantile float64
+	// SpeculationMultiplier scales the median task runtime into the
+	// straggler threshold (0 = 1.5).
+	SpeculationMultiplier float64
+	// SpeculationMinRuntime floors the straggler threshold (0 = 30ms).
+	SpeculationMinRuntime time.Duration
+	// SpeculationInterval is the straggler-monitor tick (0 = 2ms).
+	SpeculationInterval time.Duration
+	// Chaos, when non-nil, injects deterministic faults into task attempts
+	// (via the scheduler) and map-output fetches (via a transport
+	// wrapper) — the fault-injection harness of internal/chaos.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +214,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxFetchBytesInFlight == 0 {
 		c.MaxFetchBytesInFlight = 48 << 20
 	}
+	switch {
+	case c.MaxTaskRetries == 0:
+		c.MaxTaskRetries = 3
+	case c.MaxTaskRetries < 0:
+		c.MaxTaskRetries = 0
+	}
+	switch {
+	case c.FetchRetries == 0:
+		c.FetchRetries = 2
+	case c.FetchRetries < 0:
+		c.FetchRetries = 0
+	}
+	switch {
+	case c.FetchTimeout == 0:
+		c.FetchTimeout = 30 * time.Second
+	case c.FetchTimeout < 0:
+		c.FetchTimeout = 0
+	}
 	return c
 }
 
@@ -181,8 +241,21 @@ func (c Config) withDefaults() Config {
 type Metrics struct {
 	ShuffleSpillBytes atomic.Int64
 	ShuffleRecords    atomic.Int64
-	TasksRun          atomic.Int64
-	TasksFailed       atomic.Int64
+	// TasksRun and TasksFailed count task *attempts*: a task retried twice
+	// contributes three TasksRun and up to three TasksFailed, and a
+	// speculative duplicate counts like any other attempt.
+	TasksRun    atomic.Int64
+	TasksFailed atomic.Int64
+	// TaskRetries counts retry attempts launched after a failure — the
+	// recomputed-task volume fault injection causes.
+	TaskRetries atomic.Int64
+	// SpeculativeLaunched / SpeculativeWon count straggler duplicates and
+	// how many of them beat the original attempt.
+	SpeculativeLaunched atomic.Int64
+	SpeculativeWon      atomic.Int64
+	// ExecutorsBlacklisted counts executors removed from placement after
+	// repeated attempt failures.
+	ExecutorsBlacklisted atomic.Int64
 	// LocalShuffleFetches counts map outputs a reduce task fetched from
 	// its own executor; RemoteShuffleFetches those fetched from another
 	// executor, with RemoteShuffleBytes the estimated volume that would
@@ -198,6 +271,7 @@ type Context struct {
 	conf    Config
 	execs   []*Executor
 	trans   transport.Transport
+	cluster *sched.Cluster
 	metrics Metrics
 	nextID  atomic.Int64
 	nextShf atomic.Int64
@@ -222,7 +296,7 @@ func New(conf Config) *Context {
 	var trans transport.Transport
 	switch conf.TransportKind {
 	case TransportTCP:
-		tcp, err := transport.NewTCP(conf.NumExecutors)
+		tcp, err := transport.NewTCP(conf.NumExecutors, conf.FetchTimeout)
 		if err != nil {
 			// Loopback listeners failing is an environment fault, not a
 			// recoverable job condition; keep New's signature and fail loudly.
@@ -232,11 +306,33 @@ func New(conf Config) *Context {
 	default:
 		trans = transport.NewInProcess()
 	}
+	if conf.Chaos != nil {
+		trans = chaos.WrapTransport(trans, conf.Chaos)
+	}
 	c := &Context{
 		conf:     conf,
 		trans:    trans,
 		shuffles: make(map[int]releasable),
 	}
+	var faults sched.FaultInjector
+	if conf.Chaos != nil {
+		faults = conf.Chaos
+	}
+	c.cluster = sched.NewCluster(sched.Config{
+		NumExecutors:        conf.NumExecutors,
+		SlotsPerExecutor:    conf.Parallelism,
+		MaxTaskRetries:      conf.MaxTaskRetries,
+		MaxExecutorFailures: conf.MaxExecutorFailures,
+		Speculation: sched.Speculation{
+			Enabled:    conf.SpeculationEnabled,
+			Quantile:   conf.SpeculationQuantile,
+			Multiplier: conf.SpeculationMultiplier,
+			MinRuntime: conf.SpeculationMinRuntime,
+			Interval:   conf.SpeculationInterval,
+		},
+		Hooks:  clusterHooks{c},
+		Faults: faults,
+	})
 	n := conf.NumExecutors
 	perExec := conf.MemoryBudget / int64(n)
 	rem := conf.MemoryBudget % int64(n)
@@ -320,9 +416,13 @@ func (c *Context) Executors() []*Executor { return c.execs }
 
 // executorFor is the deterministic partition→executor affinity: partition
 // p of every dataset lives on executor p mod NumExecutors, so a fused
-// narrow chain reads its parent's cache blocks executor-locally.
+// narrow chain reads its parent's cache blocks executor-locally. The
+// scheduler's blacklist overrides the affinity: partitions whose home
+// executor is blacklisted re-place deterministically onto the healthy
+// executors (their cache blocks there are misses, recomputed in place),
+// while partitions on healthy executors never move.
 func (c *Context) executorFor(p int) *Executor {
-	return c.execs[p%len(c.execs)]
+	return c.execs[c.cluster.Place(p)]
 }
 
 // ExecutorFor exposes the partition→executor placement (tests, tools).
@@ -394,44 +494,67 @@ func (c *Context) shuffleID() transport.ShuffleID {
 	return transport.ShuffleID(c.nextShf.Add(1))
 }
 
-// runTasks is the placement-aware scheduler: it executes fn for every
-// partition index on that partition's affine executor, bounding
-// concurrency to Parallelism tasks per executor, and waits. The
-// semaphores are stage-local: a task that transitively materializes a
-// parent shuffle starts a nested stage with its own semaphores, so parent
-// stages cannot deadlock against the slots their children hold (Spark
-// likewise bounds concurrency per running stage). All task errors are
-// joined in the returned error, and failures are counted per executor and
-// cluster-wide.
+// runTasks executes fn for every partition index on that partition's
+// affine executor through the fault-tolerant scheduler (internal/sched):
+// failed attempts retry up to Config.MaxTaskRetries times, re-placed if
+// their executor has been blacklisted. Worker slots stay stage-local — a
+// task that transitively materializes a parent shuffle starts a nested
+// stage with its own slots, so parent stages cannot deadlock against the
+// slots their children hold (Spark likewise bounds concurrency per
+// running stage). Per task only the final attempt's error survives into
+// the joined stage error (with its attempt count and final executor);
+// TasksRun/TasksFailed count once per attempt.
 func (c *Context) runTasks(parts int, fn func(p int, ex *Executor) error) error {
-	sems := make([]chan struct{}, len(c.execs))
-	for i := range sems {
-		sems[i] = make(chan struct{}, c.conf.Parallelism)
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var errs []error
-	for p := 0; p < parts; p++ {
-		ex := c.executorFor(p)
-		wg.Add(1)
-		go func(p int, ex *Executor) {
-			defer wg.Done()
-			sems[ex.id] <- struct{}{}
-			defer func() { <-sems[ex.id] }()
-			ex.metrics.TasksRun.Add(1)
-			c.metrics.TasksRun.Add(1)
-			if err := fn(p, ex); err != nil {
-				ex.metrics.TasksFailed.Add(1)
-				c.metrics.TasksFailed.Add(1)
-				mu.Lock()
-				errs = append(errs, fmt.Errorf("task %d (executor %d): %w", p, ex.id, err))
-				mu.Unlock()
-			}
-		}(p, ex)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
+	return c.runStage(parts, sched.StageOptions{}, func(t sched.Attempt, ex *Executor) error {
+		return fn(t.Part, ex)
+	})
 }
+
+// runStage is runTasks with scheduling options and attempt visibility —
+// the shuffle map stage uses it to opt into speculation and to poll for
+// cooperative cancellation.
+func (c *Context) runStage(parts int, opts sched.StageOptions, fn func(t sched.Attempt, ex *Executor) error) error {
+	return c.cluster.RunStage(parts, opts, func(t sched.Attempt) error {
+		return fn(t, c.execs[t.Exec])
+	})
+}
+
+// clusterHooks mirrors scheduler events into the cluster- and
+// executor-level metrics.
+type clusterHooks struct{ c *Context }
+
+func (h clusterHooks) TaskStarted(exec int) {
+	h.c.execs[exec].metrics.TasksRun.Add(1)
+	h.c.metrics.TasksRun.Add(1)
+}
+
+func (h clusterHooks) TaskFailed(exec int) {
+	h.c.execs[exec].metrics.TasksFailed.Add(1)
+	h.c.metrics.TasksFailed.Add(1)
+}
+
+func (h clusterHooks) TaskRetried(exec int) {
+	h.c.execs[exec].metrics.TaskRetries.Add(1)
+	h.c.metrics.TaskRetries.Add(1)
+}
+
+func (h clusterHooks) SpeculativeLaunched(exec int) {
+	h.c.execs[exec].metrics.SpeculativeLaunched.Add(1)
+	h.c.metrics.SpeculativeLaunched.Add(1)
+}
+
+func (h clusterHooks) SpeculativeWon(exec int) {
+	h.c.execs[exec].metrics.SpeculativeWon.Add(1)
+	h.c.metrics.SpeculativeWon.Add(1)
+}
+
+func (h clusterHooks) ExecutorBlacklisted(exec int) {
+	h.c.metrics.ExecutorsBlacklisted.Add(1)
+}
+
+// Scheduler exposes the cluster scheduler state (blacklist, placement)
+// for tests and tools.
+func (c *Context) Scheduler() *sched.Cluster { return c.cluster }
 
 // noteFetch records a map-output fetch's locality on the destination
 // executor and the cluster metrics.

@@ -8,8 +8,9 @@ import (
 
 // fetchResult is one map output delivered by the prefetch pipeline.
 type fetchResult struct {
-	pl transport.Payload
-	ok bool // false: nothing registered under the id (missing output)
+	pl  transport.Payload
+	ok  bool  // false: nothing registered under the id (missing output)
+	err error // the final transient fetch error, after retries ran out
 }
 
 // fetchPipeline overlaps a reduce task's M map-output fetches with its
@@ -42,6 +43,7 @@ type fetchPipeline struct {
 	inFlight int64 // bytes fetched but not yet merged
 	next     int   // next map task index to fetch
 	aborted  bool
+	fetched  int // outputs successfully fetched (consumed from the transport)
 
 	slots []chan fetchResult // one single-use slot per map task
 	wg    sync.WaitGroup
@@ -94,15 +96,45 @@ func (fp *fetchPipeline) worker() {
 		fp.next++
 		fp.mu.Unlock()
 
-		pl, ok := fp.ctx.trans.Fetch(
-			transport.MapOutputID{Shuffle: fp.shuf, MapTask: m, Reduce: fp.r}, fp.ex.id)
-		if ok {
+		id := transport.MapOutputID{Shuffle: fp.shuf, MapTask: m, Reduce: fp.r}
+		res := fp.fetchWithRetry(id)
+		if res.ok {
 			fp.mu.Lock()
-			fp.inFlight += fetchCharge(pl)
+			fp.inFlight += fetchCharge(res.pl)
+			fp.fetched++
 			fp.mu.Unlock()
-			fp.ctx.noteFetch(fp.ex, pl)
+			fp.ctx.noteFetch(fp.ex, res.pl)
 		}
-		fp.slots[m] <- fetchResult{pl: pl, ok: ok} // cap 1: never blocks
+		fp.slots[m] <- res // cap 1: never blocks
+	}
+}
+
+// consumedAny reports whether any worker has fetched an output — i.e.
+// removed it from the transport. A reduce attempt that failed after that
+// point cannot be re-run (fetch is single-consumer), so its error should
+// be marked sched.NoRetry.
+func (fp *fetchPipeline) consumedAny() bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.fetched > 0
+}
+
+// fetchWithRetry is the per-fetch retry loop: a transient transport error
+// (socket fault, timeout, injected fault) leaves the output registered,
+// so the fetch is re-tried against the serving executor up to
+// Config.FetchRetries times before the error is given up as final. A
+// definitive miss (ok=false, nil error) is never retried — the output is
+// not registered anywhere.
+func (fp *fetchPipeline) fetchWithRetry(id transport.MapOutputID) fetchResult {
+	retries := fp.ctx.conf.FetchRetries
+	for try := 0; ; try++ {
+		pl, ok, err := fp.ctx.trans.Fetch(id, fp.ex.id)
+		if err == nil {
+			return fetchResult{pl: pl, ok: ok}
+		}
+		if try >= retries {
+			return fetchResult{err: err}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"deca/internal/decompose"
+	"deca/internal/sched"
 	"deca/internal/serial"
 	"deca/internal/shuffle"
 	"deca/internal/transport"
@@ -120,7 +121,13 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 	shufID := ctx.shuffleID()
 	threshold := ctx.shuffleSpillThreshold(M * R)
 
-	err := ctx.runTasks(M, func(m int, ex *Executor) error {
+	// The map stage is speculatable: two attempts of the same map task
+	// build private buffers and register content-identical outputs, and
+	// Register's replace semantics release whichever set is displaced. The
+	// fill loop polls for cooperative cancellation so the loser of a
+	// speculative race releases its buffers and bails out early.
+	err := ctx.runStage(M, sched.StageOptions{Speculatable: true}, func(t sched.Attempt, ex *Executor) error {
+		m := t.Part
 		bufs := make([]S, R)
 		made := 0
 		trackers := make([]*spillTracker, R)
@@ -150,6 +157,10 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 			r := shuffle.Partition(key.Hash(p.Key), R)
 			bufs[r].Put(p.Key, p.Value)
 			records++
+			if records&1023 == 0 && t.Canceled() {
+				iterErr = sched.ErrCanceled
+				return false
+			}
 			if trackers[r].add() {
 				if err := bufs[r].Spill(); err != nil {
 					iterErr = err
@@ -165,6 +176,11 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 		}
 		if iterErr != nil {
 			return iterErr
+		}
+		if t.Canceled() {
+			// The twin attempt won while this one filled; drop the buffers
+			// instead of displacing the winner's registered outputs.
+			return sched.ErrCanceled
 		}
 		for r, b := range bufs {
 			prev, replaced := ctx.trans.Register(
@@ -191,12 +207,21 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 
 	outputs := make([]S, R)
 	have := make([]bool, R)
-	err = ctx.runTasks(R, func(r int, ex *Executor) error {
+	err = ctx.runTasks(R, func(r int, ex *Executor) (err error) {
 		merged, err := newBuf(ex)
 		if err != nil {
 			return err
 		}
 		fp := ctx.startFetchPipeline(shufID, r, M, ex)
+		// A reduce attempt that fails after its pipeline consumed any
+		// single-consumer map output cannot be re-run — mark the error
+		// non-retryable so the scheduler fails the stage with the root
+		// cause instead of doomed retries that report "missing output".
+		defer func() {
+			if err != nil && fp.consumedAny() {
+				err = sched.NoRetry(err)
+			}
+		}()
 		done := false
 		defer func() {
 			// shutdown releases whatever the workers fetched ahead of a
@@ -212,6 +237,10 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 		}()
 		for m := 0; m < M; m++ {
 			res := fp.wait(m)
+			if res.err != nil {
+				return fmt.Errorf("engine: fetching map output %v: %w",
+					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}, res.err)
+			}
 			if !res.ok {
 				return fmt.Errorf("engine: missing map output %v",
 					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
@@ -321,8 +350,8 @@ func ReduceByKey[K comparable, V any](
 		})
 	}
 
-	st := newShuffleState[decompose.Pair[K, V]](R)
-	materialize := func() error {
+	st := newShuffleState[decompose.Pair[K, V]](ctx, R)
+	st.materialize = func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf, mergeBufs,
 			aggWireCodec(ctx, ops, combine))
 		if err != nil {
@@ -342,8 +371,9 @@ func ReduceByKey[K comparable, V any](
 	}
 
 	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, V]] {
-		return st.seq(materialize, p)
+		return st.seq(p)
 	})
+	st.datasetID = out.id
 	ctx.registerShuffle(out.id, st)
 	return out
 }
@@ -384,8 +414,8 @@ func GroupByKey[K comparable, V any](
 		})
 	}
 
-	st := newShuffleState[decompose.Pair[K, []V]](R)
-	materialize := func() error {
+	st := newShuffleState[decompose.Pair[K, []V]](ctx, R)
+	st.materialize = func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (groupSink[K, V], error) { return newBuf(ex), nil },
 			mergeBufs, groupWireCodec(ctx, ops))
@@ -406,8 +436,9 @@ func GroupByKey[K comparable, V any](
 	}
 
 	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, []V]] {
-		return st.seq(materialize, p)
+		return st.seq(p)
 	})
+	st.datasetID = out.id
 	ctx.registerShuffle(out.id, st)
 	return out
 }
@@ -446,8 +477,8 @@ func SortByKey[K comparable, V any](
 		})
 	}
 
-	st := newShuffleState[decompose.Pair[K, V]](R)
-	materialize := func() error {
+	st := newShuffleState[decompose.Pair[K, V]](ctx, R)
+	st.materialize = func() error {
 		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (sortSink[K, V], error) { return newBuf(ex), nil },
 			mergeBufs, sortWireCodec(ctx, ops))
@@ -468,8 +499,9 @@ func SortByKey[K comparable, V any](
 	}
 
 	out := newDataset(ctx, R, func(p int) Seq[decompose.Pair[K, V]] {
-		return st.seq(materialize, p)
+		return st.seq(p)
 	})
+	st.datasetID = out.id
 	ctx.registerShuffle(out.id, st)
 	return out
 }
@@ -551,36 +583,56 @@ func Join[K comparable, V, W any](
 // buffer may fold spilled runs back in (a mutation), so drains of the
 // same output partition are serialized; concurrent actions over the same
 // shuffled dataset stay safe.
+//
+// A released shuffle is not dead, only reclaimed: the next read
+// re-materializes it from its parents — Spark's lineage recovery, which
+// the fault-tolerance subsystem leans on when a blacklisted executor's
+// cache blocks are recomputed after the shuffle they derived from had
+// already ended its lifetime. Each re-materialization is a fresh
+// container lifetime (new buffers, re-registered with the context for
+// release). A failed materialization is sticky: concurrent and retried
+// actions observe the same error instead of multiplying doomed stage
+// re-runs.
 type shuffleState[T any] struct {
-	once    sync.Once
+	ctx         *Context
+	datasetID   int
+	materialize func() error
+	partMu      []sync.Mutex
+
+	mu      sync.Mutex
+	live    bool
 	err     error
 	drain   func(p int, yield func(T) bool) error
 	release func()
-	partMu  []sync.Mutex
-
-	mu       sync.Mutex
-	released bool
 }
 
-func newShuffleState[T any](parts int) *shuffleState[T] {
-	return &shuffleState[T]{partMu: make([]sync.Mutex, parts)}
+func newShuffleState[T any](ctx *Context, parts int) *shuffleState[T] {
+	return &shuffleState[T]{ctx: ctx, partMu: make([]sync.Mutex, parts)}
 }
 
-func (st *shuffleState[T]) seq(materialize func() error, p int) Seq[T] {
+func (st *shuffleState[T]) seq(p int) Seq[T] {
 	return func(yield func(T) bool) {
-		st.once.Do(func() { st.err = materialize() })
+		st.mu.Lock()
 		if st.err != nil {
+			st.mu.Unlock()
 			panic(st.err)
 		}
-		st.mu.Lock()
-		released := st.released
-		st.mu.Unlock()
-		if released {
-			panic(fmt.Errorf("engine: shuffle output read after release"))
+		if !st.live {
+			if err := st.materialize(); err != nil {
+				st.err = err
+				st.mu.Unlock()
+				panic(err)
+			}
+			st.live = true
+			// Register (or re-register, after a release) so the context can
+			// end this materialization's lifetime.
+			st.ctx.registerShuffle(st.datasetID, st)
 		}
+		drain := st.drain
+		st.mu.Unlock()
 		st.partMu[p].Lock()
 		defer st.partMu[p].Unlock()
-		if err := st.drain(p, yield); err != nil {
+		if err := drain(p, yield); err != nil {
 			panic(err)
 		}
 	}
@@ -589,11 +641,13 @@ func (st *shuffleState[T]) seq(materialize func() error, p int) Seq[T] {
 func (st *shuffleState[T]) Release() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.released || st.release == nil {
+	if !st.live || st.release == nil {
 		return
 	}
-	st.released = true
-	st.release()
+	st.live = false
+	rel := st.release
+	st.release, st.drain = nil, nil
+	rel()
 }
 
 // releasable lets the context track shuffle outputs without their type

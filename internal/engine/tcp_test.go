@@ -164,7 +164,7 @@ func TestDropOnFailedReduceStage(t *testing.T) {
 			// Simulate a lost map output: steal (and release) one entry
 			// between the stages, so the reduce stage hits NOTFOUND.
 			ctx.testAfterMapStage = func(id transport.ShuffleID) {
-				pl, ok := ctx.trans.Fetch(transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: 0}, 0)
+				pl, ok, _ := ctx.trans.Fetch(transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: 0}, 0)
 				if !ok {
 					t.Error("hook could not steal map output 0/0")
 					return

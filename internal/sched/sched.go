@@ -1,0 +1,372 @@
+// Package sched is the fault-tolerant task scheduler behind the engine's
+// stages. It replaces the engine's original inline runTasks loop with a
+// Spark-shaped recovery model: every (stage, partition) runs as a chain of
+// task *attempts* with a per-task retry budget; repeated attempt failures
+// on one executor blacklist it cluster-wide, after which placement
+// re-routes that executor's partitions to the surviving ones; and stages
+// whose tasks are safe to duplicate (map stages — their side effect is
+// map-output registration, which replaces idempotently) can launch a
+// speculative copy of straggler tasks past a quantile-based runtime
+// threshold, the loser being cancelled cooperatively.
+//
+// The package is engine-agnostic: it schedules opaque attempt bodies over
+// integer executor ids. The engine adapts bodies to its Executor objects,
+// mirrors scheduler events into its metrics through Hooks, and wires the
+// deterministic fault-injection harness (internal/chaos) in through the
+// FaultInjector seam, so every recovery path is testable without real
+// faults.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCanceled is returned by attempt bodies (and fault injectors) that
+// observed their cancellation signal — the task's twin attempt already
+// completed it. The scheduler treats it as a clean exit, not a failure:
+// it is not counted, not retried, and not held against the executor.
+var ErrCanceled = errors.New("sched: attempt canceled (task completed by a twin attempt)")
+
+// ErrNoRetry marks attempt errors retrying cannot fix. A body returns
+// NoRetry(err) when the failed attempt consumed state a re-run would need
+// — a reduce attempt that already fetched single-consumer map outputs —
+// so the scheduler fails the task immediately with the root-cause error
+// instead of burning the budget on doomed re-runs that mask it.
+var ErrNoRetry = errors.New("sched: attempt failure is not retryable")
+
+// NoRetry wraps err so the scheduler will not retry the attempt's task.
+func NoRetry(err error) error {
+	return fmt.Errorf("%w: %w", ErrNoRetry, err)
+}
+
+// Hooks observes scheduler events. The engine implements it to mirror
+// events into cluster- and executor-level metrics. All methods may be
+// called concurrently.
+type Hooks interface {
+	// TaskStarted fires when an attempt begins executing on an executor
+	// (after it acquired a worker slot) — once per attempt, so task counts
+	// measure attempts, including retries and speculative duplicates.
+	TaskStarted(exec int)
+	// TaskFailed fires once per failed attempt, on the executor that ran it.
+	TaskFailed(exec int)
+	// TaskRetried fires when a retry attempt is launched after a failure.
+	TaskRetried(exec int)
+	// SpeculativeLaunched fires when a straggler's duplicate is launched.
+	SpeculativeLaunched(exec int)
+	// SpeculativeWon fires when a speculative attempt completes its task
+	// before the original.
+	SpeculativeWon(exec int)
+	// ExecutorBlacklisted fires when the cluster stops placing work on an
+	// executor.
+	ExecutorBlacklisted(exec int)
+}
+
+// nopHooks is the default observer.
+type nopHooks struct{}
+
+func (nopHooks) TaskStarted(int)         {}
+func (nopHooks) TaskFailed(int)          {}
+func (nopHooks) TaskRetried(int)         {}
+func (nopHooks) SpeculativeLaunched(int) {}
+func (nopHooks) SpeculativeWon(int)      {}
+func (nopHooks) ExecutorBlacklisted(int) {}
+
+// FaultInjector is the seam for deterministic fault injection
+// (internal/chaos implements it). Both methods may return an injected
+// error; BeforeAttempt may also block (an injected straggler delay), in
+// which case it must unblock when cancel closes and return ErrCanceled.
+type FaultInjector interface {
+	// BeforeAttempt runs before the attempt body.
+	BeforeAttempt(stage, part, attempt, exec int, cancel <-chan struct{}) error
+	// AfterAttempt runs after a successful attempt body, on speculatable
+	// stages only (their side effects are idempotent under re-execution);
+	// an error fails the attempt *after* its side effects landed (the
+	// "executor died before reporting success" case — the retry's
+	// re-registration then displaces the completed attempt's outputs).
+	AfterAttempt(stage, part, attempt, exec int) error
+}
+
+// Speculation tunes straggler duplication for stages that allow it.
+type Speculation struct {
+	// Enabled turns straggler speculation on (default off: it duplicates
+	// work).
+	Enabled bool
+	// Quantile is the fraction of a stage's tasks that must have finished
+	// before any straggler is duplicated (0 = 0.75).
+	Quantile float64
+	// Multiplier scales the median successful-attempt runtime into the
+	// straggler threshold (0 = 1.5).
+	Multiplier float64
+	// MinRuntime floors the straggler threshold, so microsecond tasks do
+	// not speculate on scheduling noise (0 = 30ms).
+	MinRuntime time.Duration
+	// Interval is the straggler-monitor tick (0 = 2ms).
+	Interval time.Duration
+}
+
+func (s Speculation) withDefaults() Speculation {
+	if s.Quantile <= 0 || s.Quantile > 1 {
+		s.Quantile = 0.75
+	}
+	if s.Multiplier <= 0 {
+		s.Multiplier = 1.5
+	}
+	if s.MinRuntime <= 0 {
+		s.MinRuntime = 30 * time.Millisecond
+	}
+	if s.Interval <= 0 {
+		s.Interval = 2 * time.Millisecond
+	}
+	return s
+}
+
+// Config sizes a Cluster.
+type Config struct {
+	// NumExecutors is the executor count (placement domain).
+	NumExecutors int
+	// SlotsPerExecutor bounds concurrently running attempts per executor
+	// per stage (stage-local slots: nested stages never deadlock against
+	// the slots their parents hold).
+	SlotsPerExecutor int
+	// MaxTaskRetries is the number of retry attempts each task gets after
+	// its first failure (so a task runs at most MaxTaskRetries+1 times).
+	// Negative means no retries.
+	MaxTaskRetries int
+	// MaxExecutorFailures blacklists an executor once this many attempts
+	// have failed on it. 0 disables blacklisting. The last healthy
+	// executor is never blacklisted.
+	MaxExecutorFailures int
+	// Speculation tunes straggler duplication.
+	Speculation Speculation
+	// Hooks observes scheduler events (nil = none).
+	Hooks Hooks
+	// Faults is the fault-injection seam (nil = no injected faults).
+	Faults FaultInjector
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumExecutors <= 0 {
+		c.NumExecutors = 1
+	}
+	if c.SlotsPerExecutor <= 0 {
+		c.SlotsPerExecutor = 1
+	}
+	if c.MaxTaskRetries < 0 {
+		c.MaxTaskRetries = 0
+	}
+	if c.Hooks == nil {
+		c.Hooks = nopHooks{}
+	}
+	c.Speculation = c.Speculation.withDefaults()
+	return c
+}
+
+// Cluster holds the scheduler state that outlives a single stage:
+// executor health (failure counts, blacklist) and the stage id counter.
+// Placement policy lives here so the engine's cache-block affinity and
+// the stage scheduler always agree on where a partition runs.
+type Cluster struct {
+	conf      Config
+	nextStage atomic.Int64
+
+	mu          sync.Mutex
+	failures    []int
+	blacklisted []bool
+	numHealthy  int
+}
+
+// NewCluster builds a cluster with every executor healthy.
+func NewCluster(conf Config) *Cluster {
+	conf = conf.withDefaults()
+	return &Cluster{
+		conf:        conf,
+		failures:    make([]int, conf.NumExecutors),
+		blacklisted: make([]bool, conf.NumExecutors),
+		numHealthy:  conf.NumExecutors,
+	}
+}
+
+// Place is the affinity rule: partition p lives on executor p mod N while
+// that executor is healthy. When its home executor is blacklisted, p is
+// re-placed deterministically over the healthy executors; partitions
+// whose homes are healthy never move, so surviving executors keep their
+// cache locality.
+func (c *Cluster) Place(part int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placeLocked(part, -1)
+}
+
+// placeLocked resolves placement, optionally avoiding one executor (a
+// speculative duplicate should not run beside the attempt it is racing).
+func (c *Cluster) placeLocked(part, avoid int) int {
+	n := c.conf.NumExecutors
+	home := part % n
+	if !c.blacklisted[home] && home != avoid {
+		return home
+	}
+	candidates := make([]int, 0, n)
+	for e := 0; e < n; e++ {
+		if !c.blacklisted[e] && e != avoid {
+			candidates = append(candidates, e)
+		}
+	}
+	if len(candidates) == 0 {
+		// Only the avoided executor is healthy; use it anyway.
+		for e := 0; e < n; e++ {
+			if !c.blacklisted[e] {
+				return e
+			}
+		}
+		return home // unreachable: the last healthy executor is never blacklisted
+	}
+	return candidates[part%len(candidates)]
+}
+
+// Blacklisted reports whether the executor is blacklisted.
+func (c *Cluster) Blacklisted(exec int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blacklisted[exec]
+}
+
+// NumBlacklisted returns how many executors are blacklisted.
+func (c *Cluster) NumBlacklisted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conf.NumExecutors - c.numHealthy
+}
+
+// Blacklist removes the executor from placement immediately (an operator
+// drain, or a test forcing re-placement). It reports whether the
+// blacklist took effect: the last healthy executor is never blacklisted.
+func (c *Cluster) Blacklist(exec int) bool {
+	c.mu.Lock()
+	ok := !c.blacklisted[exec] && c.numHealthy > 1
+	if ok {
+		c.blacklisted[exec] = true
+		c.numHealthy--
+	}
+	c.mu.Unlock()
+	if ok {
+		c.conf.Hooks.ExecutorBlacklisted(exec)
+	}
+	return ok
+}
+
+// recordFailure counts a failed attempt against its executor and
+// blacklists it at the configured threshold — never the last healthy one.
+func (c *Cluster) recordFailure(exec int) {
+	if c.conf.MaxExecutorFailures <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.failures[exec]++
+	tripped := !c.blacklisted[exec] &&
+		c.failures[exec] >= c.conf.MaxExecutorFailures &&
+		c.numHealthy > 1
+	if tripped {
+		c.blacklisted[exec] = true
+		c.numHealthy--
+	}
+	c.mu.Unlock()
+	if tripped {
+		c.conf.Hooks.ExecutorBlacklisted(exec)
+	}
+}
+
+// StageOptions selects per-stage scheduling behaviour.
+type StageOptions struct {
+	// Speculatable marks the stage's tasks as safe to run twice
+	// concurrently: their side effects must be idempotent under
+	// duplication, like map-output registration (Transport.Register
+	// replaces, and the displaced buffers are released). Reduce stages are
+	// not speculatable — map-output fetch is single-consumer — nor are
+	// action stages that write shared result slots.
+	Speculatable bool
+}
+
+// Attempt identifies one execution of one task, handed to the stage body.
+type Attempt struct {
+	Stage   int
+	Part    int
+	Attempt int // 1-based, unique per task across retries and speculation
+	Exec    int
+	// Speculative marks duplicate attempts racing a straggler.
+	Speculative bool
+
+	cancel <-chan struct{}
+}
+
+// Canceled reports whether the task was completed by a twin attempt;
+// long-running bodies should poll it and bail out with ErrCanceled.
+func (a Attempt) Canceled() bool {
+	select {
+	case <-a.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cancel exposes the cancellation signal for select-based waits.
+func (a Attempt) Cancel() <-chan struct{} { return a.cancel }
+
+// RunStage executes body once per partition index in [0, parts), placing
+// each attempt via the cluster affinity (blacklist-aware), bounding
+// concurrency to SlotsPerExecutor per executor, retrying failed attempts
+// up to the task budget, and — for speculatable stages with speculation
+// enabled — duplicating stragglers. It waits for every attempt, including
+// losers of speculative races, before returning. Per task, only the final
+// attempt's error survives into the joined stage error (earlier failures
+// are visible through the hooks); tasks that never succeeded report their
+// attempt count and final executor.
+func (c *Cluster) RunStage(parts int, opts StageOptions, body func(Attempt) error) error {
+	s := &stage{
+		c:    c,
+		id:   int(c.nextStage.Add(1)),
+		opts: opts,
+		sems: make([]chan struct{}, c.conf.NumExecutors),
+	}
+	for i := range s.sems {
+		s.sems[i] = make(chan struct{}, c.conf.SlotsPerExecutor)
+	}
+	s.tasks = make([]*taskState, parts)
+	for p := range s.tasks {
+		s.tasks[p] = &taskState{part: p, doneCh: make(chan struct{})}
+	}
+
+	var stopMonitor, monitorDone chan struct{}
+	if opts.Speculatable && c.conf.Speculation.Enabled && parts > 1 {
+		stopMonitor = make(chan struct{})
+		monitorDone = make(chan struct{})
+		go s.monitor(stopMonitor, monitorDone, body)
+	}
+	s.wg.Add(parts)
+	for p := 0; p < parts; p++ {
+		go s.primary(p, body)
+	}
+	s.wg.Wait()
+	if stopMonitor != nil {
+		// Stop the monitor before waiting on the speculative attempts: only
+		// the monitor adds to specWg, so once it has exited the Wait cannot
+		// race an Add.
+		close(stopMonitor)
+		<-monitorDone
+	}
+	s.specWg.Wait()
+
+	var errs []error
+	for _, t := range s.tasks {
+		t.mu.Lock()
+		if t.failed {
+			errs = append(errs, t.err)
+		}
+		t.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,377 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recorder counts hook events.
+type recorder struct {
+	started, failed, retried       atomic.Int64
+	specLaunched, specWon          atomic.Int64
+	blacklisted                    atomic.Int64
+	mu                             sync.Mutex
+	blacklistedExecs, failedByExec []int
+}
+
+func (r *recorder) TaskStarted(int) { r.started.Add(1) }
+func (r *recorder) TaskFailed(exec int) {
+	r.failed.Add(1)
+	r.mu.Lock()
+	r.failedByExec = append(r.failedByExec, exec)
+	r.mu.Unlock()
+}
+func (r *recorder) TaskRetried(int)         { r.retried.Add(1) }
+func (r *recorder) SpeculativeLaunched(int) { r.specLaunched.Add(1) }
+func (r *recorder) SpeculativeWon(int)      { r.specWon.Add(1) }
+func (r *recorder) ExecutorBlacklisted(exec int) {
+	r.blacklisted.Add(1)
+	r.mu.Lock()
+	r.blacklistedExecs = append(r.blacklistedExecs, exec)
+	r.mu.Unlock()
+}
+
+func TestRetryRecoversWithinBudget(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 2, MaxTaskRetries: 3, Hooks: rec,
+	})
+	var fails atomic.Int64
+	err := c.RunStage(4, StageOptions{}, func(a Attempt) error {
+		if a.Part == 1 && fails.Add(1) <= 2 {
+			return fmt.Errorf("flaky")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stage should recover: %v", err)
+	}
+	if got := rec.retried.Load(); got != 2 {
+		t.Errorf("retried = %d, want 2", got)
+	}
+	if got := rec.failed.Load(); got != 2 {
+		t.Errorf("failed = %d, want 2 (once per attempt)", got)
+	}
+	if got := rec.started.Load(); got != 6 {
+		t.Errorf("started = %d, want 6", got)
+	}
+}
+
+func TestBudgetExhaustionNamesAttemptAndExecutor(t *testing.T) {
+	c := NewCluster(Config{NumExecutors: 3, SlotsPerExecutor: 1, MaxTaskRetries: 2})
+	err := c.RunStage(4, StageOptions{}, func(a Attempt) error {
+		if a.Part == 2 {
+			return fmt.Errorf("hard-boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected stage failure")
+	}
+	msg := err.Error()
+	for _, want := range []string{"task 2", "failed after 3 attempts", "final attempt 3", "on executor 2", "hard-boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestAttemptNumbersAreSequential(t *testing.T) {
+	c := NewCluster(Config{NumExecutors: 1, SlotsPerExecutor: 1, MaxTaskRetries: 2})
+	var attempts []int
+	var mu sync.Mutex
+	_ = c.RunStage(1, StageOptions{}, func(a Attempt) error {
+		mu.Lock()
+		attempts = append(attempts, a.Attempt)
+		mu.Unlock()
+		return fmt.Errorf("boom")
+	})
+	want := []int{1, 2, 3}
+	if len(attempts) != len(want) {
+		t.Fatalf("attempts = %v, want %v", attempts, want)
+	}
+	for i := range want {
+		if attempts[i] != want[i] {
+			t.Errorf("attempts = %v, want %v", attempts, want)
+			break
+		}
+	}
+}
+
+func TestBlacklistReplacesOnlyDeadExecutorsPartitions(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{
+		NumExecutors: 4, SlotsPerExecutor: 2,
+		MaxTaskRetries: 3, MaxExecutorFailures: 2, Hooks: rec,
+	})
+	// Executor 1 fails every attempt placed on it; after two failures it
+	// is blacklisted and its partitions re-place.
+	err := c.RunStage(8, StageOptions{}, func(a Attempt) error {
+		if a.Exec == 1 {
+			return fmt.Errorf("exec-1-broken")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stage should recover by re-placing: %v", err)
+	}
+	if !c.Blacklisted(1) {
+		t.Error("executor 1 not blacklisted")
+	}
+	if got := rec.blacklisted.Load(); got != 1 {
+		t.Errorf("blacklist events = %d, want 1", got)
+	}
+	// Partitions with healthy homes keep their affinity; executor 1's
+	// partitions land on a healthy executor, deterministically.
+	for p := 0; p < 8; p++ {
+		got := c.Place(p)
+		if p%4 != 1 {
+			if got != p%4 {
+				t.Errorf("partition %d moved to %d despite healthy home %d", p, got, p%4)
+			}
+		} else if got == 1 {
+			t.Errorf("partition %d still placed on blacklisted executor", p)
+		}
+	}
+}
+
+func TestLastHealthyExecutorIsNeverBlacklisted(t *testing.T) {
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 1,
+		MaxTaskRetries: 5, MaxExecutorFailures: 1,
+	})
+	// Every attempt everywhere fails: executor health must bottom out at
+	// one survivor, and the stage must fail rather than hang.
+	err := c.RunStage(2, StageOptions{}, func(a Attempt) error {
+		return fmt.Errorf("everything-burns")
+	})
+	if err == nil {
+		t.Fatal("expected stage failure")
+	}
+	if c.NumBlacklisted() != 1 {
+		t.Errorf("blacklisted = %d, want 1 (never the last healthy executor)", c.NumBlacklisted())
+	}
+	healthy := 0
+	for e := 0; e < 2; e++ {
+		if !c.Blacklisted(e) {
+			healthy++
+		}
+	}
+	if healthy != 1 {
+		t.Errorf("healthy executors = %d, want 1", healthy)
+	}
+}
+
+func TestSpeculationDuplicatesStragglerAndCancelsLoser(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 4, MaxTaskRetries: 1,
+		Speculation: Speculation{
+			Enabled: true, Quantile: 0.5, Multiplier: 1.2,
+			MinRuntime: 5 * time.Millisecond, Interval: time.Millisecond,
+		},
+		Hooks: rec,
+	})
+	var loserCanceled atomic.Bool
+	var straggler atomic.Int64
+	err := c.RunStage(8, StageOptions{Speculatable: true}, func(a Attempt) error {
+		if a.Part != 3 {
+			return nil
+		}
+		if straggler.Add(1) == 1 && !a.Speculative {
+			// The original attempt stalls, polling for cancellation like
+			// the engine's fill loop does.
+			for i := 0; i < 2000; i++ {
+				if a.Canceled() {
+					loserCanceled.Store(true)
+					return ErrCanceled
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		}
+		return nil // the speculative duplicate finishes immediately
+	})
+	if err != nil {
+		t.Fatalf("stage failed: %v", err)
+	}
+	if got := rec.specLaunched.Load(); got != 1 {
+		t.Errorf("speculative launches = %d, want 1", got)
+	}
+	if got := rec.specWon.Load(); got != 1 {
+		t.Errorf("speculative wins = %d, want 1", got)
+	}
+	if !loserCanceled.Load() {
+		t.Error("losing attempt never observed its cancellation")
+	}
+	if got := rec.failed.Load(); got != 0 {
+		t.Errorf("failures = %d, want 0 (a canceled loser is not a failure)", got)
+	}
+}
+
+func TestSpeculationDisabledForNonSpeculatableStages(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 4,
+		Speculation: Speculation{
+			Enabled: true, Quantile: 0.25, Multiplier: 1.0,
+			MinRuntime: time.Millisecond, Interval: time.Millisecond,
+		},
+		Hooks: rec,
+	})
+	err := c.RunStage(4, StageOptions{}, func(a Attempt) error {
+		if a.Part == 0 {
+			time.Sleep(30 * time.Millisecond) // a straggler, but not speculatable
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.specLaunched.Load(); got != 0 {
+		t.Errorf("non-speculatable stage launched %d duplicates", got)
+	}
+}
+
+// errInjector fails chosen attempts before/after the body.
+type errInjector struct {
+	before func(stage, part, attempt, exec int) error
+	after  func(stage, part, attempt, exec int) error
+}
+
+func (i errInjector) BeforeAttempt(stage, part, attempt, exec int, _ <-chan struct{}) error {
+	if i.before == nil {
+		return nil
+	}
+	return i.before(stage, part, attempt, exec)
+}
+
+func (i errInjector) AfterAttempt(stage, part, attempt, exec int) error {
+	if i.after == nil {
+		return nil
+	}
+	return i.after(stage, part, attempt, exec)
+}
+
+func TestAfterAttemptFailureRetriesDespiteSideEffects(t *testing.T) {
+	rec := &recorder{}
+	var bodies atomic.Int64
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 1, MaxTaskRetries: 2, Hooks: rec,
+		Faults: errInjector{after: func(_, part, attempt, _ int) error {
+			if part == 0 && attempt == 1 {
+				return errors.New("died after reporting")
+			}
+			return nil
+		}},
+	})
+	// AfterAttempt faults only apply to speculatable stages — the ones
+	// whose side effects are idempotent under re-execution.
+	err := c.RunStage(2, StageOptions{Speculatable: true}, func(a Attempt) error {
+		bodies.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stage failed: %v", err)
+	}
+	if got := bodies.Load(); got != 3 {
+		t.Errorf("bodies ran %d times, want 3 (task 0 re-ran after its side effects landed)", got)
+	}
+	if got := rec.retried.Load(); got != 1 {
+		t.Errorf("retried = %d, want 1", got)
+	}
+	// On a non-speculatable stage the same injector fires nothing.
+	bodies.Store(0)
+	if err := c.RunStage(2, StageOptions{}, func(a Attempt) error {
+		bodies.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := bodies.Load(); got != 2 {
+		t.Errorf("non-speculatable stage ran bodies %d times, want 2 (no AfterAttempt faults)", got)
+	}
+}
+
+// TestStageStress hammers retries, blacklisting and speculation together
+// under -race: deterministic outcome not asserted, only convergence and
+// bookkeeping sanity.
+func TestStageStress(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{
+		NumExecutors: 4, SlotsPerExecutor: 4,
+		MaxTaskRetries: 6, MaxExecutorFailures: 50,
+		Speculation: Speculation{
+			Enabled: true, Quantile: 0.5, Multiplier: 1.5,
+			MinRuntime: 2 * time.Millisecond, Interval: time.Millisecond,
+		},
+		Hooks: rec,
+	})
+	var fails atomic.Int64
+	for round := 0; round < 5; round++ {
+		err := c.RunStage(32, StageOptions{Speculatable: true}, func(a Attempt) error {
+			if (a.Part+a.Attempt+round)%7 == 0 {
+				fails.Add(1)
+				return fmt.Errorf("pseudo-random failure")
+			}
+			if a.Part%13 == round {
+				time.Sleep(3 * time.Millisecond)
+			}
+			if a.Canceled() {
+				return ErrCanceled
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d failed: %v", round, err)
+		}
+	}
+	if rec.failed.Load() == 0 {
+		t.Error("stress test injected no failures")
+	}
+	if rec.started.Load() < 5*32 {
+		t.Errorf("started = %d, want ≥ %d", rec.started.Load(), 5*32)
+	}
+}
+
+func TestPlaceIsStableWithoutBlacklist(t *testing.T) {
+	c := NewCluster(Config{NumExecutors: 3})
+	for p := 0; p < 9; p++ {
+		if got := c.Place(p); got != p%3 {
+			t.Errorf("Place(%d) = %d, want %d", p, got, p%3)
+		}
+	}
+}
+
+func TestNoRetryFailsFastWithRootCause(t *testing.T) {
+	rec := &recorder{}
+	c := NewCluster(Config{NumExecutors: 2, SlotsPerExecutor: 2, MaxTaskRetries: 3, Hooks: rec})
+	var bodies atomic.Int64
+	err := c.RunStage(2, StageOptions{}, func(a Attempt) error {
+		if a.Part == 1 {
+			bodies.Add(1)
+			return NoRetry(fmt.Errorf("consumed the inputs"))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected stage failure")
+	}
+	if got := bodies.Load(); got != 1 {
+		t.Errorf("non-retryable attempt ran %d times, want 1", got)
+	}
+	msg := err.Error()
+	for _, want := range []string{"failed after 1 attempts", "consumed the inputs"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if got := rec.retried.Load(); got != 0 {
+		t.Errorf("retried = %d, want 0", got)
+	}
+}

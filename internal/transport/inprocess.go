@@ -29,13 +29,14 @@ func (t *InProcess) Register(id MapOutputID, p Payload) (Payload, bool) {
 	return prev, replaced
 }
 
-// Fetch removes and returns the output registered under id.
-func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
+// Fetch removes and returns the output registered under id. In-process
+// fetches have no transient failure mode: the error is always nil.
+func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p, ok := t.outputs[id]
 	if !ok {
-		return Payload{}, false
+		return Payload{}, false, nil
 	}
 	delete(t.outputs, id)
 	if p.SrcExecutor == dstExecutor {
@@ -45,7 +46,7 @@ func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
 		t.stats.RemoteFetches++
 		t.stats.RemoteBytes += p.Bytes
 	}
-	return p, true
+	return p, true, nil
 }
 
 // Drop removes every output of the shuffle still registered.

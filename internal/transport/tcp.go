@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is the networked Transport: one listener per executor on loopback,
@@ -27,6 +28,12 @@ import (
 // own container), preserving the single-consumer ownership rule. Drop
 // purges whatever is still registered on every node and returns it.
 type TCP struct {
+	// fetchTimeout bounds each FETCH round-trip (write + read) with socket
+	// deadlines; a conn that hits its deadline is closed and retired from
+	// the pool, so a hung peer surfaces as a retryable error instead of a
+	// stuck stage. 0 disables deadlines.
+	fetchTimeout time.Duration
+
 	mu     sync.Mutex
 	nodes  []*tcpNode
 	loc    map[MapOutputID]int // output id → executor holding it
@@ -71,15 +78,21 @@ const (
 	// keeps between requests; a larger frame's buffer is dropped after
 	// serving rather than pinned for the connection's lifetime.
 	maxRetainedServeBuffer = 1 << 20
+	// frameReadChunk is the granularity at which a fetching client
+	// refreshes its read deadline while a frame streams in: the timeout
+	// bounds the wait for each chunk, not the whole (arbitrarily large)
+	// frame.
+	frameReadChunk = 1 << 20
 )
 
 // NewTCP returns a TCP transport with one loopback listener per executor,
-// serving immediately.
-func NewTCP(numExecutors int) (*TCP, error) {
+// serving immediately. fetchTimeout bounds each FETCH round-trip with
+// read/write deadlines on the socket (0 = no deadline).
+func NewTCP(numExecutors int, fetchTimeout time.Duration) (*TCP, error) {
 	if numExecutors <= 0 {
 		return nil, fmt.Errorf("transport: TCP needs at least one executor, got %d", numExecutors)
 	}
-	t := &TCP{loc: make(map[MapOutputID]int)}
+	t := &TCP{loc: make(map[MapOutputID]int), fetchTimeout: fetchTimeout}
 	for i := 0; i < numExecutors; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -111,17 +124,22 @@ func (t *TCP) Addrs() []string {
 
 // Register publishes a map output on its source executor's node and
 // records its location, returning any entry it displaced — possibly from
-// a different node, when a retried task re-registered elsewhere.
+// a different node, when a retried or speculative task re-registered
+// elsewhere. The location update, the displaced-entry take, and the node
+// store happen under one lock: concurrent Registers of the same id (two
+// speculative attempts racing) must interleave as whole replacements, or
+// one payload would be stored with no location pointing at it and leak.
+// The t.mu → node.mu order is safe: no path acquires t.mu while holding
+// a node's mutex.
 func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
 	if p.SrcExecutor < 0 || p.SrcExecutor >= len(t.nodes) {
 		panic(fmt.Sprintf("transport: Register %v from unknown executor %d", id, p.SrcExecutor))
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	prevSrc, had := t.loc[id]
 	t.loc[id] = p.SrcExecutor
 	t.stats.Registered++
-	t.mu.Unlock()
-
 	var prev Payload
 	var replaced bool
 	if had {
@@ -146,17 +164,20 @@ func (n *tcpNode) take(id MapOutputID) (Payload, bool) {
 }
 
 // Fetch resolves the output's location and either hands it over by
-// pointer (same executor) or fetches its frame over the socket.
-func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
+// pointer (same executor) or fetches its frame over the socket. A failed
+// round-trip (dial, write, read, deadline) returns a non-nil error and
+// leaves the output reachable for a retry; NOTFOUND returns ok=false with
+// a nil error.
+func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return Payload{}, false
+		return Payload{}, false, nil
 	}
 	src, ok := t.loc[id]
 	if !ok {
 		t.mu.Unlock()
-		return Payload{}, false
+		return Payload{}, false, nil
 	}
 	delete(t.loc, id)
 	t.mu.Unlock()
@@ -165,32 +186,32 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
 	if src == dstExecutor {
 		p, ok := node.take(id)
 		if !ok {
-			return Payload{}, false
+			return Payload{}, false, nil
 		}
 		t.mu.Lock()
 		t.stats.LocalFetches++
 		t.stats.LocalBytes += p.Bytes
 		t.mu.Unlock()
-		return p, true
+		return p, true, nil
 	}
 
 	frame, err := t.fetchRemote(node, id)
 	if err != nil {
-		// The round-trip failed (dial, write, read) — the output may well
-		// still be registered on the serving node. Restore the location
-		// entry so Drop (or a retried fetch) can still reach it; if the
-		// server did serve-and-release before the failure, the later
-		// take() simply misses.
+		// The round-trip failed (dial, write, read, deadline) — the output
+		// may well still be registered on the serving node. Restore the
+		// location entry so a retried fetch (or Drop) can still reach it;
+		// if the server did serve-and-release before the failure, the
+		// retry's take() simply misses.
 		t.mu.Lock()
 		if !t.closed {
 			t.loc[id] = src
 		}
 		t.mu.Unlock()
-		return Payload{}, false
+		return Payload{}, false, err
 	}
 	if frame == nil {
 		// NOTFOUND: the serving node no longer holds the output.
-		return Payload{}, false
+		return Payload{}, false, nil
 	}
 	t.mu.Lock()
 	t.stats.RemoteFetches++
@@ -201,19 +222,21 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool) {
 		SrcExecutor: src,
 		Bytes:       int64(len(frame)),
 		MemBytes:    int64(len(frame)),
-	}, true
+	}, true, nil
 }
 
 // fetchRemote runs one FETCH round-trip against node, pooling the
 // connection on success. A nil frame with nil error is NOTFOUND; an
 // error means the round-trip itself failed and the output's fate is
-// unknown to the caller.
+// unknown to the caller. A connection whose round-trip errored — notably
+// one that hit its deadline with a response half-read — is closed and
+// retired rather than returned to the pool.
 func (t *TCP) fetchRemote(node *tcpNode, id MapOutputID) ([]byte, error) {
 	conn, err := node.getConn()
 	if err != nil {
 		return nil, err
 	}
-	frame, err := conn.fetch(id)
+	frame, err := conn.fetch(id, t.fetchTimeout)
 	if err != nil {
 		conn.c.Close()
 		return nil, err
@@ -243,8 +266,22 @@ func (n *tcpNode) putConn(c *tcpConn) {
 	}
 }
 
-// fetch writes one request and reads one response on the connection.
-func (c *tcpConn) fetch(id MapOutputID) ([]byte, error) {
+// fetch writes one request and reads one response on the connection. The
+// timeout (0 = none) bounds each I/O step — the request round-trip to the
+// first response byte, then every frameReadChunk of the frame — rather
+// than the whole transfer: a hung peer still surfaces within one timeout
+// (no bytes arrive), while a large frame that keeps moving refreshes its
+// deadline with each chunk and is never failed for being slow. That
+// matters because serving is consuming — the source buffer is released
+// once the server encodes the frame, so a client-side deadline mid-frame
+// on a healthy transfer would turn a slow fetch into permanent output
+// loss.
+func (c *tcpConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := c.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
 	var hdr [3 * binary.MaxVarintLen64]byte
 	k := binary.PutUvarint(hdr[:], uint64(id.Shuffle))
 	k += binary.PutUvarint(hdr[k:], uint64(id.MapTask))
@@ -273,8 +310,28 @@ func (c *tcpConn) fetch(id MapOutputID) ([]byte, error) {
 		return nil, fmt.Errorf("transport: implausible frame length %d", n)
 	}
 	frame := make([]byte, n)
-	if _, err := io.ReadFull(c.br, frame); err != nil {
-		return nil, err
+	for off := 0; off < len(frame); {
+		end := off + frameReadChunk
+		if end > len(frame) {
+			end = len(frame)
+		}
+		if timeout > 0 {
+			// Refresh per chunk: progress resets the clock.
+			if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, err
+			}
+		}
+		k, err := io.ReadFull(c.br, frame[off:end])
+		off += k
+		if err != nil {
+			return nil, err
+		}
+	}
+	if timeout > 0 {
+		// Clear the deadline so a pooled connection does not time out idle.
+		if err := c.c.SetDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
 	}
 	return frame, nil
 }

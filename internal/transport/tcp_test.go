@@ -1,11 +1,14 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeBuf is a payload body with a wire form and release tracking.
@@ -35,7 +38,7 @@ func (f *fakeBuf) payload(src int) Payload {
 
 func newTCPT(t *testing.T, execs int) *TCP {
 	t.Helper()
-	tr, err := NewTCP(execs)
+	tr, err := NewTCP(execs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +52,7 @@ func TestTCPLocalFetchIsPointerPath(t *testing.T) {
 	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 0}
 	tr.Register(id, buf.payload(1))
 
-	p, ok := tr.Fetch(id, 1)
+	p, ok, _ := tr.Fetch(id, 1)
 	if !ok {
 		t.Fatal("local fetch missed")
 	}
@@ -71,7 +74,7 @@ func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
 	id := MapOutputID{Shuffle: 2, MapTask: 1, Reduce: 4}
 	tr.Register(id, buf.payload(0))
 
-	p, ok := tr.Fetch(id, 2)
+	p, ok, _ := tr.Fetch(id, 2)
 	if !ok {
 		t.Fatal("remote fetch missed")
 	}
@@ -93,7 +96,7 @@ func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 	// Single-consumer: the entry is gone.
-	if _, ok := tr.Fetch(id, 2); ok {
+	if _, ok, _ := tr.Fetch(id, 2); ok {
 		t.Error("second fetch of a served id must miss")
 	}
 	if tr.Pending() != 0 {
@@ -103,7 +106,7 @@ func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
 
 func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	tr := newTCPT(t, 2)
-	if _, ok := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
 		t.Error("fetch of unregistered id should miss")
 	}
 	// A payload with no wire form can only cross by pointer; remote
@@ -111,7 +114,7 @@ func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	buf := &fakeBuf{frame: []byte("x")}
 	id := MapOutputID{Shuffle: 3, MapTask: 0, Reduce: 0}
 	tr.Register(id, Payload{Data: buf, SrcExecutor: 0, Bytes: 1})
-	if _, ok := tr.Fetch(id, 1); ok {
+	if _, ok, _ := tr.Fetch(id, 1); ok {
 		t.Error("remote fetch of unencodable payload should miss")
 	}
 	if !buf.released.Load() {
@@ -132,7 +135,7 @@ func TestTCPDropReturnsUnfetched(t *testing.T) {
 	}
 	tr.Register(MapOutputID{Shuffle: 6, MapTask: 0, Reduce: 0}, (&fakeBuf{frame: []byte("other")}).payload(0))
 
-	if _, ok := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1); !ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1); !ok {
 		t.Fatal("fetch failed")
 	}
 	dropped := tr.Drop(5)
@@ -170,7 +173,7 @@ func TestTCPRegisterTwiceReturnsReplaced(t *testing.T) {
 	if !old.released.Load() {
 		t.Error("released replaced payload still live")
 	}
-	p, ok := tr.Fetch(id, 2)
+	p, ok, _ := tr.Fetch(id, 2)
 	if !ok || p.Data != fresh {
 		t.Fatalf("fetch after replace = %+v, %v", p, ok)
 	}
@@ -189,7 +192,7 @@ func TestInProcessRegisterTwiceReturnsReplaced(t *testing.T) {
 	if !replaced || prev.Data != "a" {
 		t.Fatalf("Register replace = (%+v, %v)", prev, replaced)
 	}
-	p, _ := tr.Fetch(id, 0)
+	p, _, _ := tr.Fetch(id, 0)
 	if p.Data != "b" {
 		t.Errorf("fetch after replace = %v", p.Data)
 	}
@@ -210,7 +213,7 @@ func TestTCPConcurrentFetches(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			dst := (i + 1) % execs
-			p, ok := tr.Fetch(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, dst)
+			p, ok, _ := tr.Fetch(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, dst)
 			if !ok {
 				t.Errorf("fetch %d missed", i)
 				return
@@ -255,8 +258,12 @@ func TestTCPFailedRemoteFetchKeepsPayloadDroppable(t *testing.T) {
 	// round-trip fails rather than returning NOTFOUND.
 	tr.nodes[0].ln.Close()
 
-	if _, ok := tr.Fetch(id, 1); ok {
+	_, ok, err := tr.Fetch(id, 1)
+	if ok {
 		t.Fatal("fetch against a dead listener should fail")
+	}
+	if err == nil {
+		t.Fatal("a failed round-trip must surface as a retryable error, not a silent miss")
 	}
 	if buf.released.Load() {
 		t.Fatal("failed fetch must not release the source buffer")
@@ -275,7 +282,7 @@ func TestTCPFailedRemoteFetchKeepsPayloadDroppable(t *testing.T) {
 }
 
 func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
-	tr, err := NewTCP(2)
+	tr, err := NewTCP(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +294,64 @@ func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := tr.Fetch(id, 1); ok {
+	if _, ok, _ := tr.Fetch(id, 1); ok {
 		t.Error("fetch after Close should miss")
+	}
+}
+
+// TestTCPFetchTimeoutRetiresConnAndStaysRetryable: a peer that hangs
+// mid-serve (its Encode blocks) must surface as a deadline error within
+// FetchTimeout, the hung conn must be retired rather than pooled, and the
+// output must remain reachable once the peer recovers.
+func TestTCPFetchTimeoutRetiresConnAndStaysRetryable(t *testing.T) {
+	tr, err := NewTCP(2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+
+	unblock := make(chan struct{})
+	id := MapOutputID{Shuffle: 11, MapTask: 0, Reduce: 0}
+	tr.Register(id, Payload{
+		Data:        &fakeBuf{frame: []byte("slow")},
+		SrcExecutor: 0,
+		Bytes:       4,
+		Encode: func(w io.Writer) error {
+			<-unblock // a hung peer: the frame never arrives
+			_, err := w.Write([]byte("slow"))
+			return err
+		},
+	})
+
+	start := time.Now()
+	_, ok, err := tr.Fetch(id, 1)
+	if ok || err == nil {
+		t.Fatalf("fetch of a hung peer = (ok=%v, err=%v), want a timeout error", ok, err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("error %v is not a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+	// The hung conn must not be back in the pool.
+	select {
+	case c := <-tr.nodes[0].pool:
+		t.Errorf("timed-out conn %v was pooled", c.c.LocalAddr())
+	default:
+	}
+	close(unblock) // the stuck server goroutine finishes and releases
+
+	// A healthy payload re-registered under the same id is fetchable on a
+	// fresh connection — the retry path after a timeout.
+	buf := &fakeBuf{frame: []byte("recovered")}
+	tr.Register(id, buf.payload(0))
+	p, ok, err := tr.Fetch(id, 1)
+	if err != nil || !ok {
+		t.Fatalf("retry fetch = (ok=%v, err=%v)", ok, err)
+	}
+	if w, isWire := p.Data.(Wire); !isWire || string(w.Frame) != "recovered" {
+		t.Errorf("retry fetch payload = %+v", p.Data)
 	}
 }

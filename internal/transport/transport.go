@@ -85,12 +85,15 @@ type Transport interface {
 	// buffers instead of leaking them.
 	Register(id MapOutputID, p Payload) (prev Payload, replaced bool)
 	// Fetch hands the output to the reduce task running on dstExecutor and
-	// removes the entry. ok is false when nothing is registered under id.
-	// A networked transport returns the registered payload by pointer when
-	// dstExecutor is the registering executor, and a Wire-framed payload —
-	// Data holding the encoded frame, Bytes/MemBytes the frame length —
-	// after a cross-executor fetch.
-	Fetch(id MapOutputID, dstExecutor int) (Payload, bool)
+	// removes the entry. ok=false with a nil error means nothing is
+	// registered under id (definitively missing — retrying cannot help); a
+	// non-nil error is a transient transport fault (socket error, timeout,
+	// injected fault) that did NOT consume the registration, so the caller
+	// may retry the fetch. A networked transport returns the registered
+	// payload by pointer when dstExecutor is the registering executor, and
+	// a Wire-framed payload — Data holding the encoded frame,
+	// Bytes/MemBytes the frame length — after a cross-executor fetch.
+	Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error)
 	// Drop removes every output of the shuffle still registered and
 	// returns them, so the caller can release the buffers.
 	Drop(shuffle ShuffleID) []Payload

@@ -34,11 +34,11 @@ func ConnectedComponents(cfg Config, params GraphParams) (Result, error) {
 				// Transformed path: walk adjacency pages, emit the source's
 				// label to each neighbor without materializing lists.
 				msgs = engine.Generate(ctx, parts, func(p int, emit func(decompose.Pair[int64, int64])) {
-					blk, err := engine.DecaBlockFor(links, p)
+					blk, release, err := engine.DecaBlockFor(links, p)
 					if err != nil {
 						panic(err)
 					}
-					defer engine.ReleaseBlock(links, p)
+					defer release()
 					g := blk.Group()
 					for pi := 0; pi < g.NumPages(); pi++ {
 						page := g.Page(pi)

@@ -117,11 +117,11 @@ func decaAdjacencyContribs(
 	contribute func(src int64, degree int, neighbor int64, emit func(decompose.Pair[int64, float64])),
 ) *engine.Dataset[decompose.Pair[int64, float64]] {
 	return engine.Generate(ctx, links.Partitions(), func(p int, emit func(decompose.Pair[int64, float64])) {
-		blk, err := engine.DecaBlockFor(links, p)
+		blk, release, err := engine.DecaBlockFor(links, p)
 		if err != nil {
 			panic(err)
 		}
-		defer engine.ReleaseBlock(links, p)
+		defer release()
 		g := blk.Group()
 		for pi := 0; pi < g.NumPages(); pi++ {
 			page := g.Page(pi)

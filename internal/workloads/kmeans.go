@@ -149,11 +149,11 @@ func kmeansStepDeca(
 	partials := make([][]float64, vectors.Partitions()) // K*(dim+1) each
 
 	err := engine.RunPartitions(ctx, vectors.Partitions(), func(p int) error {
-		blk, err := engine.DecaBlockFor(vectors, p)
+		blk, release, err := engine.DecaBlockFor(vectors, p)
 		if err != nil {
 			return err
 		}
-		defer engine.ReleaseBlock(vectors, p)
+		defer release()
 
 		acc := make([]float64, params.K*(dim+1))
 		// One reusable scratch vector per task: each record's coordinates

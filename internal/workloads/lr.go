@@ -137,11 +137,11 @@ func lrGradientDeca(
 	partial := make([][]float64, points.Partitions())
 
 	err := engine.RunPartitions(ctx, points.Partitions(), func(p int) error {
-		blk, err := engine.DecaBlockFor(points, p)
+		blk, release, err := engine.DecaBlockFor(points, p)
 		if err != nil {
 			return err
 		}
-		defer engine.ReleaseBlock(points, p)
+		defer release()
 
 		acc := make([]float64, dim)
 		// Decode each record's features once into a reused scratch vector;

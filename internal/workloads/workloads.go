@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"deca/internal/chaos"
 	"deca/internal/engine"
 	"deca/internal/gcstats"
 )
@@ -48,7 +49,15 @@ type Config struct {
 	// (default in-process pointers; engine.TransportTCP moves wire frames
 	// over loopback sockets).
 	TransportKind engine.TransportKind
-	Seed          int64
+	// MaxTaskRetries / MaxExecutorFailures tune the fault-tolerant
+	// scheduler (0 = engine defaults; see engine.Config).
+	MaxTaskRetries      int
+	MaxExecutorFailures int
+	// SpeculationEnabled duplicates straggler map tasks.
+	SpeculationEnabled bool
+	// Chaos injects deterministic faults (nil = none).
+	Chaos *chaos.Injector
+	Seed  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +87,10 @@ func (c Config) newEngine() *engine.Context {
 		FetchConcurrency:      c.FetchConcurrency,
 		DisableZeroCopyMerge:  c.DisableZeroCopyMerge,
 		TransportKind:         c.TransportKind,
+		MaxTaskRetries:        c.MaxTaskRetries,
+		MaxExecutorFailures:   c.MaxExecutorFailures,
+		SpeculationEnabled:    c.SpeculationEnabled,
+		Chaos:                 c.Chaos,
 	})
 }
 
@@ -99,6 +112,14 @@ type Result struct {
 	// zero on single-executor runs.
 	RemoteShuffleFetches int64
 	RemoteShuffleBytes   int64
+	// Fault-tolerance counters: failed and retried task attempts (the
+	// recomputation volume), speculative duplicates, and executors
+	// blacklisted during the run.
+	TasksFailed          int64
+	TaskRetries          int64
+	SpeculativeLaunched  int64
+	SpeculativeWon       int64
+	ExecutorsBlacklisted int64
 }
 
 func (r Result) String() string {
@@ -137,5 +158,10 @@ func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error
 		ShuffleSpillBytes:    metrics.ShuffleSpillBytes.Load(),
 		RemoteShuffleFetches: metrics.RemoteShuffleFetches.Load(),
 		RemoteShuffleBytes:   metrics.RemoteShuffleBytes.Load(),
+		TasksFailed:          metrics.TasksFailed.Load(),
+		TaskRetries:          metrics.TaskRetries.Load(),
+		SpeculativeLaunched:  metrics.SpeculativeLaunched.Load(),
+		SpeculativeWon:       metrics.SpeculativeWon.Load(),
+		ExecutorsBlacklisted: metrics.ExecutorsBlacklisted.Load(),
 	}, nil
 }
