@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +30,8 @@ func main() {
 		par       = flag.Int("parallelism", 4, "worker goroutines per executor")
 		execs     = flag.Int("executors", 1, "executors in the local cluster (scaling experiment sweeps its own)")
 		transport = flag.String("transport", "inprocess", "shuffle transport: inprocess or tcp (loopback sockets)")
+		deploy    = flag.String("deploy", "", "deployment: inprocess, tcp, or multiproc (spawn deca-executor processes)")
+		execBin   = flag.String("executor-bin", "", "deca-executor binary for -deploy multiproc (default: next to deca-bench, then $PATH)")
 		spillDir  = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault injector (0 = 1; used when -failure-rate > 0)")
 		failRate  = flag.Float64("failure-rate", 0, "inject this per-attempt task failure probability into every experiment (0 = no chaos)")
@@ -41,6 +45,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "deca-bench:", err)
 		os.Exit(1)
 	}
+	deployKind, err := engine.ParseDeployKind(*deploy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deca-bench:", err)
+		os.Exit(1)
+	}
+	var executorCmd []string
+	if deployKind == engine.DeployMultiproc {
+		bin, err := resolveExecutorBin(*execBin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deca-bench:", err)
+			os.Exit(1)
+		}
+		executorCmd = []string{bin}
+	}
 
 	if *listOnly {
 		for _, e := range bench.All() {
@@ -52,6 +70,7 @@ func main() {
 	opts := bench.Options{
 		Scale: *scale, Parallelism: *par, NumExecutors: *execs,
 		SpillDir: *spillDir, TransportKind: transportKind,
+		Deploy: deployKind, ExecutorCmd: executorCmd,
 		ChaosSeed: *chaosSeed, FailureRate: *failRate, MaxRetries: *maxRetry,
 	}
 	if opts.SpillDir == "" {
@@ -94,4 +113,25 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// resolveExecutorBin locates the deca-executor binary for multiproc
+// deployments: the explicit flag, then next to this binary, then $PATH.
+func resolveExecutorBin(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", fmt.Errorf("-executor-bin %s: %w", explicit, err)
+		}
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "deca-executor")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath("deca-executor"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("deca-executor binary not found (build it with `go build ./cmd/deca-executor` and pass -executor-bin, or put it next to deca-bench)")
 }

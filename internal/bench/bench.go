@@ -34,6 +34,13 @@ type Options struct {
 	// TransportKind selects the shuffle transport every experiment's
 	// engine uses (deca-bench -transport tcp).
 	TransportKind engine.TransportKind
+	// Deploy selects the deployment every experiment's engine uses
+	// (deca-bench -deploy multiproc spawns deca-executor processes);
+	// ExecutorCmd is the executor binary's argv prefix, required for
+	// multiproc. The deploy experiment sweeps deployments itself and only
+	// needs ExecutorCmd.
+	Deploy      engine.DeployKind
+	ExecutorCmd []string
 	// ChaosSeed seeds the deterministic fault injector (deca-bench
 	// -chaos-seed); 0 selects seed 1 when FailureRate asks for chaos.
 	ChaosSeed int64
@@ -116,6 +123,7 @@ func All() []Experiment {
 		{"table5", "Single-process microbenchmark and ser/deser costs", Table5Micro},
 		{"table6", "SQL queries: rows vs columnar vs Deca", Table6SQL},
 		{"scaling", "Executor scaling: budget split across 1/2/4/8 executors", ScalingExecutors},
+		{"deploy", "Deployment: in-process vs TCP frames vs executor processes", DeployComparison},
 		{"faults", "Fault tolerance: wall time and recomputed attempts vs failure rate", FaultTolerance},
 		{"wire", "Wire format: container encode/decode throughput, Deca vs Object", WireThroughput},
 		{"merge", "Zero-copy reduce merge vs drain/re-Put across modes and executor counts", MergeZeroCopy},
@@ -171,7 +179,15 @@ func (o Options) baseCfg(mode engine.Mode) workloads.Config {
 		Partitions:    o.Parallelism * o.NumExecutors,
 		SpillDir:      o.SpillDir,
 		TransportKind: o.TransportKind,
+		Deploy:        o.Deploy,
+		ExecutorCmd:   o.ExecutorCmd,
 		Seed:          1,
+	}
+	if cfg.Deploy == engine.DeployMultiproc && cfg.NumExecutors < 2 {
+		// A single-process "cluster" of one child defeats the point;
+		// multiproc runs always get at least two executor processes.
+		cfg.NumExecutors = 2
+		cfg.Partitions = o.Parallelism * cfg.NumExecutors
 	}
 	o.applyChaos(&cfg)
 	return cfg

@@ -54,6 +54,7 @@ func FaultTolerance(o Options) (*Report, error) {
 		cfg.NumExecutors = execs
 		cfg.Partitions = o.Parallelism * execs
 		cfg.TransportKind = kind
+		cfg.Deploy = engine.DeployInProcess // the classic rows sweep transports themselves
 		cfg.Chaos = nil
 		cfg.MaxTaskRetries = 4
 		return cfg
@@ -103,6 +104,45 @@ func FaultTolerance(o Options) (*Report, error) {
 			rep.add("%-3s %-9s kill x1    exec=%-9s retries=%-4d blacklisted=%d checksum=%.6g",
 				a.name, kind, fmtDur(res.Wall), res.TaskRetries, res.ExecutorsBlacklisted, res.Checksum)
 		}
+	}
+
+	// Multiproc rows (when a deca-executor binary is around): the same WC
+	// job across real executor processes, fault-free and with a real
+	// SIGKILL of one child mid-job — the process-mode overhead vs the tcp
+	// rows above, answers still identical.
+	if len(o.ExecutorCmd) > 0 {
+		baseline := 0.0
+		for _, row := range []string{"none", "kill"} {
+			cfg := baseCfg(engine.TransportInProcess)
+			cfg.Deploy = engine.DeployMultiproc
+			cfg.ExecutorCmd = o.ExecutorCmd
+			if row == "kill" {
+				inj := chaos.New(o.chaosSeed())
+				inj.KillExecutor = execs - 1
+				inj.KillAfter = 2
+				cfg.Chaos = inj
+				cfg.MaxExecutorFailures = 2
+			}
+			res, err := apps[0].run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("WC[multiproc] %s: %w", row, err)
+			}
+			if row == "none" {
+				baseline = res.Checksum
+			} else if !checksumClose(res.Checksum, baseline) {
+				return nil, fmt.Errorf("WC[multiproc] kill: checksum %g != fault-free %g",
+					res.Checksum, baseline)
+			}
+			label := "fail=   0%"
+			if row == "kill" {
+				label = "SIGKILL x1"
+			}
+			rep.add("%-3s %-9s %s exec=%-9s retries=%-4d blacklisted=%d checksum=%.6g",
+				"WC", "multiproc", label, fmtDur(res.Wall),
+				res.TaskRetries, res.ExecutorsBlacklisted, res.Checksum)
+		}
+	} else {
+		rep.add("(multiproc rows skipped: no deca-executor binary — run deca-bench -deploy multiproc)")
 	}
 	return rep, nil
 }

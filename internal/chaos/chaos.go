@@ -63,10 +63,17 @@ type Injector struct {
 
 	// KillExecutor, when ≥ 0, kills that executor after KillAfter
 	// attempts have started on it: every later attempt placed there fails
-	// immediately. Outputs it already registered stay fetchable (external
-	// shuffle service semantics).
+	// immediately. In-process, outputs it already registered stay
+	// fetchable (external shuffle service semantics); the multi-process
+	// deployment additionally SIGKILLs the real executor process through
+	// OnKill, so its outputs die with it and recovery must re-run the
+	// producing stage.
 	KillExecutor int
 	KillAfter    int
+	// OnKill, when set, fires exactly once — when the executor kill first
+	// trips. The multiproc engine wires it to the process supervisor's
+	// SIGKILL.
+	OnKill func(exec int)
 
 	// FetchFailureRate is the probability a given map-output fetch try
 	// fails with a retryable error, decided independently per (output id,
@@ -79,6 +86,7 @@ type Injector struct {
 	FailFetchN int64
 
 	killStarted atomic.Int64
+	killFired   atomic.Bool
 	fetchCount  atomic.Int64
 
 	mu         sync.Mutex
@@ -138,6 +146,9 @@ func (i *Injector) BeforeAttempt(stage, part, attempt, exec int, cancel <-chan s
 	if i.KillExecutor >= 0 && exec == i.KillExecutor {
 		if i.killStarted.Add(1) > int64(i.KillAfter) {
 			i.count(func(s *Stats) { s.Kills++ })
+			if i.OnKill != nil && i.killFired.CompareAndSwap(false, true) {
+				i.OnKill(exec)
+			}
 			return fmt.Errorf("%w: executor %d is dead (stage %d task %d attempt %d)",
 				ErrInjected, exec, stage, part, attempt)
 		}

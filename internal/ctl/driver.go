@@ -1,0 +1,701 @@
+package ctl
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deca/internal/transport"
+)
+
+// DriverConfig sizes the control plane's driver side.
+type DriverConfig struct {
+	// NumExecutors is how many deca-executor processes to spawn.
+	NumExecutors int
+	// ExecutorCmd is the argv prefix of the executor binary; the driver
+	// appends "-driver <addr> -id <i> -token <t>". A trailing "--" in the
+	// prefix lets wrappers (the test binary re-execing itself) separate
+	// their own flags from the executor's.
+	ExecutorCmd []string
+	// ListenAddr is the control listener address ("127.0.0.1:0" default).
+	ListenAddr string
+	// HeartbeatInterval is the executor heartbeat period (default 100ms);
+	// HeartbeatMisses is the liveness miss budget: an executor silent for
+	// misses*interval is declared dead (default 20, i.e. 2s).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// SpawnTimeout bounds the spawn+handshake of the whole fleet
+	// (default 30s).
+	SpawnTimeout time.Duration
+	// OnExecutorDead fires once per executor when it is declared dead
+	// (process exit, control-connection error, or heartbeat-budget
+	// exhaustion). The engine feeds it straight into sched's blacklist.
+	OnExecutorDead func(exec int)
+	// OnNeedShuffle serves follower materialization requests: a follower
+	// task pulled an unmaterialized shuffle, and the driver must run its
+	// stages cluster-wide. Concurrent requests for one dataset are
+	// deduplicated by the engine's memoized shuffle state.
+	OnNeedShuffle func(dataset int)
+}
+
+func (c DriverConfig) withDefaults() DriverConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 20
+	}
+	if c.SpawnTimeout <= 0 {
+		c.SpawnTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// dirEntry is one registered map output's location.
+type dirEntry struct{ exec int }
+
+// execState is the driver's view of one executor process.
+type execState struct {
+	id   int
+	cmd  *exec.Cmd
+	conn *rpcConn
+
+	dataAddr string
+
+	mu       sync.Mutex
+	alive    bool
+	deadErr  error
+	deadCh   chan struct{} // closed when declared dead
+	lastBeat time.Time
+	lastSnap MetricsSnapshot
+	pending  map[uint64]chan TaskResult // taskID → dispatch waiter
+	reqs     map[uint64]chan MetricsSnapshot
+}
+
+// Driver supervises the executor fleet: it spawns the processes, owns
+// the control connections, tracks liveness, stores the shuffle location
+// directory, and dispatches task descriptors.
+type Driver struct {
+	cfg   DriverConfig
+	ln    net.Listener
+	token string
+
+	execs []*execState
+
+	dirMu      sync.Mutex
+	dir        map[transport.MapOutputID]dirEntry
+	registered uint64
+
+	nextTask atomic.Uint64
+	nextReq  atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// NewDriver starts the control listener, spawns the executor fleet, and
+// waits for every executor's handshake. On failure the partially-started
+// fleet is torn down.
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumExecutors <= 0 {
+		return nil, fmt.Errorf("ctl: need at least one executor")
+	}
+	if len(cfg.ExecutorCmd) == 0 {
+		return nil, fmt.Errorf("ctl: DriverConfig.ExecutorCmd is empty (where is deca-executor?)")
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: control listener: %w", err)
+	}
+	var tok [16]byte
+	if _, err := rand.Read(tok[:]); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	d := &Driver{
+		cfg:   cfg,
+		ln:    ln,
+		token: hex.EncodeToString(tok[:]),
+		dir:   make(map[transport.MapOutputID]dirEntry),
+		execs: make([]*execState, cfg.NumExecutors),
+	}
+	for i := range d.execs {
+		d.execs[i] = &execState{
+			id:      i,
+			deadCh:  make(chan struct{}),
+			pending: make(map[uint64]chan TaskResult),
+			reqs:    make(map[uint64]chan MetricsSnapshot),
+		}
+	}
+
+	// Collect handshakes concurrently with spawning.
+	type hello struct {
+		id   int
+		conn *rpcConn
+		addr string
+	}
+	hellos := make(chan hello, cfg.NumExecutors)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				rc := newRPCConn(c)
+				t, payload, err := rc.read()
+				if err != nil || t != msgHello {
+					rc.close()
+					return
+				}
+				dd := &dec{b: payload}
+				id := int(dd.int())
+				token := dd.str()
+				dataAddr := dd.str()
+				if !dd.ok() || token != d.token || id < 0 || id >= cfg.NumExecutors {
+					rc.close()
+					return
+				}
+				hellos <- hello{id: id, conn: rc, addr: dataAddr}
+			}()
+		}
+	}()
+
+	for i := 0; i < cfg.NumExecutors; i++ {
+		if err := d.spawn(i); err != nil {
+			d.teardown()
+			return nil, err
+		}
+	}
+
+	deadline := time.After(cfg.SpawnTimeout)
+	seen := 0
+	for seen < cfg.NumExecutors {
+		select {
+		case h := <-hellos:
+			st := d.execs[h.id]
+			st.mu.Lock()
+			if st.conn != nil {
+				st.mu.Unlock()
+				h.conn.close() // duplicate handshake
+				continue
+			}
+			st.conn = h.conn
+			st.dataAddr = h.addr
+			st.alive = true
+			st.lastBeat = time.Now()
+			st.mu.Unlock()
+			// Welcome: the executor may proceed to wait for the plan.
+			var e enc
+			e.int(int64(cfg.NumExecutors))
+			if err := h.conn.send(msgWelcome, e.b); err != nil {
+				d.teardown()
+				return nil, fmt.Errorf("ctl: welcoming executor %d: %w", h.id, err)
+			}
+			seen++
+		case <-deadline:
+			d.teardown()
+			return nil, fmt.Errorf("ctl: %d/%d executors handshook within %v",
+				seen, cfg.NumExecutors, cfg.SpawnTimeout)
+		}
+	}
+
+	for _, st := range d.execs {
+		go d.readLoop(st)
+		go d.waitChild(st)
+	}
+	go d.heartbeatMonitor()
+	return d, nil
+}
+
+// spawn starts executor i's process.
+func (d *Driver) spawn(i int) error {
+	argv := append(append([]string{}, d.cfg.ExecutorCmd...),
+		"-driver", d.ln.Addr().String(),
+		"-id", strconv.Itoa(i),
+		"-token", d.token,
+	)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = os.Stderr // keep the driver's stdout clean for reports
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("ctl: spawning executor %d (%s): %w", i, argv[0], err)
+	}
+	d.execs[i].cmd = cmd
+	return nil
+}
+
+// teardown kills whatever was started (failed bring-up path).
+func (d *Driver) teardown() {
+	d.ln.Close()
+	for _, st := range d.execs {
+		if st.cmd != nil && st.cmd.Process != nil {
+			st.cmd.Process.Kill()
+			st.cmd.Wait()
+		}
+		if st.conn != nil {
+			st.conn.close()
+		}
+	}
+}
+
+// markDead declares an executor dead exactly once: its pending dispatches
+// fail, its process is reaped, and OnExecutorDead fires.
+func (d *Driver) markDead(st *execState, cause error) {
+	st.mu.Lock()
+	if !st.alive {
+		st.mu.Unlock()
+		return
+	}
+	st.alive = false
+	st.deadErr = cause
+	close(st.deadCh)
+	pending := st.pending
+	st.pending = make(map[uint64]chan TaskResult)
+	reqs := st.reqs
+	st.reqs = make(map[uint64]chan MetricsSnapshot)
+	st.mu.Unlock()
+	if st.conn != nil {
+		st.conn.close()
+	}
+	if st.cmd != nil && st.cmd.Process != nil {
+		st.cmd.Process.Kill() // idempotent; reaped by waitChild
+	}
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, ch := range reqs {
+		close(ch)
+	}
+	if d.cfg.OnExecutorDead != nil && !d.closed.Load() {
+		d.cfg.OnExecutorDead(st.id)
+	}
+}
+
+// waitChild reaps the process and declares the executor dead on exit.
+func (d *Driver) waitChild(st *execState) {
+	if st.cmd == nil {
+		return
+	}
+	err := st.cmd.Wait()
+	d.markDead(st, fmt.Errorf("ctl: executor %d process exited: %v", st.id, err))
+}
+
+// heartbeatMonitor declares executors whose heartbeats stopped dead.
+func (d *Driver) heartbeatMonitor() {
+	budget := time.Duration(d.cfg.HeartbeatMisses) * d.cfg.HeartbeatInterval
+	ticker := time.NewTicker(d.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for range ticker.C {
+		if d.closed.Load() {
+			return
+		}
+		now := time.Now()
+		for _, st := range d.execs {
+			st.mu.Lock()
+			silent := st.alive && now.Sub(st.lastBeat) > budget
+			st.mu.Unlock()
+			if silent {
+				d.markDead(st, fmt.Errorf("ctl: executor %d missed %d heartbeats",
+					st.id, d.cfg.HeartbeatMisses))
+			}
+		}
+	}
+}
+
+// readLoop dispatches one executor's inbound control frames. Directory
+// operations and task results are handled inline so their order relative
+// to each other is preserved (a task's RegisterOutput frames land in the
+// directory before its TaskDone is observed); blocking handlers
+// (NeedShuffle) run on their own goroutines.
+func (d *Driver) readLoop(st *execState) {
+	for {
+		t, payload, err := st.conn.read()
+		if err != nil {
+			d.markDead(st, fmt.Errorf("ctl: executor %d control connection: %w", st.id, err))
+			return
+		}
+		dd := &dec{b: payload}
+		switch t {
+		case msgHeartbeat:
+			snap := decodeSnapshot(dd)
+			st.mu.Lock()
+			st.lastBeat = time.Now()
+			st.lastSnap = snap
+			st.mu.Unlock()
+		case msgTaskDone:
+			taskID := dd.uint()
+			res := TaskResult{
+				OK:             dd.bool(),
+				NoRetry:        dd.bool(),
+				ErrMsg:         dd.str(),
+				MissingDataset: int(dd.int()),
+				MissingEpoch:   int(dd.int()),
+				Result:         append([]byte(nil), dd.bytes()...),
+			}
+			if !dd.ok() {
+				continue
+			}
+			st.mu.Lock()
+			ch := st.pending[taskID]
+			delete(st.pending, taskID)
+			st.mu.Unlock()
+			if ch != nil {
+				ch <- res
+			}
+		case msgRegisterOutput:
+			id := decodeOutputID(dd)
+			from := int(dd.int())
+			if !dd.ok() {
+				continue
+			}
+			d.registerOutput(id, from)
+		case msgLookupOutput:
+			reqID := dd.uint()
+			id := decodeOutputID(dd)
+			if !dd.ok() {
+				continue
+			}
+			d.dirMu.Lock()
+			entry, found := d.dir[id]
+			if found {
+				delete(d.dir, id)
+			}
+			d.dirMu.Unlock()
+			var e enc
+			e.uint(reqID)
+			e.bool(found)
+			if found {
+				e.int(int64(entry.exec))
+				e.str(d.dataAddrOf(entry.exec))
+			} else {
+				e.int(0)
+				e.str("")
+			}
+			st.conn.send(msgLookupReply, e.b)
+		case msgRestoreOutput:
+			id := decodeOutputID(dd)
+			exec := int(dd.int())
+			if !dd.ok() {
+				continue
+			}
+			d.dirMu.Lock()
+			if _, taken := d.dir[id]; !taken {
+				d.dir[id] = dirEntry{exec: exec}
+			}
+			d.dirMu.Unlock()
+		case msgNeedShuffle:
+			dataset := int(dd.int())
+			if !dd.ok() {
+				continue
+			}
+			if d.cfg.OnNeedShuffle != nil {
+				go d.cfg.OnNeedShuffle(dataset)
+			}
+		case msgMetricsReply:
+			reqID := dd.uint()
+			snap := decodeSnapshot(dd)
+			if !dd.ok() {
+				continue
+			}
+			st.mu.Lock()
+			ch := st.reqs[reqID]
+			delete(st.reqs, reqID)
+			st.lastSnap = snap
+			st.mu.Unlock()
+			if ch != nil {
+				ch <- snap
+			}
+		}
+	}
+}
+
+func decodeOutputID(d *dec) transport.MapOutputID {
+	return transport.MapOutputID{
+		Shuffle: transport.ShuffleID(d.int()),
+		MapTask: int(d.int()),
+		Reduce:  int(d.int()),
+	}
+}
+
+func appendOutputID(e *enc, id transport.MapOutputID) {
+	e.int(int64(id.Shuffle))
+	e.int(int64(id.MapTask))
+	e.int(int64(id.Reduce))
+}
+
+func (d *Driver) dataAddrOf(exec int) string {
+	if exec < 0 || exec >= len(d.execs) {
+		return ""
+	}
+	return d.execs[exec].dataAddr
+}
+
+// registerOutput records a map output's location, telling the previous
+// holder — when the entry moved across executors on a retry or a
+// speculative re-registration — to discard its now-orphaned buffers.
+// Same-executor displacement is handled locally by the executor's own
+// data server.
+func (d *Driver) registerOutput(id transport.MapOutputID, exec int) {
+	d.dirMu.Lock()
+	prev, had := d.dir[id]
+	d.dir[id] = dirEntry{exec: exec}
+	d.registered++
+	d.dirMu.Unlock()
+	if had && prev.exec != exec {
+		d.sendDiscard(prev.exec, id)
+	}
+}
+
+func (d *Driver) sendDiscard(exec int, id transport.MapOutputID) {
+	st := d.execs[exec]
+	st.mu.Lock()
+	alive := st.alive
+	st.mu.Unlock()
+	if !alive {
+		return
+	}
+	var e enc
+	appendOutputID(&e, id)
+	st.conn.send(msgDiscardOutput, e.b)
+}
+
+// Registered returns how many directory registrations were observed.
+func (d *Driver) Registered() uint64 {
+	d.dirMu.Lock()
+	defer d.dirMu.Unlock()
+	return d.registered
+}
+
+// DropShuffle purges the shuffle's directory entries and tells each
+// holder to discard the buffers. It returns how many entries were
+// dropped.
+func (d *Driver) DropShuffle(shuffle int64) int {
+	d.dirMu.Lock()
+	var ids []transport.MapOutputID
+	var holders []int
+	for id, entry := range d.dir {
+		if int64(id.Shuffle) == shuffle {
+			ids = append(ids, id)
+			holders = append(holders, entry.exec)
+		}
+	}
+	for _, id := range ids {
+		delete(d.dir, id)
+	}
+	d.dirMu.Unlock()
+	for i, id := range ids {
+		d.sendDiscard(holders[i], id)
+	}
+	return len(ids)
+}
+
+// Alive reports whether the executor is (still) considered live.
+func (d *Driver) Alive(exec int) bool {
+	st := d.execs[exec]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.alive
+}
+
+// NumAlive counts live executors.
+func (d *Driver) NumAlive() int {
+	n := 0
+	for _, st := range d.execs {
+		st.mu.Lock()
+		if st.alive {
+			n++
+		}
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Kill SIGKILLs the executor's process — the chaos harness's executor
+// kill made real. Death is then observed through the normal channels
+// (process exit, connection error).
+func (d *Driver) Kill(exec int) {
+	st := d.execs[exec]
+	if st.cmd != nil && st.cmd.Process != nil {
+		st.cmd.Process.Kill()
+	}
+}
+
+// RunTask dispatches one attempt descriptor to an executor and waits for
+// its result. A dead executor — at dispatch time or mid-flight — returns
+// an error, which the scheduler counts as the attempt's failure.
+func (d *Driver) RunTask(exec int, key string, stage, part, attempt int) (TaskResult, error) {
+	st := d.execs[exec]
+	taskID := d.nextTask.Add(1)
+	ch := make(chan TaskResult, 1)
+	st.mu.Lock()
+	if !st.alive {
+		err := st.deadErr
+		st.mu.Unlock()
+		return TaskResult{}, fmt.Errorf("ctl: executor %d is dead: %w", exec, err)
+	}
+	st.pending[taskID] = ch
+	st.mu.Unlock()
+
+	var e enc
+	e.uint(taskID)
+	e.str(key)
+	e.int(int64(stage))
+	e.int(int64(part))
+	e.int(int64(attempt))
+	if err := st.conn.send(msgRunTask, e.b); err != nil {
+		st.mu.Lock()
+		delete(st.pending, taskID)
+		st.mu.Unlock()
+		return TaskResult{}, fmt.Errorf("ctl: dispatching to executor %d: %w", exec, err)
+	}
+	res, ok := <-ch
+	if !ok {
+		return TaskResult{}, fmt.Errorf("ctl: executor %d died running %s part %d attempt %d",
+			exec, key, part, attempt)
+	}
+	return res, nil
+}
+
+// broadcast sends a frame to every live executor.
+func (d *Driver) broadcast(t byte, payload []byte) {
+	for _, st := range d.execs {
+		st.mu.Lock()
+		alive := st.alive
+		st.mu.Unlock()
+		if alive {
+			st.conn.send(t, payload)
+		}
+	}
+}
+
+// RegisterPlan broadcasts the job plan every executor mirrors.
+func (d *Driver) RegisterPlan(spec []byte) {
+	var e enc
+	e.bytes(spec)
+	d.broadcast(msgPlan, e.b)
+}
+
+// StageEnd broadcasts a stage's verdict.
+func (d *Driver) StageEnd(key string, verdict byte, errMsg string) {
+	var e enc
+	e.str(key)
+	e.b = append(e.b, verdict)
+	e.str(errMsg)
+	d.broadcast(msgStageEnd, e.b)
+}
+
+// ActionResult broadcasts an action's folded result.
+func (d *Driver) ActionResult(key string, result []byte) {
+	var e enc
+	e.str(key)
+	e.bytes(result)
+	d.broadcast(msgActionResult, e.b)
+}
+
+// MaterializeBegin announces a shuffle materialization: the dataset, its
+// materialization epoch, and the driver-issued shuffle id the followers
+// must use for this exchange.
+func (d *Driver) MaterializeBegin(dataset, epoch int, shuffle int64) {
+	var e enc
+	e.int(int64(dataset))
+	e.int(int64(epoch))
+	e.int(shuffle)
+	d.broadcast(msgMaterialize, e.b)
+}
+
+// ReleaseDataset tells every executor to locally release the dataset's
+// materialization of the given epoch (recovery: the next read
+// re-materializes from lineage). The epoch lets a follower that already
+// adopted a newer materialization ignore the late-arriving release.
+func (d *Driver) ReleaseDataset(dataset, epoch int) {
+	var e enc
+	e.int(int64(dataset))
+	e.int(int64(epoch))
+	d.broadcast(msgReleaseDataset, e.b)
+}
+
+// SyncMetrics requests a fresh counter snapshot from every live executor
+// (dead executors contribute their last heartbeat's snapshot) and
+// returns the per-executor set.
+func (d *Driver) SyncMetrics(timeout time.Duration) []MetricsSnapshot {
+	out := make([]MetricsSnapshot, len(d.execs))
+	var wg sync.WaitGroup
+	for i, st := range d.execs {
+		st.mu.Lock()
+		alive := st.alive
+		out[i] = st.lastSnap
+		st.mu.Unlock()
+		if !alive {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *execState) {
+			defer wg.Done()
+			reqID := d.nextReq.Add(1)
+			ch := make(chan MetricsSnapshot, 1)
+			st.mu.Lock()
+			st.reqs[reqID] = ch
+			st.mu.Unlock()
+			var e enc
+			e.uint(reqID)
+			if err := st.conn.send(msgMetricsRequest, e.b); err != nil {
+				return
+			}
+			select {
+			case snap, ok := <-ch:
+				if ok {
+					out[i] = snap
+				}
+			case <-time.After(timeout):
+				st.mu.Lock()
+				delete(st.reqs, reqID)
+				st.mu.Unlock()
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close shuts the fleet down: Shutdown broadcast, a grace period for the
+// children to exit, SIGKILL for stragglers, then listener and connection
+// teardown. Idempotent.
+func (d *Driver) Close() {
+	d.closeOnce.Do(func() {
+		d.closed.Store(true)
+		d.broadcast(msgShutdown, nil)
+		deadline := time.Now().Add(5 * time.Second)
+		for _, st := range d.execs {
+			for {
+				st.mu.Lock()
+				alive := st.alive
+				st.mu.Unlock()
+				if !alive || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if st.cmd != nil && st.cmd.Process != nil {
+				st.cmd.Process.Kill()
+			}
+		}
+		d.ln.Close()
+		for _, st := range d.execs {
+			if st.conn != nil {
+				st.conn.close()
+			}
+		}
+	})
+}

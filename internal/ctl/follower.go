@@ -1,0 +1,514 @@
+package ctl
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deca/internal/transport"
+)
+
+// Runtime is what the engine plugs into a Follower once its mirrored
+// context exists: the executor-side implementations of task execution
+// and shuffle lifecycle. All methods may be called concurrently.
+type Runtime interface {
+	// RunTask executes one dispatched attempt against the mirrored plan.
+	// It blocks until the mirrored program has registered the stage's
+	// body (the program reaches every stage the driver dispatches).
+	RunTask(key string, stage, part, attempt int) TaskResult
+	// MaterializeDataset ensures the announced epoch of the dataset's
+	// shuffle is materialized locally (follower-side exchange), so
+	// executors that hold map tasks for a shuffle none of their own tasks
+	// pull still participate. An epoch newer than the locally-adopted one
+	// implies any live local materialization is stale and must be
+	// released first — the handlers run on independent goroutines, so the
+	// release broadcast may not have been processed yet.
+	MaterializeDataset(dataset, epoch int)
+	// ReleaseDataset locally releases the dataset's materialization of
+	// the given epoch (driver-initiated recovery). Stale requests — the
+	// local materialization is already newer — are ignored.
+	ReleaseDataset(dataset, epoch int)
+	// Snapshot returns the executor-owned metrics counters.
+	Snapshot() MetricsSnapshot
+}
+
+// FollowerConfig connects one executor process to its driver.
+type FollowerConfig struct {
+	DriverAddr string
+	ID         int
+	Token      string
+	// DataAddr is the data-plane listen address ("127.0.0.1:0" default);
+	// the resolved address is advertised in the handshake.
+	DataAddr string
+	// HeartbeatInterval defaults to 100ms (keep it well under the
+	// driver's miss budget).
+	HeartbeatInterval time.Duration
+}
+
+// matEntry is the latest announced materialization of one dataset.
+type matEntry struct {
+	epoch   int
+	shuffle int64
+}
+
+// stageVerdict is a stored StageEnd broadcast.
+type stageVerdict struct {
+	verdict byte
+	errMsg  string
+}
+
+// Follower is the executor-process side of the control plane: the
+// control connection, the data-plane server whose address it advertises,
+// and the stores the engine's mirrored program waits on (plan, stage
+// verdicts, action results, materialization announcements).
+type Follower struct {
+	id           int
+	conn         *rpcConn
+	server       *transport.DataServer
+	numExecutors int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	rt       Runtime
+	plan     []byte
+	hasPlan  bool
+	ends     map[string]stageVerdict
+	actions  map[string][]byte
+	mats     map[int]matEntry
+	lookups  map[uint64]chan lookupReply
+	closed   bool
+	closeErr error
+
+	shutdownCh chan struct{}
+	shutdown   sync.Once
+	nextReq    atomic.Uint64
+}
+
+type lookupReply struct {
+	found bool
+	exec  int
+	addr  string
+}
+
+// NewFollower starts the data server, dials the driver, and completes
+// the handshake. The caller then awaits the plan, builds the mirrored
+// engine, and registers it with SetRuntime.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	server, err := transport.NewDataServer(cfg.DataAddr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.Dial("tcp", cfg.DriverAddr)
+	if err != nil {
+		server.Close()
+		return nil, fmt.Errorf("ctl: dialing driver %s: %w", cfg.DriverAddr, err)
+	}
+	f := &Follower{
+		id:         cfg.ID,
+		conn:       newRPCConn(c),
+		server:     server,
+		ends:       make(map[string]stageVerdict),
+		actions:    make(map[string][]byte),
+		mats:       make(map[int]matEntry),
+		lookups:    make(map[uint64]chan lookupReply),
+		shutdownCh: make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+
+	var e enc
+	e.int(int64(cfg.ID))
+	e.str(cfg.Token)
+	e.str(server.Addr())
+	if err := f.conn.send(msgHello, e.b); err != nil {
+		f.teardown()
+		return nil, fmt.Errorf("ctl: handshake send: %w", err)
+	}
+	t, payload, err := f.conn.read()
+	if err != nil || t != msgWelcome {
+		f.teardown()
+		return nil, fmt.Errorf("ctl: handshake: %v (frame type %d)", err, t)
+	}
+	dd := &dec{b: payload}
+	f.numExecutors = int(dd.int())
+	if !dd.ok() || f.numExecutors <= 0 {
+		f.teardown()
+		return nil, fmt.Errorf("ctl: malformed welcome")
+	}
+
+	go f.readLoop()
+	go f.heartbeatLoop(cfg.HeartbeatInterval)
+	return f, nil
+}
+
+func (f *Follower) teardown() {
+	f.conn.close()
+	f.server.Close()
+}
+
+// ID returns this executor's id.
+func (f *Follower) ID() int { return f.id }
+
+// NumExecutors returns the cluster size the driver announced.
+func (f *Follower) NumExecutors() int { return f.numExecutors }
+
+// DataServer returns the local data-plane server map tasks register
+// their outputs on.
+func (f *Follower) DataServer() *transport.DataServer { return f.server }
+
+// ShutdownCh closes when the driver broadcast Shutdown or the control
+// connection died.
+func (f *Follower) ShutdownCh() <-chan struct{} { return f.shutdownCh }
+
+// Closed reports whether the control connection is gone (waiters should
+// abort rather than run out their deadlines).
+func (f *Follower) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// SetRuntime registers the engine's executor-side runtime; dispatched
+// tasks queued before this point proceed once it is set.
+func (f *Follower) SetRuntime(rt Runtime) {
+	f.mu.Lock()
+	f.rt = rt
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// runtime blocks until SetRuntime (or connection death).
+func (f *Follower) runtime() Runtime {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.rt == nil && !f.closed {
+		f.cond.Wait()
+	}
+	return f.rt
+}
+
+// markClosed wakes every waiter with a terminal error.
+func (f *Follower) markClosed(err error) {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		f.closeErr = err
+		for _, ch := range f.lookups {
+			close(ch)
+		}
+		f.lookups = make(map[uint64]chan lookupReply)
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	f.shutdown.Do(func() { close(f.shutdownCh) })
+}
+
+// Close tears the follower down (executor main, after shutdown).
+func (f *Follower) Close() {
+	f.markClosed(fmt.Errorf("ctl: follower closed"))
+	f.teardown()
+}
+
+// readLoop dispatches driver frames. Quick handlers run inline; task
+// execution and engine-touching handlers run on their own goroutines so
+// the control stream never stalls behind a long task body.
+func (f *Follower) readLoop() {
+	for {
+		t, payload, err := f.conn.read()
+		if err != nil {
+			f.markClosed(fmt.Errorf("ctl: driver connection: %w", err))
+			return
+		}
+		dd := &dec{b: payload}
+		switch t {
+		case msgPlan:
+			spec := append([]byte(nil), dd.bytes()...)
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			f.plan = spec
+			f.hasPlan = true
+			f.mu.Unlock()
+			f.cond.Broadcast()
+		case msgRunTask:
+			taskID := dd.uint()
+			key := dd.str()
+			stage := int(dd.int())
+			part := int(dd.int())
+			attempt := int(dd.int())
+			if !dd.ok() {
+				continue
+			}
+			go f.handleRunTask(taskID, key, stage, part, attempt)
+		case msgStageEnd:
+			key := dd.str()
+			if len(dd.b) < 1 {
+				continue
+			}
+			verdict := dd.b[0]
+			dd.b = dd.b[1:]
+			errMsg := dd.str()
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			f.ends[key] = stageVerdict{verdict: verdict, errMsg: errMsg}
+			f.mu.Unlock()
+			f.cond.Broadcast()
+		case msgActionResult:
+			key := dd.str()
+			res := append([]byte(nil), dd.bytes()...)
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			f.actions[key] = res
+			f.mu.Unlock()
+			f.cond.Broadcast()
+		case msgMaterialize:
+			dataset := int(dd.int())
+			epoch := int(dd.int())
+			shuffle := dd.int()
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			if cur, ok := f.mats[dataset]; !ok || epoch > cur.epoch {
+				f.mats[dataset] = matEntry{epoch: epoch, shuffle: shuffle}
+			}
+			f.mu.Unlock()
+			f.cond.Broadcast()
+			// Participate even when none of this executor's own tasks pull
+			// the dataset: its map tasks still need registered bodies.
+			go func() {
+				if rt := f.runtime(); rt != nil {
+					rt.MaterializeDataset(dataset, epoch)
+				}
+			}()
+		case msgDiscardOutput:
+			id := decodeOutputID(dd)
+			if !dd.ok() {
+				continue
+			}
+			if p, ok := f.server.Take(id); ok {
+				if r, okR := p.Data.(interface{ Release() }); okR {
+					r.Release()
+				}
+			}
+		case msgReleaseDataset:
+			dataset := int(dd.int())
+			epoch := int(dd.int())
+			if !dd.ok() {
+				continue
+			}
+			go func() {
+				if rt := f.runtime(); rt != nil {
+					rt.ReleaseDataset(dataset, epoch)
+				}
+			}()
+		case msgLookupReply:
+			reqID := dd.uint()
+			found := dd.bool()
+			exec := int(dd.int())
+			addr := dd.str()
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			ch := f.lookups[reqID]
+			delete(f.lookups, reqID)
+			f.mu.Unlock()
+			if ch != nil {
+				ch <- lookupReply{found: found, exec: exec, addr: addr}
+			}
+		case msgMetricsRequest:
+			reqID := dd.uint()
+			if !dd.ok() {
+				continue
+			}
+			var snap MetricsSnapshot
+			f.mu.Lock()
+			rt := f.rt
+			f.mu.Unlock()
+			if rt != nil {
+				snap = rt.Snapshot()
+			}
+			var e enc
+			e.uint(reqID)
+			e.b = appendSnapshot(e.b, snap)
+			f.conn.send(msgMetricsReply, e.b)
+		case msgShutdown:
+			f.shutdown.Do(func() { close(f.shutdownCh) })
+		}
+	}
+}
+
+func (f *Follower) handleRunTask(taskID uint64, key string, stage, part, attempt int) {
+	rt := f.runtime()
+	var res TaskResult
+	if rt == nil {
+		res = TaskResult{ErrMsg: "ctl: follower shut down before running the task"}
+	} else {
+		res = rt.RunTask(key, stage, part, attempt)
+	}
+	var e enc
+	e.uint(taskID)
+	e.bool(res.OK)
+	e.bool(res.NoRetry)
+	e.str(res.ErrMsg)
+	e.int(int64(res.MissingDataset))
+	e.int(int64(res.MissingEpoch))
+	e.bytes(res.Result)
+	f.conn.send(msgTaskDone, e.b)
+}
+
+func (f *Follower) heartbeatLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-f.shutdownCh:
+			return
+		}
+		var snap MetricsSnapshot
+		f.mu.Lock()
+		rt := f.rt
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return
+		}
+		if rt != nil {
+			snap = rt.Snapshot()
+		}
+		if err := f.conn.send(msgHeartbeat, appendSnapshot(nil, snap)); err != nil {
+			f.markClosed(fmt.Errorf("ctl: heartbeat send: %w", err))
+			return
+		}
+	}
+}
+
+// AwaitPlan blocks until the driver registers the plan.
+func (f *Follower) AwaitPlan() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.hasPlan && !f.closed {
+		f.cond.Wait()
+	}
+	if !f.hasPlan {
+		return nil, f.closeErr
+	}
+	return f.plan, nil
+}
+
+// AwaitStageEnd blocks until the driver broadcasts the stage's verdict,
+// consuming it.
+func (f *Follower) AwaitStageEnd(key string) (byte, string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if v, ok := f.ends[key]; ok {
+			delete(f.ends, key)
+			return v.verdict, v.errMsg, nil
+		}
+		if f.closed {
+			return VerdictAbort, "", f.closeErr
+		}
+		f.cond.Wait()
+	}
+}
+
+// AwaitActionResult blocks until the driver broadcasts the action's
+// folded result, consuming it.
+func (f *Follower) AwaitActionResult(key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if res, ok := f.actions[key]; ok {
+			delete(f.actions, key)
+			return res, nil
+		}
+		if f.closed {
+			return nil, f.closeErr
+		}
+		f.cond.Wait()
+	}
+}
+
+// AwaitMaterialize blocks until a materialization of the dataset with an
+// epoch above afterEpoch has been announced and returns it.
+func (f *Follower) AwaitMaterialize(dataset, afterEpoch int) (epoch int, shuffle int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if m, ok := f.mats[dataset]; ok && m.epoch > afterEpoch {
+			return m.epoch, m.shuffle, nil
+		}
+		if f.closed {
+			return 0, 0, f.closeErr
+		}
+		f.cond.Wait()
+	}
+}
+
+// NeedShuffle notifies the driver that a local task pulled an
+// unmaterialized shuffle.
+func (f *Follower) NeedShuffle(dataset int) {
+	var e enc
+	e.int(int64(dataset))
+	f.conn.send(msgNeedShuffle, e.b)
+}
+
+// RegisterOutput publishes a map output's location in the driver
+// directory. Ordering is guaranteed against this executor's later
+// TaskDone frames (same stream, handled in order by the driver).
+func (f *Follower) RegisterOutput(id transport.MapOutputID) error {
+	var e enc
+	appendOutputID(&e, id)
+	e.int(int64(f.id))
+	return f.conn.send(msgRegisterOutput, e.b)
+}
+
+// LookupOutput consumes the output's directory entry, returning its
+// holder. found=false with nil error means nothing is registered.
+func (f *Follower) LookupOutput(id transport.MapOutputID) (exec int, addr string, found bool, err error) {
+	reqID := f.nextReq.Add(1)
+	ch := make(chan lookupReply, 1)
+	f.mu.Lock()
+	if f.closed {
+		err := f.closeErr
+		f.mu.Unlock()
+		return 0, "", false, err
+	}
+	f.lookups[reqID] = ch
+	f.mu.Unlock()
+	var e enc
+	e.uint(reqID)
+	appendOutputID(&e, id)
+	if err := f.conn.send(msgLookupOutput, e.b); err != nil {
+		f.mu.Lock()
+		delete(f.lookups, reqID)
+		f.mu.Unlock()
+		return 0, "", false, err
+	}
+	rep, ok := <-ch
+	if !ok {
+		return 0, "", false, fmt.Errorf("ctl: driver connection lost during lookup")
+	}
+	return rep.exec, rep.addr, rep.found, nil
+}
+
+// RestoreOutput restores a consumed directory entry after a failed fetch
+// round-trip, so a retry (or a drop) can still reach the output.
+func (f *Follower) RestoreOutput(id transport.MapOutputID, exec int) {
+	var e enc
+	appendOutputID(&e, id)
+	e.int(int64(exec))
+	f.conn.send(msgRestoreOutput, e.b)
+}

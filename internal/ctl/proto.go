@@ -1,0 +1,314 @@
+// Package ctl is the control plane of the multi-process deployment: the
+// driver process supervises deca-executor child processes, and the two
+// sides speak a length-prefixed RPC protocol over one TCP connection per
+// executor. The control stream carries the handshake, heartbeats, plan
+// registration, task dispatch and results, stage verdicts, action-result
+// broadcasts, and the shuffle location directory (Register/Lookup become
+// RPCs against the driver's map); shuffle payload frames themselves never
+// touch it — they flow executor↔executor over the transport data plane
+// (transport.DataServer / DataClient), whose addresses are advertised in
+// the handshake.
+//
+// Frame format (reusing internal/serial's varint primitives): a uvarint
+// frame length, then one type byte, then the message fields in order —
+// ints as zigzag varints, strings and byte blobs length-prefixed. Every
+// frame is self-delimiting, so a reader never blocks mid-message, and a
+// torn frame (a killed peer) surfaces as a read error that marks the
+// executor dead.
+package ctl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"deca/internal/serial"
+)
+
+// Message types. The comment gives the direction and payload layout.
+const (
+	// msgHello (exec→driver): id, token, dataAddr. First frame on a
+	// connection; everything else is rejected until it verifies.
+	msgHello byte = 1
+	// msgWelcome (driver→exec): numExecutors. Handshake acknowledgement.
+	msgWelcome byte = 2
+	// msgPlan (driver→exec): spec bytes. Registers the job plan every
+	// executor mirrors.
+	msgPlan byte = 3
+	// msgRunTask (driver→exec): taskID, key, stage, part, attempt.
+	msgRunTask byte = 4
+	// msgTaskDone (exec→driver): taskID, ok, noRetry, errMsg,
+	// missingDataset, missingEpoch, result bytes.
+	msgTaskDone byte = 5
+	// msgStageEnd (driver→exec): key, verdict, errMsg. Broadcast stage
+	// outcome; followers act on the verdict, never on their own guesses.
+	msgStageEnd byte = 6
+	// msgActionResult (driver→exec): key, result bytes. The folded action
+	// result every mirror adopts so the programs stay in lock-step.
+	msgActionResult byte = 7
+	// msgMaterialize (driver→exec): dataset, epoch, shuffle. Announces a
+	// shuffle materialization (and its driver-issued shuffle id) before
+	// its stages are dispatched.
+	msgMaterialize byte = 8
+	// msgNeedShuffle (exec→driver): dataset. A follower task pulled an
+	// unmaterialized shuffle; the driver runs its stages cluster-wide.
+	msgNeedShuffle byte = 9
+	// msgRegisterOutput (exec→driver): shuffle, mapTask, reduce, exec.
+	// Publishes a map output's location in the driver directory.
+	msgRegisterOutput byte = 10
+	// msgLookupOutput (exec→driver): reqID, shuffle, mapTask, reduce.
+	msgLookupOutput byte = 11
+	// msgLookupReply (driver→exec): reqID, found, exec, addr.
+	msgLookupReply byte = 12
+	// msgRestoreOutput (exec→driver): shuffle, mapTask, reduce, exec. A
+	// failed fetch round-trip restores the consumed location entry.
+	msgRestoreOutput byte = 13
+	// msgDiscardOutput (driver→exec): shuffle, mapTask, reduce. The
+	// holder takes the output from its data server and releases it.
+	msgDiscardOutput byte = 14
+	// msgReleaseDataset (driver→exec): dataset, epoch. Recovery-initiated
+	// local shuffle release (the next read re-materializes from lineage);
+	// followers already on a newer epoch ignore it.
+	msgReleaseDataset byte = 15
+	// msgHeartbeat (exec→driver): metrics snapshot. Liveness + counters.
+	msgHeartbeat byte = 16
+	// msgMetricsRequest (driver→exec): reqID.
+	msgMetricsRequest byte = 17
+	// msgMetricsReply (exec→driver): reqID, metrics snapshot.
+	msgMetricsReply byte = 18
+	// msgShutdown (driver→exec): none. The executor exits.
+	msgShutdown byte = 19
+)
+
+// Verdicts broadcast in msgStageEnd.
+const (
+	// VerdictOK: the stage completed; followers proceed.
+	VerdictOK byte = 0
+	// VerdictAbort: the stage failed terminally; followers surface the
+	// carried error.
+	VerdictAbort byte = 1
+	// VerdictRetry: the reduce stage lost consumed map outputs (an
+	// executor died); followers discard this round's buffers and re-run
+	// the whole exchange — Spark's FetchFailed stage resubmission.
+	VerdictRetry byte = 2
+)
+
+// maxFrame bounds a control frame length read off the wire (action
+// results ride the control stream, so frames can be sizeable but never
+// shuffle-sized).
+const maxFrame = 1 << 30
+
+// TaskResult is one attempt's outcome, shipped back in msgTaskDone.
+type TaskResult struct {
+	OK      bool
+	NoRetry bool   // the driver should not retry (sched.ErrNoRetry semantics)
+	ErrMsg  string // set when !OK
+	// MissingDataset/MissingEpoch name a shuffle whose locally-owned
+	// output was gone when the task tried to drain it (its reduce ran on
+	// an executor that died). The driver releases that materialization so
+	// the retry re-runs it from lineage. 0 = not a missing-output failure.
+	MissingDataset int
+	MissingEpoch   int
+	// Result carries an action task's encoded partial result.
+	Result []byte
+}
+
+// MetricsSnapshot is the executor-owned counter set carried by
+// heartbeats and metrics replies, merged into the driver's cluster view.
+type MetricsSnapshot struct {
+	ShuffleRecords       int64
+	ShuffleSpillBytes    int64
+	LocalShuffleFetches  int64
+	RemoteShuffleFetches int64
+	RemoteShuffleBytes   int64
+	CacheHits            int64
+	CacheMisses          int64
+	CacheEvictions       int64
+	CacheDrops           int64
+	SwapOutBytes         int64
+	SwapInBytes          int64
+	CacheMemBytes        int64
+}
+
+func (m MetricsSnapshot) fields() []int64 {
+	return []int64{
+		m.ShuffleRecords, m.ShuffleSpillBytes,
+		m.LocalShuffleFetches, m.RemoteShuffleFetches, m.RemoteShuffleBytes,
+		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheDrops,
+		m.SwapOutBytes, m.SwapInBytes, m.CacheMemBytes,
+	}
+}
+
+func appendSnapshot(dst []byte, m MetricsSnapshot) []byte {
+	f := m.fields()
+	dst = serial.AppendUvarint(dst, uint64(len(f)))
+	for _, v := range f {
+		dst = serial.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+func decodeSnapshot(d *dec) MetricsSnapshot {
+	n := int(d.uint())
+	vals := make([]int64, 12)
+	for i := 0; i < n; i++ {
+		v := d.int()
+		if i < len(vals) {
+			vals[i] = v
+		}
+	}
+	return MetricsSnapshot{
+		ShuffleRecords: vals[0], ShuffleSpillBytes: vals[1],
+		LocalShuffleFetches: vals[2], RemoteShuffleFetches: vals[3], RemoteShuffleBytes: vals[4],
+		CacheHits: vals[5], CacheMisses: vals[6], CacheEvictions: vals[7], CacheDrops: vals[8],
+		SwapOutBytes: vals[9], SwapInBytes: vals[10], CacheMemBytes: vals[11],
+	}
+}
+
+// enc builds a message payload field by field.
+type enc struct{ b []byte }
+
+func (e *enc) int(v int64)   { e.b = serial.AppendVarint(e.b, v) }
+func (e *enc) uint(v uint64) { e.b = serial.AppendUvarint(e.b, v) }
+func (e *enc) str(s string)  { e.b = serial.AppendString(e.b, s) }
+
+func (e *enc) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.b = append(e.b, b)
+}
+func (e *enc) bytes(p []byte) {
+	e.b = serial.AppendUvarint(e.b, uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// dec consumes a message payload field by field; a truncated or corrupt
+// frame sets bad and every later read returns zero values, so handlers
+// check d.ok() once at the end.
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) ok() bool { return !d.bad }
+
+func (d *dec) int() int64 {
+	if d.bad {
+		return 0
+	}
+	v, n := serial.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) uint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := serial.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	if d.bad {
+		return ""
+	}
+	v, n := serial.String(d.b)
+	if n <= 0 {
+		d.bad = true
+		return ""
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.bad {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.bad = true
+		return false
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	if d.bad {
+		return nil
+	}
+	n, k := serial.Uvarint(d.b)
+	if k <= 0 || uint64(len(d.b)-k) < n {
+		d.bad = true
+		return nil
+	}
+	v := d.b[k : k+int(n)]
+	d.b = d.b[k+int(n):]
+	return v
+}
+
+// rpcConn is one framed control connection: writes are serialized under a
+// mutex (many goroutines send), reads happen on a single reader loop.
+type rpcConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newRPCConn(c net.Conn) *rpcConn {
+	return &rpcConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// send writes one frame: uvarint(1+len(payload)), type byte, payload.
+func (c *rpcConn) send(t byte, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(1+len(payload)))
+	if _, err := c.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if err := c.bw.WriteByte(t); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// read returns the next frame's type and payload.
+func (c *rpcConn) read() (byte, []byte, error) {
+	n, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("ctl: implausible frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func (c *rpcConn) close() { c.c.Close() }

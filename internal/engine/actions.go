@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 
 	"deca/internal/decompose"
 )
@@ -11,6 +10,15 @@ import (
 // final dataset on the worker pool, pulling through the fused narrow
 // chain and materializing any pending shuffles on the way (the recursive
 // stage execution of §4.1's job model).
+//
+// Every action decomposes into a per-partition *partial* and a fold over
+// the partials in partition order (runAction). In-process deployments
+// run both locally; the multi-process deployment runs the partial on the
+// partition's executor process, ships it back as bytes, folds at the
+// driver, and broadcasts the folded result so every mirrored program
+// adopts the same value. Folding in partition order makes action results
+// deterministic across schedules (the fold functions must still be
+// associative, as in Spark — they may run in either grouping).
 
 // recoverErr converts task panics (which the lazy Seq plumbing uses to
 // carry errors upward) back into error returns at the action boundary.
@@ -26,129 +34,140 @@ func recoverErr(err *error) {
 
 // Collect gathers all records in partition order.
 func Collect[T any](d *Dataset[T]) ([]T, error) {
-	parts := make([][]T, d.parts)
-	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
-		defer recoverErr(&err)
-		var out []T
-		if err := d.Iterate(p, func(v T) bool {
-			out = append(out, v)
-			return true
-		}); err != nil {
-			return err
-		}
-		parts[p] = out
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var all []T
-	for _, part := range parts {
-		all = append(all, part...)
-	}
-	return all, nil
+	return runAction(d.ctx, d.parts,
+		func(p int, _ *Executor) ([]T, error) {
+			var out []T
+			if err := d.Iterate(p, func(v T) bool {
+				out = append(out, v)
+				return true
+			}); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+		func(ps [][]T) []T {
+			var all []T
+			for _, part := range ps {
+				all = append(all, part...)
+			}
+			return all
+		})
 }
 
 // CollectMap gathers a keyed dataset into a map (duplicate keys keep the
-// last value seen).
+// value from the highest partition holding them).
 func CollectMap[K comparable, V any](d *Dataset[decompose.Pair[K, V]]) (map[K]V, error) {
-	var mu sync.Mutex
-	out := make(map[K]V)
-	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
-		defer recoverErr(&err)
-		local := make(map[K]V)
-		if err := d.Iterate(p, func(kv decompose.Pair[K, V]) bool {
-			local[kv.Key] = kv.Value
-			return true
-		}); err != nil {
-			return err
-		}
-		mu.Lock()
-		for k, v := range local {
-			out[k] = v
-		}
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return runAction(d.ctx, d.parts,
+		func(p int, _ *Executor) (map[K]V, error) {
+			local := make(map[K]V)
+			if err := d.Iterate(p, func(kv decompose.Pair[K, V]) bool {
+				local[kv.Key] = kv.Value
+				return true
+			}); err != nil {
+				return nil, err
+			}
+			return local, nil
+		},
+		func(ps []map[K]V) map[K]V {
+			out := make(map[K]V)
+			for _, local := range ps {
+				for k, v := range local {
+					out[k] = v
+				}
+			}
+			return out
+		})
 }
 
 // Count returns the number of records.
 func Count[T any](d *Dataset[T]) (int64, error) {
-	var mu sync.Mutex
-	var total int64
-	err := d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
-		defer recoverErr(&err)
-		var n int64
-		if err := d.Iterate(p, func(T) bool {
-			n++
-			return true
-		}); err != nil {
-			return err
-		}
-		mu.Lock()
-		total += n
-		mu.Unlock()
-		return nil
-	})
-	return total, err
+	return runAction(d.ctx, d.parts,
+		func(p int, _ *Executor) (int64, error) {
+			var n int64
+			if err := d.Iterate(p, func(T) bool {
+				n++
+				return true
+			}); err != nil {
+				return 0, err
+			}
+			return n, nil
+		},
+		func(ps []int64) int64 {
+			var total int64
+			for _, n := range ps {
+				total += n
+			}
+			return total
+		})
+}
+
+// reduceAcc is a Reduce partial: the partition's fold, or nothing for an
+// empty partition. Exported fields so it crosses processes by gob.
+type reduceAcc[T any] struct {
+	Has bool
+	Val T
 }
 
 // Reduce folds all records with f (which must be associative and
 // commutative, as in Spark). ok is false for an empty dataset.
 func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
-	var mu sync.Mutex
-	var acc T
-	var has bool
-	err = d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
-		defer recoverErr(&err)
-		var localAcc T
-		localHas := false
-		if err := d.Iterate(p, func(v T) bool {
-			if !localHas {
-				localAcc, localHas = v, true
-			} else {
-				localAcc = f(localAcc, v)
+	acc, err := runAction(d.ctx, d.parts,
+		func(p int, _ *Executor) (reduceAcc[T], error) {
+			var local reduceAcc[T]
+			if err := d.Iterate(p, func(v T) bool {
+				if !local.Has {
+					local.Val, local.Has = v, true
+				} else {
+					local.Val = f(local.Val, v)
+				}
+				return true
+			}); err != nil {
+				return reduceAcc[T]{}, err
 			}
-			return true
-		}); err != nil {
-			return err
-		}
-		if localHas {
-			mu.Lock()
-			if !has {
-				acc, has = localAcc, true
-			} else {
-				acc = f(acc, localAcc)
+			return local, nil
+		},
+		func(ps []reduceAcc[T]) reduceAcc[T] {
+			var out reduceAcc[T]
+			for _, local := range ps {
+				if !local.Has {
+					continue
+				}
+				if !out.Has {
+					out = local
+				} else {
+					out.Val = f(out.Val, local.Val)
+				}
 			}
-			mu.Unlock()
-		}
-		return nil
-	})
+			return out
+		})
 	if err != nil {
 		return zero, false, err
 	}
-	return acc, has, nil
+	return acc.Val, acc.Has, nil
 }
 
 // Foreach applies f to every record for its side effects. f runs
-// concurrently across partitions; it must be safe for that. Under the
-// retrying scheduler the semantics are at-least-once: an attempt that
-// fails mid-partition is re-run and re-applies f to records the failed
-// attempt already visited — make f idempotent, or disable retries with
+// concurrently across partitions — and, in the multi-process deployment,
+// inside the partition's executor process — so it must be safe for that
+// and must not rely on driver-process state. Under the retrying
+// scheduler the semantics are at-least-once: an attempt that fails
+// mid-partition is re-run and re-applies f to records the failed attempt
+// already visited — make f idempotent, or disable retries with
 // Config.MaxTaskRetries = -1. (The other actions are unaffected: they
 // accumulate attempt-locally and publish only on success.)
 func Foreach[T any](d *Dataset[T], f func(p int, v T)) error {
-	return d.ctx.runTasks(d.parts, func(p int, _ *Executor) (err error) {
-		defer recoverErr(&err)
-		return d.Iterate(p, func(v T) bool {
-			f(p, v)
-			return true
-		})
-	})
+	_, err := runAction(d.ctx, d.parts,
+		func(p int, _ *Executor) (bool, error) {
+			if err := d.Iterate(p, func(v T) bool {
+				f(p, v)
+				return true
+			}); err != nil {
+				return false, err
+			}
+			return true, nil
+		},
+		func([]bool) bool { return true })
+	return err
 }
 
 // Materialize forces computation (and caching, if persisted) of every
@@ -164,7 +183,30 @@ func Materialize[T any](d *Dataset[T]) error {
 // worker pool. It is the escape hatch for transformed code that bypasses
 // record iteration and operates on raw cache pages (the Figure 12 access
 // path): the workload fetches each partition's DecaBlock and loops over
-// bytes itself.
+// bytes itself. In the multi-process deployment fn runs inside the
+// partition's executor process; side effects into driver-held state are
+// invisible there — use RunPartitionsCollect to get per-partition
+// results back.
 func RunPartitions(ctx *Context, parts int, fn func(p int) error) error {
-	return ctx.runTasks(parts, func(p int, _ *Executor) error { return fn(p) })
+	_, err := runAction(ctx, parts,
+		func(p int, _ *Executor) (bool, error) {
+			if err := fn(p); err != nil {
+				return false, err
+			}
+			return true, nil
+		},
+		func([]bool) bool { return true })
+	return err
+}
+
+// RunPartitionsCollect runs fn for each partition index on its affine
+// executor and returns the per-partition results in partition order —
+// RunPartitions for transformed code that produces a partial per
+// partition (the LR/KMeans gradient and centroid loops), deployable
+// across processes because the partial travels back as a value instead
+// of a closure side effect.
+func RunPartitionsCollect[P any](ctx *Context, parts int, fn func(p int) (P, error)) ([]P, error) {
+	return runAction(ctx, parts,
+		func(p int, _ *Executor) (P, error) { return fn(p) },
+		func(ps []P) []P { return ps })
 }

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"deca/internal/decompose"
+	"deca/internal/transport"
+)
+
+// TestCloseIdempotentAfterFailedStage: a stage that errors mid-flight
+// (a stolen map output fails the reduce stage) must not leave the TCP
+// transport leaking listeners or pooled connections, and Close must be
+// safe to call repeatedly — including concurrently, the shape of an
+// error path racing a deferred Close. Run with -race.
+func TestCloseIdempotentAfterFailedStage(t *testing.T) {
+	ctx := New(Config{
+		NumExecutors:  4,
+		Parallelism:   2,
+		Mode:          ModeDeca,
+		PageSize:      1024,
+		SpillDir:      t.TempDir(),
+		TransportKind: TransportTCP,
+	})
+	// Steal a map output between the stages so the reduce stage fails
+	// after real cross-executor TCP fetches have run (pooled conns live).
+	ctx.testAfterMapStage = func(id transport.ShuffleID) {
+		pl, ok, _ := ctx.trans.Fetch(transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: 0}, 0)
+		if ok {
+			if rel, isRel := pl.Data.(releasable); isRel {
+				rel.Release()
+			}
+		}
+	}
+	var pairs []decompose.Pair[int64, int64]
+	for i := int64(0); i < 2000; i++ {
+		pairs = append(pairs, KV(i%97, i))
+	}
+	red := ReduceByKey(Parallelize(ctx, pairs, 8), int64Ops(4),
+		func(a, b int64) int64 { return a + b })
+	if _, err := Count(red); err == nil {
+		t.Fatal("reduce stage unexpectedly succeeded with a stolen output")
+	}
+
+	addrs := ctx.trans.(interface{ Addrs() []string }).Addrs()
+
+	// Concurrent + repeated Close: idempotent, race-free.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx.Close()
+		}()
+	}
+	wg.Wait()
+	ctx.Close()
+
+	// Every executor listener must be gone.
+	for _, addr := range addrs {
+		if conn, err := net.Dial("tcp", addr); err == nil {
+			conn.Close()
+			t.Errorf("listener %s still accepting after Close", addr)
+		}
+	}
+}

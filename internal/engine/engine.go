@@ -34,6 +34,7 @@ import (
 
 	"deca/internal/cache"
 	"deca/internal/chaos"
+	"deca/internal/ctl"
 	"deca/internal/memory"
 	"deca/internal/sched"
 	"deca/internal/transport"
@@ -101,6 +102,52 @@ func ParseTransportKind(s string) (TransportKind, error) {
 	}
 }
 
+// DeployKind selects how the cluster is deployed: every executor as a
+// goroutine pool inside this process (with pointer or loopback-socket
+// shuffles), or as real OS processes supervised over the control plane.
+type DeployKind int
+
+const (
+	// DeployInProcess hosts all executors in this process with the
+	// in-process (pointer) shuffle transport — the default.
+	DeployInProcess DeployKind = iota
+	// DeployTCP hosts all executors in this process but moves shuffle
+	// frames over per-executor TCP listeners (TransportTCP).
+	DeployTCP
+	// DeployMultiproc spawns each executor as a deca-executor OS process:
+	// the driver keeps the scheduler and the shuffle location directory,
+	// dispatches task descriptors over the internal/ctl RPC stream, and
+	// payload frames flow executor↔executor over the TCP data plane.
+	DeployMultiproc
+)
+
+func (k DeployKind) String() string {
+	switch k {
+	case DeployInProcess:
+		return "inprocess"
+	case DeployTCP:
+		return "tcp"
+	case DeployMultiproc:
+		return "multiproc"
+	default:
+		return fmt.Sprintf("DeployKind(%d)", int(k))
+	}
+}
+
+// ParseDeployKind resolves the -deploy flag values.
+func ParseDeployKind(s string) (DeployKind, error) {
+	switch s {
+	case "", "inprocess":
+		return DeployInProcess, nil
+	case "tcp":
+		return DeployTCP, nil
+	case "multiproc":
+		return DeployMultiproc, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown deploy kind %q (want inprocess, tcp or multiproc)", s)
+	}
+}
+
 // Config sizes the cluster.
 type Config struct {
 	// NumExecutors is the number of executors in the local cluster, each
@@ -153,6 +200,25 @@ type Config struct {
 	// TransportInProcess (default) by pointer, TransportTCP as wire
 	// frames over per-executor loopback sockets.
 	TransportKind TransportKind
+	// ListenAddrs sets each executor's TCP-transport listen address
+	// ("host:port"; ":0" for an ephemeral port). Empty selects loopback
+	// ephemerals. Only meaningful with TransportTCP / DeployTCP.
+	ListenAddrs []string
+
+	// DeployKind selects the deployment: in-process executors (pointer or
+	// TCP shuffles) or real deca-executor OS processes. DeployTCP is
+	// shorthand for TransportTCP; DeployMultiproc turns this Context into
+	// the cluster's driver, spawning ExecutorCmd once per executor.
+	DeployKind DeployKind
+	// ExecutorCmd is the deca-executor argv prefix the multiproc driver
+	// spawns (see ctl.DriverConfig.ExecutorCmd). Required for
+	// DeployMultiproc.
+	ExecutorCmd []string
+	// CtlFollower, when set, marks this Context as one executor process's
+	// mirror of the plan: stages execute only when the driver dispatches
+	// their tasks, and action results are adopted from driver broadcasts.
+	// Set by the deca-executor binary, never by applications.
+	CtlFollower *ctl.Follower
 
 	// MaxTaskRetries is the retry budget per task: a failed task attempt
 	// is re-run (possibly on another executor) up to this many extra
@@ -198,6 +264,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.NumExecutors <= 0 {
 		c.NumExecutors = 1
+	}
+	if c.DeployKind == DeployTCP {
+		c.TransportKind = TransportTCP
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = 4
@@ -278,6 +347,22 @@ type Context struct {
 
 	shufMu   sync.Mutex
 	shuffles map[int]releasable
+	// shuffleReg is the persistent dataset→shuffle-state registry (never
+	// deleted, unlike shuffles, whose entries end with each release): the
+	// control plane resolves NeedShuffle and recovery releases through it.
+	shuffleReg map[int]materializable
+
+	// Multiproc roles: at most one of driver/follower is set. nextAction
+	// numbers action stages in program order — identical on the driver and
+	// every mirror, so descriptors agree; epochs tracks each dataset's
+	// current materialization so recovery ignores stale reports.
+	driver     *ctlDriver
+	follower   *ctlFollower
+	nextAction atomic.Int64
+	epochMu    sync.Mutex
+	epochs     map[int]int
+
+	closeOnce sync.Once
 
 	// testAfterMapStage, when set, runs between a shuffle's map and reduce
 	// stages (tests: injecting map-output loss to drive the reduce error
@@ -293,26 +378,11 @@ type Context struct {
 // holds whenever MemoryBudget ≥ NumExecutors (any realistic sizing).
 func New(conf Config) *Context {
 	conf = conf.withDefaults()
-	var trans transport.Transport
-	switch conf.TransportKind {
-	case TransportTCP:
-		tcp, err := transport.NewTCP(conf.NumExecutors, conf.FetchTimeout)
-		if err != nil {
-			// Loopback listeners failing is an environment fault, not a
-			// recoverable job condition; keep New's signature and fail loudly.
-			panic(fmt.Sprintf("engine: starting TCP transport: %v", err))
-		}
-		trans = tcp
-	default:
-		trans = transport.NewInProcess()
-	}
-	if conf.Chaos != nil {
-		trans = chaos.WrapTransport(trans, conf.Chaos)
-	}
 	c := &Context{
-		conf:     conf,
-		trans:    trans,
-		shuffles: make(map[int]releasable),
+		conf:       conf,
+		shuffles:   make(map[int]releasable),
+		shuffleReg: make(map[int]materializable),
+		epochs:     make(map[int]int),
 	}
 	var faults sched.FaultInjector
 	if conf.Chaos != nil {
@@ -357,14 +427,78 @@ func New(conf Config) *Context {
 			cache: cache.NewManager(cacheBudget, conf.SpillDir),
 		})
 	}
+
+	// Role-specific transport and control-plane wiring. A follower mirrors
+	// the plan inside one deca-executor process; a multiproc driver spawns
+	// and supervises the fleet; everything else hosts the whole cluster in
+	// this process.
+	var trans transport.Transport
+	switch {
+	case conf.CtlFollower != nil:
+		trans = c.wireFollower(conf.CtlFollower)
+	case conf.DeployKind == DeployMultiproc:
+		trans = c.wireDriver()
+	case conf.TransportKind == TransportTCP:
+		addrs := conf.ListenAddrs
+		if len(addrs) == 0 {
+			addrs = transport.LoopbackAddrs(conf.NumExecutors)
+		}
+		tcp, err := transport.NewTCP(addrs, conf.FetchTimeout)
+		if err != nil {
+			// Listeners failing is an environment fault, not a recoverable
+			// job condition; keep New's signature and fail loudly.
+			panic(fmt.Sprintf("engine: starting TCP transport: %v", err))
+		}
+		trans = tcp
+	default:
+		trans = transport.NewInProcess()
+	}
+	if conf.Chaos != nil && conf.CtlFollower == nil {
+		trans = chaos.WrapTransport(trans, conf.Chaos)
+	}
+	c.trans = trans
 	return c
 }
 
-// registerShuffle tracks a shuffle output for later release.
+// materializable is the deployment-facing face of a shuffle state: the
+// control plane materializes and releases shuffles by dataset id without
+// knowing their record types.
+type materializable interface {
+	releasable
+	Materialize() error
+	// MaterializeEpoch / ReleaseEpoch are the follower-side epoch-guarded
+	// variants: recovery release and re-materialize broadcasts arrive on
+	// independent goroutines, so each operation re-checks the adopted
+	// epoch under the state lock instead of trusting arrival order.
+	MaterializeEpoch(epoch int) error
+	ReleaseEpoch(epoch int)
+}
+
+// registerShuffle tracks a shuffle output for later release, and keeps
+// the permanent dataset→state registry the control plane resolves
+// NeedShuffle requests and recovery releases through.
 func (c *Context) registerShuffle(datasetID int, r releasable) {
 	c.shufMu.Lock()
 	defer c.shufMu.Unlock()
 	c.shuffles[datasetID] = r
+	if m, ok := r.(materializable); ok {
+		c.shuffleReg[datasetID] = m
+	}
+}
+
+// MaterializeShuffle materializes the dataset's shuffle by id — the
+// control plane's entry point: the driver serves follower NeedShuffle
+// requests with it, and followers run it when the driver announces a
+// materialization they hold map tasks for. Concurrent calls for one
+// dataset are deduplicated by the state's memoization.
+func (c *Context) MaterializeShuffle(datasetID int) error {
+	c.shufMu.Lock()
+	st := c.shuffleReg[datasetID]
+	c.shufMu.Unlock()
+	if st == nil {
+		return fmt.Errorf("engine: dataset %d has no registered shuffle", datasetID)
+	}
+	return st.Materialize()
 }
 
 // ReleaseShuffle frees the materialized shuffle output backing the given
@@ -395,14 +529,22 @@ func (c *Context) ReleaseAllShuffles() {
 	}
 }
 
-// Close releases shuffles, every executor's cache blocks, and the
-// transport's listeners. The context is unusable afterwards.
+// Close releases shuffles, every executor's cache blocks, the
+// transport's listeners and connection pools, and — on a multiproc
+// driver — the executor fleet (Shutdown broadcast, then SIGKILL for
+// stragglers). Idempotent: a second Close, including one racing a
+// stage's error path, is a no-op. The context is unusable afterwards.
 func (c *Context) Close() {
-	c.ReleaseAllShuffles()
-	for _, ex := range c.execs {
-		ex.cache.Clear()
-	}
-	c.trans.Close()
+	c.closeOnce.Do(func() {
+		c.ReleaseAllShuffles()
+		for _, ex := range c.execs {
+			ex.cache.Clear()
+		}
+		if c.driver != nil {
+			c.driver.d.Close()
+		}
+		c.trans.Close()
+	})
 }
 
 // Conf returns the effective configuration.
@@ -448,8 +590,14 @@ func (c *Context) MemoryInUse() int64 {
 	return total
 }
 
-// CacheStats sums cache counters across every executor.
+// CacheStats sums cache counters across every executor. On a multiproc
+// driver the executors' caches live in other processes; their counters
+// come from the control plane's snapshots (refresh with
+// SyncClusterMetrics).
 func (c *Context) CacheStats() cache.Stats {
+	if c.driver != nil {
+		return c.driver.cacheStats()
+	}
 	var total cache.Stats
 	for _, ex := range c.execs {
 		s := ex.cache.Stats()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"deca/internal/ctl"
 	"deca/internal/decompose"
 	"deca/internal/sched"
 	"deca/internal/serial"
@@ -93,190 +94,376 @@ type pairSink[K comparable, V any] interface {
 	Release()
 }
 
+// shuffleStageKey names one stage of one exchange across processes: the
+// driver's dispatches and the followers' registered bodies meet on it.
+// The epoch distinguishes re-materializations of the same dataset, the
+// round distinguishes whole-exchange re-runs after output loss.
+func shuffleStageKey(sh transport.ShuffleID, epoch, round int, phase string) string {
+	return fmt.Sprintf("x/%d/%d/%d/%s", sh, epoch, round, phase)
+}
+
+// shuffleMapBody is one map task: fill one buffer per reduce partition
+// from partition m of d, spilling under the derived threshold, and
+// register each with the transport — wrapped by codec in a payload
+// carrying the buffer's wire encoder, so a networked transport can frame
+// it without knowing its type. The fill loop polls for cooperative
+// cancellation so the loser of a speculative race releases its buffers
+// and bails out early.
+func shuffleMapBody[K comparable, V any, S pairSink[K, V]](
+	ctx *Context,
+	d *Dataset[decompose.Pair[K, V]],
+	key shuffle.Key[K],
+	shufID transport.ShuffleID,
+	R int,
+	threshold int64,
+	entrySize func(K, V) int,
+	newBuf func(ex *Executor) (S, error),
+	codec wireCodec[S],
+	t sched.Attempt,
+	ex *Executor,
+) error {
+	m := t.Part
+	bufs := make([]S, R)
+	made := 0
+	trackers := make([]*spillTracker, R)
+	// Until the task registers its output, the buffers are its to
+	// release: any error return must not leak their pages.
+	registered := false
+	defer func() {
+		if registered {
+			return
+		}
+		for _, b := range bufs[:made] {
+			b.Release()
+		}
+	}()
+	for r := range bufs {
+		b, err := newBuf(ex)
+		if err != nil {
+			return err
+		}
+		bufs[r] = b
+		made = r + 1
+		trackers[r] = newSpillTracker(threshold, entrySizeHint(entrySize))
+	}
+	var records int64
+	var iterErr error
+	walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
+		r := shuffle.Partition(key.Hash(p.Key), R)
+		bufs[r].Put(p.Key, p.Value)
+		records++
+		if records&1023 == 0 && t.Canceled() {
+			iterErr = sched.ErrCanceled
+			return false
+		}
+		if trackers[r].add() {
+			if err := bufs[r].Spill(); err != nil {
+				iterErr = err
+				return false
+			}
+		}
+		return true
+	})
+	ex.metrics.ShuffleRecords.Add(records)
+	ctx.metrics.ShuffleRecords.Add(records)
+	if walkErr != nil {
+		return walkErr
+	}
+	if iterErr != nil {
+		return iterErr
+	}
+	if t.Canceled() {
+		// The twin attempt won while this one filled; drop the buffers
+		// instead of displacing the winner's registered outputs.
+		return sched.ErrCanceled
+	}
+	for r, b := range bufs {
+		prev, replaced := ctx.trans.Register(
+			transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
+			codec.payloadFor(b, ex, b.SizeBytes(), b.SpilledBytes()))
+		if replaced {
+			// Task-retry semantics: the displaced registration's buffers
+			// are nobody else's to free anymore.
+			if rel, ok := prev.Data.(releasable); ok {
+				rel.Release()
+			}
+		}
+	}
+	registered = true
+	return nil
+}
+
+// shuffleReduceBody is one reduce task: fetch the task's M inputs
+// through a bounded-concurrency prefetch pipeline — crossing executors
+// where placement differs, with locality noted per executor — decode any
+// wire frames into a container in this executor's memory manager (local
+// fetches keep the pointer path), and merge them, in map order, into a
+// buffer created on this executor, releasing each source as it folds in.
+// The merged buffer is returned; on error everything fetched or built is
+// released first.
+func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
+	ctx *Context,
+	shufID transport.ShuffleID,
+	M, r int,
+	ex *Executor,
+	newBuf func(ex *Executor) (S, error),
+	merge func(dst, src S) error,
+	codec wireCodec[S],
+) (out S, err error) {
+	var zero S
+	merged, err := newBuf(ex)
+	if err != nil {
+		return zero, err
+	}
+	fp := ctx.startFetchPipeline(shufID, r, M, ex)
+	// A reduce attempt that fails after its pipeline consumed any
+	// single-consumer map output cannot be re-run — mark the error
+	// non-retryable so the scheduler fails the stage with the root
+	// cause instead of doomed retries that report "missing output".
+	defer func() {
+		if err != nil && fp.consumedAny() {
+			err = sched.NoRetry(err)
+		}
+	}()
+	done := false
+	defer func() {
+		// shutdown releases whatever the workers fetched ahead of a
+		// failed merge; after full consumption it is a no-op.
+		fp.shutdown(func(pl transport.Payload) {
+			if rel, ok := pl.Data.(releasable); ok {
+				rel.Release()
+			}
+		})
+		if !done {
+			merged.Release()
+		}
+	}()
+	for m := 0; m < M; m++ {
+		res := fp.wait(m)
+		if res.err != nil {
+			return zero, fmt.Errorf("engine: fetching map output %v: %w",
+				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}, res.err)
+		}
+		if !res.ok {
+			return zero, fmt.Errorf("engine: missing map output %v",
+				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
+		}
+		// A payload that crossed the wire decodes into this executor's
+		// memory manager; a pointer payload casts straight back.
+		buf, err := codec.open(res.pl, ex)
+		if err != nil {
+			fp.merged(res.pl)
+			return zero, err
+		}
+		err = merge(merged, buf)
+		// Once fetched (or decoded), the buffer is this task's to
+		// release, merge error or not.
+		ctx.noteSpill(res.pl.SrcExecutor, buf.SpilledBytes())
+		buf.Release()
+		fp.merged(res.pl)
+		if err != nil {
+			return zero, err
+		}
+	}
+	done = true
+	return merged, nil
+}
+
 // exchange is the transport-backed map/reduce exchange every keyed
-// shuffle runs. Map task m (on partition m's affine executor) fills one
-// buffer per reduce partition from d, spilling under the derived
-// threshold, and registers each with the transport — wrapped by codec in
-// a payload carrying the buffer's wire encoder, so a networked transport
-// can frame it without knowing its type; reduce task r fetches its M
-// inputs through a bounded-concurrency prefetch pipeline — crossing
-// executors where placement differs, with locality noted per executor —
-// decodes any wire frames into a container in its own executor's memory
-// manager (local fetches keep the pointer path), and merges them, in map
-// order, into a buffer created on its own executor via merge (the only
-// sink-shape-specific step), releasing each source as it folds in. On any
+// shuffle runs (shuffleMapBody × M, then shuffleReduceBody × R). It
+// returns the merged reduce outputs plus a per-partition presence mask:
+// in-process deployments own every partition; a follower process owns
+// only the partitions the driver placed on it; the multiproc driver owns
+// none (its outputs live in the executor processes).
+//
+// The multiproc driver additionally re-runs the whole map+reduce pair —
+// up to maxExchangeRounds — when the reduce stage fails: a dead executor
+// process takes registered and consumed map outputs with it, and
+// re-running the producing stage is the recovery (Spark's FetchFailed
+// stage resubmission). Round decisions are broadcast as stage verdicts;
+// followers obey them and never decide on their own. On any terminal
 // error, every buffer this exchange created, fetched, or still holds
 // registered is released before returning.
 func exchange[K comparable, V any, S pairSink[K, V]](
 	d *Dataset[decompose.Pair[K, V]],
+	dsID int,
 	key shuffle.Key[K],
 	R int,
 	entrySize func(K, V) int,
 	newBuf func(ex *Executor) (S, error),
 	merge func(dst, src S) error,
 	codec wireCodec[S],
-) ([]S, error) {
+) ([]S, []bool, error) {
 	ctx := d.ctx
+	if ctx.follower != nil {
+		return exchangeFollower(d, dsID, key, R, entrySize, newBuf, merge, codec)
+	}
 	M := d.parts
 	shufID := ctx.shuffleID()
 	threshold := ctx.shuffleSpillThreshold(M * R)
 
-	// The map stage is speculatable: two attempts of the same map task
-	// build private buffers and register content-identical outputs, and
-	// Register's replace semantics release whichever set is displaced. The
-	// fill loop polls for cooperative cancellation so the loser of a
-	// speculative race releases its buffers and bails out early.
-	err := ctx.runStage(M, sched.StageOptions{Speculatable: true}, func(t sched.Attempt, ex *Executor) error {
-		m := t.Part
-		bufs := make([]S, R)
-		made := 0
-		trackers := make([]*spillTracker, R)
-		// Until the task registers its output, the buffers are its to
-		// release: any error return must not leak their pages.
-		registered := false
-		defer func() {
-			if registered {
-				return
-			}
-			for _, b := range bufs[:made] {
-				b.Release()
-			}
-		}()
-		for r := range bufs {
-			b, err := newBuf(ex)
-			if err != nil {
-				return err
-			}
-			bufs[r] = b
-			made = r + 1
-			trackers[r] = newSpillTracker(threshold, entrySizeHint(entrySize))
-		}
-		var records int64
-		var iterErr error
-		walkErr := d.Iterate(m, func(p decompose.Pair[K, V]) bool {
-			r := shuffle.Partition(key.Hash(p.Key), R)
-			bufs[r].Put(p.Key, p.Value)
-			records++
-			if records&1023 == 0 && t.Canceled() {
-				iterErr = sched.ErrCanceled
-				return false
-			}
-			if trackers[r].add() {
-				if err := bufs[r].Spill(); err != nil {
-					iterErr = err
-					return false
-				}
-			}
-			return true
-		})
-		ex.metrics.ShuffleRecords.Add(records)
-		ctx.metrics.ShuffleRecords.Add(records)
-		if walkErr != nil {
-			return walkErr
-		}
-		if iterErr != nil {
-			return iterErr
-		}
-		if t.Canceled() {
-			// The twin attempt won while this one filled; drop the buffers
-			// instead of displacing the winner's registered outputs.
-			return sched.ErrCanceled
-		}
-		for r, b := range bufs {
-			prev, replaced := ctx.trans.Register(
-				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
-				codec.payloadFor(b, ex, b.SizeBytes(), b.SpilledBytes()))
-			if replaced {
-				// Task-retry semantics: the displaced registration's buffers
-				// are nobody else's to free anymore.
-				if rel, ok := prev.Data.(releasable); ok {
-					rel.Release()
-				}
-			}
-		}
-		registered = true
-		return nil
-	})
-	if err != nil {
-		ctx.dropShuffleOutputs(shufID)
-		return nil, err
-	}
-	if ctx.testAfterMapStage != nil {
-		ctx.testAfterMapStage(shufID)
+	epoch := 0
+	maxRounds := 1
+	if ctx.driver != nil {
+		epoch = ctx.bumpEpoch(dsID)
+		maxRounds = maxExchangeRounds
+		ctx.driver.d.MaterializeBegin(dsID, epoch, int64(shufID))
 	}
 
-	outputs := make([]S, R)
-	have := make([]bool, R)
-	err = ctx.runTasks(R, func(r int, ex *Executor) (err error) {
-		merged, err := newBuf(ex)
-		if err != nil {
-			return err
-		}
-		fp := ctx.startFetchPipeline(shufID, r, M, ex)
-		// A reduce attempt that fails after its pipeline consumed any
-		// single-consumer map output cannot be re-run — mark the error
-		// non-retryable so the scheduler fails the stage with the root
-		// cause instead of doomed retries that report "missing output".
-		defer func() {
-			if err != nil && fp.consumedAny() {
-				err = sched.NoRetry(err)
-			}
-		}()
-		done := false
-		defer func() {
-			// shutdown releases whatever the workers fetched ahead of a
-			// failed merge; after full consumption it is a no-op.
-			fp.shutdown(func(pl transport.Payload) {
-				if rel, ok := pl.Data.(releasable); ok {
-					rel.Release()
-				}
+	var lastErr error
+	for round := 0; round < maxRounds; round++ {
+		// The map stage is speculatable: two attempts of the same map task
+		// build private buffers and register content-identical outputs, and
+		// Register's replace semantics release whichever set is displaced.
+		mapKey := shuffleStageKey(shufID, epoch, round, "map")
+		err := ctx.stageRun(M, sched.StageOptions{Speculatable: true}, mapKey,
+			func(t sched.Attempt, ex *Executor) error {
+				return shuffleMapBody(ctx, d, key, shufID, R, threshold, entrySize, newBuf, codec, t, ex)
 			})
-			if !done {
-				merged.Release()
-			}
-		}()
-		for m := 0; m < M; m++ {
-			res := fp.wait(m)
-			if res.err != nil {
-				return fmt.Errorf("engine: fetching map output %v: %w",
-					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}, res.err)
-			}
-			if !res.ok {
-				return fmt.Errorf("engine: missing map output %v",
-					transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
-			}
-			// A payload that crossed the wire decodes into this executor's
-			// memory manager; a pointer payload casts straight back.
-			buf, err := codec.open(res.pl, ex)
-			if err != nil {
-				fp.merged(res.pl)
-				return err
-			}
-			err = merge(merged, buf)
-			// Once fetched (or decoded), the buffer is this task's to
-			// release, merge error or not.
-			ctx.noteSpill(res.pl.SrcExecutor, buf.SpilledBytes())
-			buf.Release()
-			fp.merged(res.pl)
-			if err != nil {
-				return err
-			}
+		if err != nil {
+			ctx.endStage(mapKey, ctl.VerdictAbort, err)
+			ctx.dropShuffleOutputs(shufID)
+			return nil, nil, err
 		}
-		outputs[r] = merged
-		have[r] = true
-		done = true
-		return nil
-	})
-	if err != nil {
+		ctx.endStage(mapKey, ctl.VerdictOK, nil)
+		if ctx.testAfterMapStage != nil {
+			ctx.testAfterMapStage(shufID)
+		}
+
+		outputs := make([]S, R)
+		have := make([]bool, R)
+		redKey := shuffleStageKey(shufID, epoch, round, "reduce")
+		err = ctx.stageRun(R, sched.StageOptions{}, redKey,
+			func(t sched.Attempt, ex *Executor) error {
+				merged, err := shuffleReduceBody(ctx, shufID, M, t.Part, ex, newBuf, merge, codec)
+				if err != nil {
+					return err
+				}
+				outputs[t.Part] = merged
+				have[t.Part] = true
+				return nil
+			})
+		if err == nil {
+			ctx.endStage(redKey, ctl.VerdictOK, nil)
+			return outputs, have, nil
+		}
+		lastErr = err
 		for r, ok := range have {
 			if ok {
 				outputs[r].Release()
 			}
 		}
 		ctx.dropShuffleOutputs(shufID)
-		return nil, err
+		if ctx.driver != nil && round+1 < maxRounds {
+			ctx.endStage(redKey, ctl.VerdictRetry, err)
+			continue
+		}
+		ctx.endStage(redKey, ctl.VerdictAbort, err)
+		return nil, nil, lastErr
 	}
-	return outputs, nil
+	return nil, nil, lastErr
+}
+
+// exchangeFollower is the executor-process side of an exchange: adopt
+// the driver's announced epoch and shuffle id, register the map and
+// reduce bodies round by round, execute whatever tasks the driver
+// dispatches here, and follow the broadcast verdicts. The reduce outputs
+// this process owns are collected for the local drain path; everything
+// else stays with its owning process.
+func exchangeFollower[K comparable, V any, S pairSink[K, V]](
+	d *Dataset[decompose.Pair[K, V]],
+	dsID int,
+	key shuffle.Key[K],
+	R int,
+	entrySize func(K, V) int,
+	newBuf func(ex *Executor) (S, error),
+	merge func(dst, src S) error,
+	codec wireCodec[S],
+) ([]S, []bool, error) {
+	ctx := d.ctx
+	f := ctx.follower
+	M := d.parts
+	threshold := ctx.shuffleSpillThreshold(M * R)
+
+	// Ask the driver to run this materialization (it deduplicates), then
+	// adopt the epoch and shuffle id it announces — local counters could
+	// drift under concurrent materializations, the broadcast cannot.
+	f.ctl.NeedShuffle(dsID)
+	epoch, shufID64, err := f.ctl.AwaitMaterialize(dsID, ctx.epochOf(dsID))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx.setEpoch(dsID, epoch)
+	shufID := transport.ShuffleID(shufID64)
+
+	for round := 0; ; round++ {
+		mapKey := shuffleStageKey(shufID, epoch, round, "map")
+		ctx.registerStageBody(mapKey, func(t sched.Attempt, ex *Executor) ([]byte, error) {
+			return nil, shuffleMapBody(ctx, d, key, shufID, R, threshold, entrySize, newBuf, codec, t, ex)
+		})
+		verdict, msg, err := f.ctl.AwaitStageEnd(mapKey)
+		ctx.unregisterStageBody(mapKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		if verdict != ctl.VerdictOK {
+			return nil, nil, fmt.Errorf("engine: shuffle %d map stage failed at driver: %s", shufID, msg)
+		}
+
+		outputs := make([]S, R)
+		have := make([]bool, R)
+		var outMu sync.Mutex
+		redKey := shuffleStageKey(shufID, epoch, round, "reduce")
+		ctx.registerStageBody(redKey, func(t sched.Attempt, ex *Executor) ([]byte, error) {
+			merged, err := shuffleReduceBody(ctx, shufID, M, t.Part, ex, newBuf, merge, codec)
+			if err != nil {
+				return nil, err
+			}
+			outMu.Lock()
+			defer outMu.Unlock()
+			if have[t.Part] {
+				merged.Release() // a duplicate attempt lost; keep the first
+				return nil, nil
+			}
+			outputs[t.Part] = merged
+			have[t.Part] = true
+			return nil, nil
+		})
+		verdict, msg, err = f.ctl.AwaitStageEnd(redKey)
+		ctx.unregisterStageBody(redKey)
+		release := func() {
+			outMu.Lock()
+			defer outMu.Unlock()
+			for r, ok := range have {
+				if ok {
+					outputs[r].Release()
+					have[r] = false
+				}
+			}
+		}
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		switch verdict {
+		case ctl.VerdictOK:
+			return outputs, have, nil
+		case ctl.VerdictRetry:
+			// The driver re-runs the exchange: drop this round everywhere
+			// local — merged outputs and any still-registered map outputs
+			// (the driver's directory sweep races its Discard broadcasts;
+			// the local purge is the belt to those braces).
+			release()
+			for _, pl := range ctx.trans.Drop(shufID) {
+				if rel, ok := pl.Data.(releasable); ok {
+					rel.Release()
+				}
+			}
+		default:
+			release()
+			return nil, nil, fmt.Errorf("engine: shuffle %d reduce stage failed at driver: %s", shufID, msg)
+		}
+	}
 }
 
 // spillTracker triggers buffer spills on an incrementally-maintained size
@@ -352,17 +539,16 @@ func ReduceByKey[K comparable, V any](
 
 	st := newShuffleState[decompose.Pair[K, V]](ctx, R)
 	st.materialize = func() error {
-		outputs, err := exchange(d, ops.Key, R, ops.EntrySize, newBuf, mergeBufs,
+		outputs, have, err := exchange(d, st.datasetID, ops.Key, R, ops.EntrySize, newBuf, mergeBufs,
 			aggWireCodec(ctx, ops, combine))
 		if err != nil {
 			return err
 		}
-		st.release = func() {
-			for _, b := range outputs {
-				b.Release()
-			}
-		}
+		st.release = releaseOwned(outputs, have)
 		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
+			if !have[r] {
+				return st.missingOutput(r)
+			}
 			return outputs[r].Drain(func(k K, v V) bool {
 				return yield(decompose.Pair[K, V]{Key: k, Value: v})
 			})
@@ -416,18 +602,17 @@ func GroupByKey[K comparable, V any](
 
 	st := newShuffleState[decompose.Pair[K, []V]](ctx, R)
 	st.materialize = func() error {
-		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
+		outputs, have, err := exchange(d, st.datasetID, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (groupSink[K, V], error) { return newBuf(ex), nil },
 			mergeBufs, groupWireCodec(ctx, ops))
 		if err != nil {
 			return err
 		}
-		st.release = func() {
-			for _, b := range outputs {
-				b.Release()
-			}
-		}
+		st.release = releaseOwned(outputs, have)
 		st.drain = func(r int, yield func(decompose.Pair[K, []V]) bool) error {
+			if !have[r] {
+				return st.missingOutput(r)
+			}
 			return outputs[r].Drain(func(k K, vs []V) bool {
 				return yield(decompose.Pair[K, []V]{Key: k, Value: vs})
 			})
@@ -479,18 +664,17 @@ func SortByKey[K comparable, V any](
 
 	st := newShuffleState[decompose.Pair[K, V]](ctx, R)
 	st.materialize = func() error {
-		outputs, err := exchange(d, ops.Key, R, ops.EntrySize,
+		outputs, have, err := exchange(d, st.datasetID, ops.Key, R, ops.EntrySize,
 			func(ex *Executor) (sortSink[K, V], error) { return newBuf(ex), nil },
 			mergeBufs, sortWireCodec(ctx, ops))
 		if err != nil {
 			return err
 		}
-		st.release = func() {
-			for _, b := range outputs {
-				b.Release()
-			}
-		}
+		st.release = releaseOwned(outputs, have)
 		st.drain = func(r int, yield func(decompose.Pair[K, V]) bool) error {
+			if !have[r] {
+				return st.missingOutput(r)
+			}
 			return outputs[r].DrainSorted(func(k K, v V) bool {
 				return yield(decompose.Pair[K, V]{Key: k, Value: v})
 			})
@@ -604,32 +788,120 @@ type shuffleState[T any] struct {
 	err     error
 	drain   func(p int, yield func(T) bool) error
 	release func()
+	// gate fences buffer release against in-flight drains: a drain holds
+	// a read lock from capture to completion, and Release frees buffers
+	// under the write lock. In-process programs only release between
+	// jobs, but the multiproc recovery path releases a materialization
+	// while other partitions of the same dataset may still be draining
+	// on this executor.
+	gate sync.RWMutex
 }
 
 func newShuffleState[T any](ctx *Context, parts int) *shuffleState[T] {
 	return &shuffleState[T]{ctx: ctx, partMu: make([]sync.Mutex, parts)}
 }
 
+// ensureLocked materializes once under st.mu, memoizing both success and
+// failure.
+func (st *shuffleState[T]) ensureLocked() error {
+	if st.err != nil {
+		return st.err
+	}
+	if st.live {
+		return nil
+	}
+	if err := st.materialize(); err != nil {
+		st.err = err
+		return err
+	}
+	st.live = true
+	// Register (or re-register, after a release) so the context can
+	// end this materialization's lifetime.
+	st.ctx.registerShuffle(st.datasetID, st)
+	return nil
+}
+
+// Materialize forces the shuffle's materialization — the control plane's
+// by-id entry point (Context.MaterializeShuffle). Concurrent callers
+// serialize on the state's mutex; all observe one materialization.
+func (st *shuffleState[T]) Materialize() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ensureLocked()
+}
+
+// MaterializeEpoch ensures the materialization the driver announced as
+// epoch exists locally, releasing a live materialization of an *older*
+// epoch first — the driver released it cluster-wide before announcing
+// the new one, but the release and materialize broadcasts are handled on
+// independent goroutines, so the release may not have landed here yet.
+// The staleness check runs under the state lock: a concurrent
+// materialization that is adopting the announced epoch finishes first
+// and is then correctly left alone.
+func (st *shuffleState[T]) MaterializeEpoch(epoch int) error {
+	st.mu.Lock()
+	if st.live && st.ctx.epochOf(st.datasetID) < epoch {
+		st.releaseLocked()
+	}
+	err := st.ensureLocked()
+	st.mu.Unlock()
+	return err
+}
+
+// ReleaseEpoch releases the materialization only if it is still the
+// given epoch's — a late-arriving recovery release must not free the
+// buffers of a newer materialization. The check-and-clear runs under the
+// state lock (Context.epochs is adopted under it in exchangeFollower).
+func (st *shuffleState[T]) ReleaseEpoch(epoch int) {
+	st.mu.Lock()
+	if st.live && st.ctx.epochOf(st.datasetID) <= epoch {
+		st.releaseLocked()
+	}
+	st.mu.Unlock()
+}
+
+// releaseLocked ends the live materialization under st.mu, waiting out
+// in-flight drains before freeing their buffers. The gate acquisition
+// under st.mu is safe: drains hold only the gate (not st.mu) while
+// running, and new drains cannot start without st.mu.
+func (st *shuffleState[T]) releaseLocked() {
+	if !st.live || st.release == nil {
+		return
+	}
+	st.live = false
+	rel := st.release
+	st.release, st.drain = nil, nil
+	st.gate.Lock()
+	rel()
+	st.gate.Unlock()
+}
+
+// missingOutput is the drain-side report that this process does not own
+// partition r of the materialization — possible only in the multiproc
+// deployment, when the reduce task that produced it ran on an executor
+// that has since died. Carrying the epoch lets the driver ignore stale
+// reports after it has already re-materialized.
+func (st *shuffleState[T]) missingOutput(r int) error {
+	return &MissingOutputError{
+		Dataset: st.datasetID,
+		Epoch:   st.ctx.epochOf(st.datasetID),
+		Part:    r,
+	}
+}
+
 func (st *shuffleState[T]) seq(p int) Seq[T] {
 	return func(yield func(T) bool) {
 		st.mu.Lock()
-		if st.err != nil {
+		if err := st.ensureLocked(); err != nil {
 			st.mu.Unlock()
-			panic(st.err)
-		}
-		if !st.live {
-			if err := st.materialize(); err != nil {
-				st.err = err
-				st.mu.Unlock()
-				panic(err)
-			}
-			st.live = true
-			// Register (or re-register, after a release) so the context can
-			// end this materialization's lifetime.
-			st.ctx.registerShuffle(st.datasetID, st)
+			panic(err)
 		}
 		drain := st.drain
+		// Take the drain gate before st.mu is released, so a Release
+		// cannot free the captured outputs between here and the drain.
+		st.gate.RLock()
 		st.mu.Unlock()
+		defer st.gate.RUnlock()
 		st.partMu[p].Lock()
 		defer st.partMu[p].Unlock()
 		if err := drain(p, yield); err != nil {
@@ -640,14 +912,19 @@ func (st *shuffleState[T]) seq(p int) Seq[T] {
 
 func (st *shuffleState[T]) Release() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if !st.live || st.release == nil {
-		return
+	st.releaseLocked()
+	st.mu.Unlock()
+}
+
+// releaseOwned builds a release for the partitions this process owns.
+func releaseOwned[S releasable](outputs []S, have []bool) func() {
+	return func() {
+		for r, ok := range have {
+			if ok {
+				outputs[r].Release()
+			}
+		}
 	}
-	st.live = false
-	rel := st.release
-	st.release, st.drain = nil, nil
-	rel()
 }
 
 // releasable lets the context track shuffle outputs without their type

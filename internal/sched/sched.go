@@ -302,6 +302,17 @@ type Attempt struct {
 	cancel <-chan struct{}
 }
 
+// ExternalAttempt builds the attempt descriptor for a task dispatched by
+// a remote scheduler (the multi-process control plane): the driver's
+// sched.Cluster made the placement and retry decisions, and the executor
+// process only executes the body. There is no cancel signal — the nil
+// channel makes Canceled report false — because cross-process
+// cancellation is not plumbed; duplicate attempts run to completion and
+// their side effects displace idempotently.
+func ExternalAttempt(stage, part, attempt, exec int) Attempt {
+	return Attempt{Stage: stage, Part: part, Attempt: attempt, Exec: exec}
+}
+
 // Canceled reports whether the task was completed by a twin attempt;
 // long-running bodies should poll it and bail out with ErrCanceled.
 func (a Attempt) Canceled() bool {

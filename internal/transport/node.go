@@ -1,0 +1,391 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the data plane shared by every networked deployment: a
+// DataServer is one executor's shuffle endpoint (a listener plus the map
+// outputs registered on it, served with the length-prefixed FETCH
+// protocol), and a DataClient is the pooled dialer the fetching side
+// uses. The single-process TCP transport composes one DataServer per
+// executor with one shared client; the multi-process deployment runs one
+// DataServer inside each deca-executor process and resolves which address
+// to dial through the driver's location directory (internal/ctl).
+
+// DataServer is one executor endpoint: its listener, its registered
+// outputs, and the serve loop answering FETCH requests. Serving is
+// consuming: once a frame is written the source buffer is released (the
+// bytes left; the destination rebuilds its own container).
+type DataServer struct {
+	ln   net.Listener
+	addr string
+
+	mu      sync.Mutex
+	outputs map[MapOutputID]Payload
+	closed  bool
+}
+
+// NewDataServer listens on addr ("host:port"; ":0" picks an ephemeral
+// port) and serves immediately. The resolved address is available via
+// Addr — the address an executor advertises at registration.
+func NewDataServer(addr string) (*DataServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
+	}
+	s := &DataServer{
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		outputs: make(map[MapOutputID]Payload),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the resolved listen address.
+func (s *DataServer) Addr() string { return s.addr }
+
+// Put stores a map output, returning any entry it displaced (task-retry
+// re-registration semantics: the caller owns releasing the old buffers).
+func (s *DataServer) Put(id MapOutputID, p Payload) (prev Payload, replaced bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, replaced = s.outputs[id]
+	s.outputs[id] = p
+	return prev, replaced
+}
+
+// Take removes and returns the entry for id.
+func (s *DataServer) Take(id MapOutputID) (Payload, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.outputs[id]
+	if ok {
+		delete(s.outputs, id)
+	}
+	return p, ok
+}
+
+// DropShuffle removes every output of the shuffle and returns them.
+func (s *DataServer) DropShuffle(shuffle ShuffleID) []Payload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dropped []Payload
+	for id, p := range s.outputs {
+		if id.Shuffle == shuffle {
+			dropped = append(dropped, p)
+			delete(s.outputs, id)
+		}
+	}
+	return dropped
+}
+
+// Pending returns the number of registered, unfetched outputs (leak
+// probes in tests).
+func (s *DataServer) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outputs)
+}
+
+// Close shuts the listener. Registered payloads are not touched; take or
+// drop them first. In-flight serves finish on their own connections.
+func (s *DataServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// acceptLoop serves the listener until Close.
+func (s *DataServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serve(conn)
+	}
+}
+
+// serve answers FETCH requests on one server-side connection. Serving
+// pops the output and — after the frame is captured — releases the
+// source buffer: the transfer consumed it.
+func (s *DataServer) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var frame bytes.Buffer
+	for {
+		id, err := readFetchRequest(br)
+		if err != nil {
+			return // client closed or spoke garbage; drop the connection
+		}
+		p, ok := s.Take(id)
+		frame.Reset()
+		if ok {
+			if p.Encode != nil {
+				err = p.Encode(&frame)
+			} else {
+				err = fmt.Errorf("transport: payload %v has no wire form", id)
+			}
+			// The entry left the registry: release the source buffer
+			// whether encoding succeeded (bytes captured) or not (the
+			// fetcher will error the stage; nothing else owns this).
+			releasePayload(p)
+			if err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			if err := bw.WriteByte(statusNotFound); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		if err := bw.WriteByte(statusOK); err != nil {
+			return
+		}
+		if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frame.Len()))]); err != nil {
+			return
+		}
+		if _, err := bw.Write(frame.Bytes()); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if frame.Cap() > maxRetainedServeBuffer {
+			frame = bytes.Buffer{}
+		}
+	}
+}
+
+func readFetchRequest(br *bufio.Reader) (MapOutputID, error) {
+	shuf, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	mapTask, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	reduce, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MapOutputID{}, err
+	}
+	return MapOutputID{Shuffle: ShuffleID(shuf), MapTask: int(mapTask), Reduce: int(reduce)}, nil
+}
+
+// releasePayload frees a payload's buffers when its Data supports it.
+func releasePayload(p Payload) {
+	if r, ok := p.Data.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// DataClient dials DataServers and runs FETCH round-trips, pooling idle
+// connections per destination address. fetchTimeout bounds each I/O step
+// with socket deadlines (0 = none); a connection whose round-trip errored
+// is closed and retired rather than pooled.
+type DataClient struct {
+	fetchTimeout time.Duration
+
+	mu     sync.Mutex
+	pools  map[string]chan *dataConn
+	closed bool
+}
+
+// dataConn is a pooled client connection with its buffered endpoints (the
+// reader may hold response bytes between requests, so it travels with the
+// connection).
+type dataConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewDataClient builds a client whose FETCH round-trips are bounded by
+// fetchTimeout (0 = no deadlines).
+func NewDataClient(fetchTimeout time.Duration) *DataClient {
+	return &DataClient{
+		fetchTimeout: fetchTimeout,
+		pools:        make(map[string]chan *dataConn),
+	}
+}
+
+// Fetch runs one FETCH round-trip against addr. A nil frame with nil
+// error is NOTFOUND; a non-nil error means the round-trip itself failed
+// and the output's fate is unknown to the caller.
+func (c *DataClient) Fetch(addr string, id MapOutputID) ([]byte, error) {
+	conn, err := c.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := conn.fetch(id, c.fetchTimeout)
+	if err != nil {
+		conn.c.Close()
+		return nil, err
+	}
+	c.putConn(addr, conn)
+	return frame, nil
+}
+
+func (c *DataClient) getConn(addr string) (*dataConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: data client is closed")
+	}
+	pool := c.pools[addr]
+	if pool == nil {
+		pool = make(chan *dataConn, connPoolSize)
+		c.pools[addr] = pool
+	}
+	c.mu.Unlock()
+	select {
+	case conn := <-pool:
+		return conn, nil
+	default:
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return &dataConn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+// putConn returns a healthy connection to its pool. After Close — or
+// when the pool is full — the connection is closed instead of pooled, so
+// a fetch that was in flight during Close cannot resurrect a drained
+// pool and leak its socket.
+func (c *DataClient) putConn(addr string, conn *dataConn) {
+	c.mu.Lock()
+	pool := c.pools[addr]
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || pool == nil {
+		conn.c.Close()
+		return
+	}
+	select {
+	case pool <- conn:
+	default:
+		conn.c.Close()
+	}
+}
+
+// Close drains and closes every pooled connection; later Fetch calls
+// fail and in-flight connections are closed on return instead of pooled.
+// Idempotent.
+func (c *DataClient) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pools := c.pools
+	c.pools = make(map[string]chan *dataConn)
+	c.mu.Unlock()
+	for _, pool := range pools {
+		for {
+			select {
+			case conn := <-pool:
+				conn.c.Close()
+				continue
+			default:
+			}
+			break
+		}
+	}
+}
+
+// fetch writes one request and reads one response on the connection. The
+// timeout (0 = none) bounds each I/O step — the request round-trip to the
+// first response byte, then every frameReadChunk of the frame — rather
+// than the whole transfer: a hung peer still surfaces within one timeout
+// (no bytes arrive), while a large frame that keeps moving refreshes its
+// deadline with each chunk and is never failed for being slow. That
+// matters because serving is consuming — the source buffer is released
+// once the server encodes the frame, so a client-side deadline mid-frame
+// on a healthy transfer would turn a slow fetch into permanent output
+// loss.
+func (c *dataConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := c.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [3 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(hdr[:], uint64(id.Shuffle))
+	k += binary.PutUvarint(hdr[k:], uint64(id.MapTask))
+	k += binary.PutUvarint(hdr[k:], uint64(id.Reduce))
+	if _, err := c.bw.Write(hdr[:k]); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if status == statusNotFound {
+		return nil, nil
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("transport: unknown response status %d", status)
+	}
+	n, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("transport: implausible frame length %d", n)
+	}
+	frame := make([]byte, n)
+	for off := 0; off < len(frame); {
+		end := off + frameReadChunk
+		if end > len(frame) {
+			end = len(frame)
+		}
+		if timeout > 0 {
+			// Refresh per chunk: progress resets the clock.
+			if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, err
+			}
+		}
+		k, err := io.ReadFull(c.br, frame[off:end])
+		off += k
+		if err != nil {
+			return nil, err
+		}
+	}
+	if timeout > 0 {
+		// Clear the deadline so a pooled connection does not time out idle.
+		if err := c.c.SetDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}

@@ -1,66 +1,40 @@
 package transport
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"net"
 	"sync"
 	"time"
 )
 
-// TCP is the networked Transport: one listener per executor on loopback,
-// a driver-side location map from output id to the executor holding it,
-// and per-destination connection pools. It models the paper's cluster
-// deployments honestly within one process: a map output fetched by its
-// own executor crosses by pointer exactly as in-process does, while a
-// cross-executor fetch speaks a length-prefixed request/response protocol
-// ("FETCH id" → frame | NOTFOUND) over a real socket — the payload is
-// encoded by the source (Payload.Encode), the frame bytes travel through
-// the kernel's TCP stack, and the fetcher receives a Wire payload to
-// decode into its own executor's memory. RemoteBytes counts the actual
-// frame bytes moved, not an estimate.
+// TCP is the networked Transport for a single-process cluster: one
+// DataServer per executor, a driver-side location map from output id to
+// the executor holding it, and a shared pooled DataClient. It models the
+// paper's cluster deployments honestly within one process: a map output
+// fetched by its own executor crosses by pointer exactly as in-process
+// does, while a cross-executor fetch speaks a length-prefixed
+// request/response protocol ("FETCH id" → frame | NOTFOUND) over a real
+// socket — the payload is encoded by the source (Payload.Encode), the
+// frame bytes travel through the kernel's TCP stack, and the fetcher
+// receives a Wire payload to decode into its own executor's memory.
+// RemoteBytes counts the actual frame bytes moved, not an estimate.
 //
 // Serving is consuming: once a frame is written, the source buffer is
 // released by the server (the bytes left; the destination rebuilds its
 // own container), preserving the single-consumer ownership rule. Drop
 // purges whatever is still registered on every node and returns it.
+//
+// The multi-process deployment reuses the same data plane (one
+// DataServer per deca-executor process, addresses advertised through
+// control-plane registration) but moves this location map into the
+// driver's directory, reachable over the internal/ctl RPC stream.
 type TCP struct {
-	// fetchTimeout bounds each FETCH round-trip (write + read) with socket
-	// deadlines; a conn that hits its deadline is closed and retired from
-	// the pool, so a hung peer surfaces as a retryable error instead of a
-	// stuck stage. 0 disables deadlines.
-	fetchTimeout time.Duration
+	client *DataClient
 
 	mu     sync.Mutex
-	nodes  []*tcpNode
+	nodes  []*DataServer
 	loc    map[MapOutputID]int // output id → executor holding it
 	stats  Stats
 	closed bool
-}
-
-// tcpNode is one executor's endpoint: its listener, its registered
-// outputs, and the pool of client connections other executors hold to it.
-type tcpNode struct {
-	id   int
-	ln   net.Listener
-	addr string
-
-	mu      sync.Mutex
-	outputs map[MapOutputID]Payload
-
-	pool chan *tcpConn
-}
-
-// tcpConn is a pooled client connection with its buffered endpoints (the
-// reader may hold response bytes between requests, so it travels with the
-// connection).
-type tcpConn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
 }
 
 // Protocol constants. Every request and response is length-delimited by
@@ -85,39 +59,47 @@ const (
 	frameReadChunk = 1 << 20
 )
 
-// NewTCP returns a TCP transport with one loopback listener per executor,
-// serving immediately. fetchTimeout bounds each FETCH round-trip with
-// read/write deadlines on the socket (0 = no deadline).
-func NewTCP(numExecutors int, fetchTimeout time.Duration) (*TCP, error) {
-	if numExecutors <= 0 {
-		return nil, fmt.Errorf("transport: TCP needs at least one executor, got %d", numExecutors)
+// LoopbackAddrs returns the default listen-address set: n ephemeral
+// loopback endpoints.
+func LoopbackAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
 	}
-	t := &TCP{loc: make(map[MapOutputID]int), fetchTimeout: fetchTimeout}
-	for i := 0; i < numExecutors; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return addrs
+}
+
+// NewTCP returns a TCP transport with one listener per executor, serving
+// immediately. addrs[i] is executor i's listen address ("host:port",
+// ":0" for an ephemeral port); pass LoopbackAddrs(n) — or nil for the
+// same default — when any free loopback port will do. fetchTimeout
+// bounds each FETCH round-trip with read/write deadlines on the socket
+// (0 = no deadline).
+func NewTCP(addrs []string, fetchTimeout time.Duration) (*TCP, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: TCP needs at least one executor address")
+	}
+	t := &TCP{
+		client: NewDataClient(fetchTimeout),
+		loc:    make(map[MapOutputID]int),
+	}
+	for i, addr := range addrs {
+		node, err := NewDataServer(addr)
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("transport: listening for executor %d: %w", i, err)
-		}
-		node := &tcpNode{
-			id:      i,
-			ln:      ln,
-			addr:    ln.Addr().String(),
-			outputs: make(map[MapOutputID]Payload),
-			pool:    make(chan *tcpConn, connPoolSize),
+			return nil, fmt.Errorf("transport: executor %d: %w", i, err)
 		}
 		t.nodes = append(t.nodes, node)
-		go t.acceptLoop(node)
 	}
 	return t, nil
 }
 
-// Addrs returns each executor endpoint's listen address (diagnostics and
-// tests).
+// Addrs returns each executor endpoint's resolved listen address
+// (diagnostics, tests, and registration advertisement).
 func (t *TCP) Addrs() []string {
 	addrs := make([]string, len(t.nodes))
 	for i, n := range t.nodes {
-		addrs[i] = n.addr
+		addrs[i] = n.Addr()
 	}
 	return addrs
 }
@@ -129,8 +111,6 @@ func (t *TCP) Addrs() []string {
 // store happen under one lock: concurrent Registers of the same id (two
 // speculative attempts racing) must interleave as whole replacements, or
 // one payload would be stored with no location pointing at it and leak.
-// The t.mu → node.mu order is safe: no path acquires t.mu while holding
-// a node's mutex.
 func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
 	if p.SrcExecutor < 0 || p.SrcExecutor >= len(t.nodes) {
 		panic(fmt.Sprintf("transport: Register %v from unknown executor %d", id, p.SrcExecutor))
@@ -143,24 +123,10 @@ func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
 	var prev Payload
 	var replaced bool
 	if had {
-		prev, replaced = t.nodes[prevSrc].take(id)
+		prev, replaced = t.nodes[prevSrc].Take(id)
 	}
-	node := t.nodes[p.SrcExecutor]
-	node.mu.Lock()
-	node.outputs[id] = p
-	node.mu.Unlock()
+	t.nodes[p.SrcExecutor].Put(id, p)
 	return prev, replaced
-}
-
-// take removes and returns the node's entry for id.
-func (n *tcpNode) take(id MapOutputID) (Payload, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	p, ok := n.outputs[id]
-	if ok {
-		delete(n.outputs, id)
-	}
-	return p, ok
 }
 
 // Fetch resolves the output's location and either hands it over by
@@ -184,7 +150,7 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 
 	node := t.nodes[src]
 	if src == dstExecutor {
-		p, ok := node.take(id)
+		p, ok := node.Take(id)
 		if !ok {
 			return Payload{}, false, nil
 		}
@@ -195,7 +161,7 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 		return p, true, nil
 	}
 
-	frame, err := t.fetchRemote(node, id)
+	frame, err := t.client.Fetch(node.Addr(), id)
 	if err != nil {
 		// The round-trip failed (dial, write, read, deadline) — the output
 		// may well still be registered on the serving node. Restore the
@@ -225,208 +191,6 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 	}, true, nil
 }
 
-// fetchRemote runs one FETCH round-trip against node, pooling the
-// connection on success. A nil frame with nil error is NOTFOUND; an
-// error means the round-trip itself failed and the output's fate is
-// unknown to the caller. A connection whose round-trip errored — notably
-// one that hit its deadline with a response half-read — is closed and
-// retired rather than returned to the pool.
-func (t *TCP) fetchRemote(node *tcpNode, id MapOutputID) ([]byte, error) {
-	conn, err := node.getConn()
-	if err != nil {
-		return nil, err
-	}
-	frame, err := conn.fetch(id, t.fetchTimeout)
-	if err != nil {
-		conn.c.Close()
-		return nil, err
-	}
-	node.putConn(conn)
-	return frame, nil
-}
-
-func (n *tcpNode) getConn() (*tcpConn, error) {
-	select {
-	case c := <-n.pool:
-		return c, nil
-	default:
-	}
-	c, err := net.Dial("tcp", n.addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dialing executor %d (%s): %w", n.id, n.addr, err)
-	}
-	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
-}
-
-func (n *tcpNode) putConn(c *tcpConn) {
-	select {
-	case n.pool <- c:
-	default:
-		c.c.Close()
-	}
-}
-
-// fetch writes one request and reads one response on the connection. The
-// timeout (0 = none) bounds each I/O step — the request round-trip to the
-// first response byte, then every frameReadChunk of the frame — rather
-// than the whole transfer: a hung peer still surfaces within one timeout
-// (no bytes arrive), while a large frame that keeps moving refreshes its
-// deadline with each chunk and is never failed for being slow. That
-// matters because serving is consuming — the source buffer is released
-// once the server encodes the frame, so a client-side deadline mid-frame
-// on a healthy transfer would turn a slow fetch into permanent output
-// loss.
-func (c *tcpConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) {
-	if timeout > 0 {
-		if err := c.c.SetDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, err
-		}
-	}
-	var hdr [3 * binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(hdr[:], uint64(id.Shuffle))
-	k += binary.PutUvarint(hdr[k:], uint64(id.MapTask))
-	k += binary.PutUvarint(hdr[k:], uint64(id.Reduce))
-	if _, err := c.bw.Write(hdr[:k]); err != nil {
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
-	}
-	status, err := c.br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	if status == statusNotFound {
-		return nil, nil
-	}
-	if status != statusOK {
-		return nil, fmt.Errorf("transport: unknown response status %d", status)
-	}
-	n, err := binary.ReadUvarint(c.br)
-	if err != nil {
-		return nil, err
-	}
-	if n > maxWireFrame {
-		return nil, fmt.Errorf("transport: implausible frame length %d", n)
-	}
-	frame := make([]byte, n)
-	for off := 0; off < len(frame); {
-		end := off + frameReadChunk
-		if end > len(frame) {
-			end = len(frame)
-		}
-		if timeout > 0 {
-			// Refresh per chunk: progress resets the clock.
-			if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-				return nil, err
-			}
-		}
-		k, err := io.ReadFull(c.br, frame[off:end])
-		off += k
-		if err != nil {
-			return nil, err
-		}
-	}
-	if timeout > 0 {
-		// Clear the deadline so a pooled connection does not time out idle.
-		if err := c.c.SetDeadline(time.Time{}); err != nil {
-			return nil, err
-		}
-	}
-	return frame, nil
-}
-
-// acceptLoop serves one node's listener until Close.
-func (t *TCP) acceptLoop(node *tcpNode) {
-	for {
-		conn, err := node.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		go t.serve(node, conn)
-	}
-}
-
-// serve answers FETCH requests on one server-side connection. Serving
-// pops the output and — after the frame is captured — releases the
-// source buffer: the transfer consumed it.
-func (t *TCP) serve(node *tcpNode, conn net.Conn) {
-	defer conn.Close()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
-	var frame bytes.Buffer
-	for {
-		id, err := readFetchRequest(br)
-		if err != nil {
-			return // client closed or spoke garbage; drop the connection
-		}
-		p, ok := node.take(id)
-		frame.Reset()
-		if ok {
-			if p.Encode != nil {
-				err = p.Encode(&frame)
-			} else {
-				err = fmt.Errorf("transport: payload %v has no wire form", id)
-			}
-			// The entry left the registry: release the source buffer
-			// whether encoding succeeded (bytes captured) or not (the
-			// fetcher will error the stage; nothing else owns this).
-			releasePayload(p)
-			if err != nil {
-				ok = false
-			}
-		}
-		if !ok {
-			if err := bw.WriteByte(statusNotFound); err != nil {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-			continue
-		}
-		var hdr [binary.MaxVarintLen64]byte
-		if err := bw.WriteByte(statusOK); err != nil {
-			return
-		}
-		if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frame.Len()))]); err != nil {
-			return
-		}
-		if _, err := bw.Write(frame.Bytes()); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		if frame.Cap() > maxRetainedServeBuffer {
-			frame = bytes.Buffer{}
-		}
-	}
-}
-
-func readFetchRequest(br *bufio.Reader) (MapOutputID, error) {
-	shuf, err := binary.ReadUvarint(br)
-	if err != nil {
-		return MapOutputID{}, err
-	}
-	mapTask, err := binary.ReadUvarint(br)
-	if err != nil {
-		return MapOutputID{}, err
-	}
-	reduce, err := binary.ReadUvarint(br)
-	if err != nil {
-		return MapOutputID{}, err
-	}
-	return MapOutputID{Shuffle: ShuffleID(shuf), MapTask: int(mapTask), Reduce: int(reduce)}, nil
-}
-
-// releasePayload frees a payload's buffers when its Data supports it.
-func releasePayload(p Payload) {
-	if r, ok := p.Data.(interface{ Release() }); ok {
-		r.Release()
-	}
-}
-
 // Drop removes every output of the shuffle still registered on any node
 // and returns them.
 func (t *TCP) Drop(shuffle ShuffleID) []Payload {
@@ -445,7 +209,7 @@ func (t *TCP) Drop(shuffle ShuffleID) []Payload {
 	t.mu.Unlock()
 	var dropped []Payload
 	for i, id := range ids {
-		if p, ok := t.nodes[srcs[i]].take(id); ok {
+		if p, ok := t.nodes[srcs[i]].Take(id); ok {
 			dropped = append(dropped, p)
 		}
 	}
@@ -457,9 +221,7 @@ func (t *TCP) Drop(shuffle ShuffleID) []Payload {
 func (t *TCP) Pending() int {
 	total := 0
 	for _, n := range t.nodes {
-		n.mu.Lock()
-		total += len(n.outputs)
-		n.mu.Unlock()
+		total += n.Pending()
 	}
 	return total
 }
@@ -471,9 +233,11 @@ func (t *TCP) Stats() Stats {
 	return t.stats
 }
 
-// Close shuts every listener and pooled connection. Registered payloads
-// are left to the caller (Drop them first); in-flight serves finish on
-// their own connections.
+// Close shuts every listener and drains every pooled connection; a fetch
+// that was in flight during Close closes its connection on return rather
+// than re-pooling it. Registered payloads are left to the caller (Drop
+// them first); in-flight serves finish on their own connections.
+// Idempotent.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -483,18 +247,8 @@ func (t *TCP) Close() error {
 	t.closed = true
 	t.mu.Unlock()
 	for _, n := range t.nodes {
-		if n.ln != nil {
-			n.ln.Close()
-		}
-		for {
-			select {
-			case c := <-n.pool:
-				c.c.Close()
-				continue
-			default:
-			}
-			break
-		}
+		n.Close()
 	}
+	t.client.Close()
 	return nil
 }

@@ -38,12 +38,51 @@ func (f *fakeBuf) payload(src int) Payload {
 
 func newTCPT(t *testing.T, execs int) *TCP {
 	t.Helper()
-	tr, err := NewTCP(execs, 0)
+	tr, err := NewTCP(LoopbackAddrs(execs), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { tr.Close() })
 	return tr
+}
+
+// TestTCPConfigurableListenAddrs: explicit host:port listen addresses
+// are honored and advertised back via Addrs — the registration-time
+// advertisement the multi-process deployment depends on.
+func TestTCPConfigurableListenAddrs(t *testing.T) {
+	// Reserve two concrete ports, then hand them to NewTCP explicitly.
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	want := []string{reserve(), reserve()}
+	tr, err := NewTCP(want, 0)
+	if err != nil {
+		t.Fatalf("NewTCP(%v): %v", want, err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	got := tr.Addrs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("executor %d listens on %s, want %s", i, got[i], want[i])
+		}
+	}
+	// A cross-executor fetch still works on the explicit endpoints.
+	buf := &fakeBuf{frame: []byte("addressed")}
+	id := MapOutputID{Shuffle: 3, MapTask: 1, Reduce: 0}
+	tr.Register(id, buf.payload(0))
+	p, ok, err := tr.Fetch(id, 1)
+	if err != nil || !ok {
+		t.Fatalf("fetch over explicit addrs = (ok=%v, err=%v)", ok, err)
+	}
+	if w, isWire := p.Data.(Wire); !isWire || string(w.Frame) != "addressed" {
+		t.Errorf("fetch payload = %+v", p.Data)
+	}
 }
 
 func TestTCPLocalFetchIsPointerPath(t *testing.T) {
@@ -282,7 +321,7 @@ func TestTCPFailedRemoteFetchKeepsPayloadDroppable(t *testing.T) {
 }
 
 func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
-	tr, err := NewTCP(2, 0)
+	tr, err := NewTCP(LoopbackAddrs(2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +343,7 @@ func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
 // FetchTimeout, the hung conn must be retired rather than pooled, and the
 // output must remain reachable once the peer recovers.
 func TestTCPFetchTimeoutRetiresConnAndStaysRetryable(t *testing.T) {
-	tr, err := NewTCP(2, 50*time.Millisecond)
+	tr, err := NewTCP(LoopbackAddrs(2), 50*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,10 +375,15 @@ func TestTCPFetchTimeoutRetiresConnAndStaysRetryable(t *testing.T) {
 		t.Errorf("deadline took %v to fire", elapsed)
 	}
 	// The hung conn must not be back in the pool.
-	select {
-	case c := <-tr.nodes[0].pool:
-		t.Errorf("timed-out conn %v was pooled", c.c.LocalAddr())
-	default:
+	tr.client.mu.Lock()
+	pool := tr.client.pools[tr.nodes[0].Addr()]
+	tr.client.mu.Unlock()
+	if pool != nil {
+		select {
+		case c := <-pool:
+			t.Errorf("timed-out conn %v was pooled", c.c.LocalAddr())
+		default:
+		}
 	}
 	close(unblock) // the stuck server goroutine finishes and releases
 

@@ -13,7 +13,7 @@ import (
 // build the cache, aggregated shuffle per iteration); the checksum sums
 // final labels, and Extra reports the component count via the label set.
 func ConnectedComponents(cfg Config, params GraphParams) (Result, error) {
-	return run("ConnectedComponents", cfg, func(ctx *engine.Context) (float64, error) {
+	return run("ConnectedComponents", cfg, PlanSpec{Workload: "cc", Graph: params}, func(ctx *engine.Context) (float64, error) {
 		links, err := adjacency(ctx, cfg, params, true)
 		if err != nil {
 			return 0, err

@@ -26,7 +26,7 @@ type KMeansParams struct {
 // StaticFixed for a fixed dimension, so Deca's aggregation buffer reuses
 // segments in place. The checksum folds the final centers.
 func KMeans(cfg Config, params KMeansParams) (Result, error) {
-	return run("KMeans", cfg, func(ctx *engine.Context) (float64, error) {
+	return run("KMeans", cfg, PlanSpec{Workload: "kmeans", KM: params}, func(ctx *engine.Context) (float64, error) {
 		cfg := cfg.withDefaults()
 		perPart := params.Points / cfg.Partitions
 		if perPart == 0 {
@@ -146,12 +146,14 @@ func kmeansStepDeca(
 ) (map[int32]VecSum, error) {
 	dim := params.Dim
 	recSize := 8 * dim
-	partials := make([][]float64, vectors.Partitions()) // K*(dim+1) each
 
-	err := engine.RunPartitions(ctx, vectors.Partitions(), func(p int) error {
+	// Each partition's partial is one flat K*(dim+1) buffer, returned as a
+	// value so the step works identically when the task runs in another
+	// process (the multiproc deployment ships it back as bytes).
+	partials, err := engine.RunPartitionsCollect(ctx, vectors.Partitions(), func(p int) ([]float64, error) {
 		blk, release, err := engine.DecaBlockFor(vectors, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer release()
 
@@ -176,8 +178,7 @@ func kmeansStepDeca(
 				acc[base+dim]++
 			}
 		}
-		partials[p] = acc
-		return nil
+		return acc, nil
 	})
 	if err != nil {
 		return nil, err

@@ -28,7 +28,7 @@ type LRParams struct {
 // The checksum is the final weight-vector norm; modes agree to floating-
 // point tolerance (cross-partition reduction order is scheduler-driven).
 func LogisticRegression(cfg Config, params LRParams) (Result, error) {
-	return run("LR", cfg, func(ctx *engine.Context) (float64, error) {
+	return run("LR", cfg, PlanSpec{Workload: "lr", LR: params}, func(ctx *engine.Context) (float64, error) {
 		cfg := cfg.withDefaults()
 		perPart := params.Points / cfg.Partitions
 		if perPart == 0 {
@@ -134,12 +134,14 @@ func lrGradientDeca(
 ) ([]float64, error) {
 	dim := codec.Dim
 	recSize := codec.FixedSize()
-	partial := make([][]float64, points.Partitions())
 
-	err := engine.RunPartitions(ctx, points.Partitions(), func(p int) error {
+	// Per-partition partials come back as values (not closure side
+	// effects) so the gradient step works identically when tasks run in
+	// executor processes.
+	partial, err := engine.RunPartitionsCollect(ctx, points.Partitions(), func(p int) ([]float64, error) {
 		blk, release, err := engine.DecaBlockFor(points, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer release()
 
@@ -166,8 +168,7 @@ func lrGradientDeca(
 				}
 			}
 		}
-		partial[p] = acc
-		return nil
+		return acc, nil
 	})
 	if err != nil {
 		return nil, err

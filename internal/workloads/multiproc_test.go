@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"deca/internal/chaos"
+	"deca/internal/engine"
+)
+
+// TestMain doubles as the deca-executor binary for multiproc tests: the
+// driver spawns `env DECA_EXECUTOR_HELPER=1 <test-binary> -driver ...`,
+// and the re-exec'd test process runs the real executor main instead of
+// the test suite — so the child is the same race-instrumented build as
+// the driver.
+func TestMain(m *testing.M) {
+	if os.Getenv("DECA_EXECUTOR_HELPER") == "1" {
+		os.Exit(ExecutorMain(os.Args[1:], os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// helperExecutorCmd builds the ExecutorCmd argv that re-execs this test
+// binary in executor mode.
+func helperExecutorCmd(t *testing.T) []string {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return []string{"env", "DECA_EXECUTOR_HELPER=1", self}
+}
+
+func multiprocCfg(t *testing.T, execs int) Config {
+	return Config{
+		Mode:         engine.ModeDeca,
+		NumExecutors: execs,
+		Parallelism:  2,
+		Partitions:   2 * execs,
+		SpillDir:     t.TempDir(),
+		Deploy:       engine.DeployMultiproc,
+		ExecutorCmd:  helperExecutorCmd(t),
+		Seed:         7,
+	}
+}
+
+func inprocessCfg(t *testing.T, execs int) Config {
+	cfg := multiprocCfg(t, execs)
+	cfg.Deploy = engine.DeployInProcess
+	cfg.ExecutorCmd = nil
+	return cfg
+}
+
+// TestMultiprocEquivalence: WC, LR and PR across two real deca-executor
+// processes produce the same answers as the in-process cluster — WC
+// exactly (its float folds are integer-valued), LR/PR to float
+// tolerance.
+func TestMultiprocEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	wcParams := WCParams{DistinctKeys: 2_000, WordsPerLine: 8, Lines: 3_000}
+	lrParams := LRParams{Points: 4_000, Dim: 8, Iterations: 3}
+	prParams := GraphParams{Vertices: 1_000, Edges: 6_000, Skew: 1.1, Iterations: 3}
+
+	type variant struct {
+		name  string
+		run   func(cfg Config) (Result, error)
+		exact bool
+	}
+	variants := []variant{
+		{"WC", func(cfg Config) (Result, error) { return WordCount(cfg, wcParams) }, true},
+		{"LR", func(cfg Config) (Result, error) { return LogisticRegression(cfg, lrParams) }, false},
+		{"PR", func(cfg Config) (Result, error) { return PageRank(cfg, prParams) }, false},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			local, err := v.run(inprocessCfg(t, 2))
+			if err != nil {
+				t.Fatalf("inprocess: %v", err)
+			}
+			multi, err := v.run(multiprocCfg(t, 2))
+			if err != nil {
+				t.Fatalf("multiproc: %v", err)
+			}
+			if v.exact {
+				if multi.Checksum != local.Checksum {
+					t.Errorf("checksum: multiproc %v != inprocess %v", multi.Checksum, local.Checksum)
+				}
+			} else if math.Abs(multi.Checksum-local.Checksum) > 1e-6*math.Abs(local.Checksum) {
+				t.Errorf("checksum: multiproc %v !~ inprocess %v", multi.Checksum, local.Checksum)
+			}
+		})
+	}
+}
+
+// TestMultiprocSIGKILL is the multiproc analogue of TestExecutorKill:
+// the chaos harness kills executor 1 after two attempts started on it —
+// which here SIGKILLs the real deca-executor process mid-job, taking its
+// registered map outputs and reduce outputs with it. The driver must
+// blacklist it (heartbeats stop, the control connection drops), re-run
+// whatever was lost, and still produce byte-identical WC output.
+func TestMultiprocSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	params := WCParams{DistinctKeys: 3_000, WordsPerLine: 8, Lines: 5_000}
+
+	clean, err := WordCount(inprocessCfg(t, 3), params)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	cfg := multiprocCfg(t, 3)
+	inj := chaos.New(11)
+	inj.KillExecutor = 1
+	inj.KillAfter = 2
+	cfg.Chaos = inj
+	cfg.MaxTaskRetries = 5
+	cfg.MaxExecutorFailures = 2
+	res, err := WordCount(cfg, params)
+	if err != nil {
+		t.Fatalf("multiproc with SIGKILL: %v", err)
+	}
+	if res.Checksum != clean.Checksum {
+		t.Errorf("checksum after SIGKILL = %v, want %v", res.Checksum, clean.Checksum)
+	}
+	if res.ExecutorsBlacklisted == 0 {
+		t.Errorf("no executor was blacklisted after a real SIGKILL")
+	}
+	if inj.Stats().Kills == 0 {
+		t.Errorf("chaos kill never fired")
+	}
+}
+
+// TestMultiprocSIGKILLPageRank kills an executor process mid-way through
+// an iterative job: the dead process takes its adjacency cache blocks
+// with it, and the rebuilt blocks need the *released* grouped shuffle —
+// exercising lineage re-materialization (NeedShuffle on a fresh epoch)
+// across real processes.
+func TestMultiprocSIGKILLPageRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	params := GraphParams{Vertices: 800, Edges: 5_000, Skew: 1.1, Iterations: 3}
+
+	clean, err := PageRank(inprocessCfg(t, 3), params)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	cfg := multiprocCfg(t, 3)
+	inj := chaos.New(13)
+	inj.KillExecutor = 1
+	inj.KillAfter = 8
+	cfg.Chaos = inj
+	cfg.MaxTaskRetries = 5
+	cfg.MaxExecutorFailures = 2
+	res, err := PageRank(cfg, params)
+	if err != nil {
+		t.Fatalf("multiproc PR with SIGKILL: %v", err)
+	}
+	if math.Abs(res.Checksum-clean.Checksum) > 1e-6*math.Abs(clean.Checksum) {
+		t.Errorf("checksum after SIGKILL = %v, want ~%v", res.Checksum, clean.Checksum)
+	}
+	if inj.Stats().Kills == 0 {
+		t.Errorf("chaos kill never fired")
+	}
+}

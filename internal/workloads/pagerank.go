@@ -13,7 +13,7 @@ import (
 // makes PR less GC-bound than LR, §6.4). Ranks live in a driver-held map,
 // standing in for Spark's broadcast of the rank RDD at this scale.
 func PageRank(cfg Config, params GraphParams) (Result, error) {
-	return run("PageRank", cfg, func(ctx *engine.Context) (float64, error) {
+	return run("PageRank", cfg, PlanSpec{Workload: "pr", Graph: params}, func(ctx *engine.Context) (float64, error) {
 		links, err := adjacency(ctx, cfg, params, false)
 		if err != nil {
 			return 0, err

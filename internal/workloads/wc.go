@@ -23,7 +23,7 @@ type WCParams struct {
 // hash aggregation (the Tuple2 population of Figure 8(a)) → counts. The
 // checksum folds counts so all modes can be compared exactly.
 func WordCount(cfg Config, params WCParams) (Result, error) {
-	return run("WordCount", cfg, func(ctx *engine.Context) (float64, error) {
+	return run("WordCount", cfg, PlanSpec{Workload: "wc", WC: params}, func(ctx *engine.Context) (float64, error) {
 		cfg := cfg.withDefaults()
 		linesPerPart := params.Lines / cfg.Partitions
 		if linesPerPart == 0 {

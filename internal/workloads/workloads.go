@@ -14,10 +14,12 @@
 package workloads
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"deca/internal/chaos"
+	"deca/internal/ctl"
 	"deca/internal/engine"
 	"deca/internal/gcstats"
 )
@@ -58,6 +60,14 @@ type Config struct {
 	// Chaos injects deterministic faults (nil = none).
 	Chaos *chaos.Injector
 	Seed  int64
+	// Deploy selects the deployment (engine.DeployMultiproc runs each
+	// executor as a spawned deca-executor process; ExecutorCmd is its
+	// argv prefix, required then).
+	Deploy      engine.DeployKind
+	ExecutorCmd []string
+	// Follower marks this process as one executor mirroring the plan —
+	// set by ExecutorMain, never by applications.
+	Follower *ctl.Follower
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +101,9 @@ func (c Config) newEngine() *engine.Context {
 		MaxExecutorFailures:   c.MaxExecutorFailures,
 		SpeculationEnabled:    c.SpeculationEnabled,
 		Chaos:                 c.Chaos,
+		DeployKind:            c.Deploy,
+		ExecutorCmd:           c.ExecutorCmd,
+		CtlFollower:           c.Follower,
 	})
 }
 
@@ -131,10 +144,23 @@ func (r Result) String() string {
 }
 
 // run executes body under GC instrumentation. body returns the checksum.
-func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error)) (Result, error) {
+// In a follower process the body is the mirrored program: it executes
+// under driver dispatch and the result is the driver's business.
+func run(name string, cfg Config, spec PlanSpec, body func(ctx *engine.Context) (float64, error)) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Follower != nil {
+		return runFollower(name, cfg, body)
+	}
 	ctx := cfg.newEngine()
 	defer ctx.Close()
+	if cfg.Deploy == engine.DeployMultiproc {
+		spec.fill(cfg)
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: encoding plan: %w", name, err)
+		}
+		ctx.RegisterPlan(raw)
+	}
 
 	gcstats.ForceGC()
 	before := gcstats.Read()
@@ -145,6 +171,9 @@ func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error
 	if err != nil {
 		return Result{}, fmt.Errorf("%s[%v]: %w", name, cfg.Mode, err)
 	}
+	// Multiproc: pull the executor processes' counters into the driver's
+	// metrics before reading them (a no-op otherwise).
+	ctx.SyncClusterMetrics()
 	cstats := ctx.CacheStats()
 	metrics := ctx.MetricsRef()
 	return Result{
@@ -164,4 +193,28 @@ func run(name string, cfg Config, body func(ctx *engine.Context) (float64, error
 		SpeculativeWon:       metrics.SpeculativeWon.Load(),
 		ExecutorsBlacklisted: metrics.ExecutorsBlacklisted.Load(),
 	}, nil
+}
+
+// runFollower runs the mirrored program inside one executor process: the
+// body's stages execute only when the driver dispatches their tasks, and
+// its action results are the driver's broadcasts. The context stays up
+// until the driver shuts the fleet down — the data plane and metric
+// snapshots must outlive the program itself.
+func runFollower(name string, cfg Config, body func(ctx *engine.Context) (float64, error)) (Result, error) {
+	ctx := cfg.newEngine()
+	_, err := body(ctx)
+	if err != nil {
+		// The mirrored program diverged (or followed a driver abort). Do
+		// not linger heartbeating with no bodies to register — every task
+		// the driver placed here would burn the full stage-body timeout.
+		// Dropping the control connection makes the driver declare this
+		// executor dead immediately and blacklist it, so the job either
+		// fails fast with the root cause or recovers on the survivors.
+		cfg.Follower.Close()
+		ctx.Close()
+		return Result{}, fmt.Errorf("%s[%v] (mirror): %w", name, cfg.Mode, err)
+	}
+	<-cfg.Follower.ShutdownCh()
+	ctx.Close()
+	return Result{Name: name, Mode: cfg.Mode}, nil
 }
