@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault injector (0 = 1; used when -failure-rate > 0)")
 		failRate  = flag.Float64("failure-rate", 0, "inject this per-attempt task failure probability into every experiment (0 = no chaos)")
 		maxRetry  = flag.Int("max-retries", 0, "per-task retry budget (0 = engine default of 3, negative disables retries)")
+		jsonDir   = flag.String("json", "", "also write each report as BENCH_<experiment>.json (wall, bytes, checksums) into this directory ('.' = cwd)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -107,12 +109,41 @@ func main() {
 			failed = true
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Print(rep.String())
-		fmt.Printf("  (completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (completed in %s)\n\n", elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, rep, *scale, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "deca-bench: %s: %v\n", e.ID, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON writes one experiment's machine-readable report as
+// BENCH_<id>.json: the report (rows + metrics) plus the run's scale and
+// total wall time, so a later run can be diffed for speed and for
+// checksum drift.
+func writeJSON(dir string, rep *bench.Report, scale float64, elapsed time.Duration) error {
+	doc := struct {
+		*bench.Report
+		Scale       float64 `json:"scale"`
+		CompletedMS float64 `json:"completed_ms"`
+	}{rep, scale, float64(elapsed) / float64(time.Millisecond)}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+rep.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
 }
 
 // resolveExecutorBin locates the deca-executor binary for multiproc

@@ -1,0 +1,80 @@
+// Command deca-vet runs the engine's custom static analyzers (package
+// internal/lint) over the module: ownership/release pairing, memory.Ptr
+// lifetime escapes, fault-coordinate determinism, and wire-decoder
+// safety. It is a required CI gate:
+//
+//	go run ./cmd/deca-vet ./...
+//
+// Exit status is 0 when no diagnostics survive (suppressions need a
+// written reason — see DESIGN.md "Static analysis & ownership
+// discipline"), 1 when findings are printed, 2 on a driver failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deca/internal/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "deca-vet: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deca-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "deca-vet: type error (analysis is best-effort): %v\n", terr)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "deca-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,7 @@ func AblationPageSize(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("page-"+mb(int64(ps)), res)
 		rep.add("page=%-8s exec=%-9s gc=%6.3fs cache-footprint=%s",
 			mb(int64(ps)), fmtDur(res.Wall), res.GC.GCCPUSeconds, mb(res.CacheBytes))
 	}
@@ -70,6 +71,8 @@ func AblationValueReuse(o Options) (*Report, error) {
 		got := drain()
 		wall := time.Since(start)
 		d := gcstats.Read().Sub(before)
+		rep.metric(Metric{Name: name, WallMS: float64(wall) / float64(time.Millisecond),
+			GCSec: d.GCCPUSeconds, Checksum: float64(got)})
 		rep.add("%-14s combines=%-9d keys=%-7d exec=%-9s gc=%6.3fs allocObjects=%d",
 			name, n, got, fmtDur(wall), d.GCCPUSeconds, d.AllocObjects)
 	}
@@ -155,6 +158,15 @@ func AblationReflectVsGenerated(o Options) (*Report, error) {
 	_ = sink
 
 	per := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(n) }
+	for _, m := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"encode/reflect", reflEnc}, {"encode/generated", genEnc},
+		{"access/reflect-decode", reflDec}, {"access/raw-page-read", rawRead},
+	} {
+		rep.metric(Metric{Name: m.name, WallMS: float64(m.d) / float64(time.Millisecond)})
+	}
 	rep.add("encode/object:  reflect=%.0fns generated=%.0fns (%.1fx)",
 		per(reflEnc), per(genEnc), per(reflEnc)/per(genEnc))
 	rep.add("access/object:  reflect-decode=%.0fns raw-page-read=%.0fns (%.1fx)",

@@ -77,14 +77,49 @@ func (o Options) scaled(n int) int {
 
 // Report is one experiment's rendered result.
 type Report struct {
-	ID         string
-	Title      string
-	PaperClaim string
-	Rows       []string
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	PaperClaim string   `json:"paper_claim"`
+	Rows       []string `json:"rows"`
+	// Metrics are the machine-readable counterpart of Rows: one entry
+	// per measured run, written to BENCH_<id>.json by deca-bench -json.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one measured run in machine-readable form. Bytes is the
+// run's total data motion (cache footprint + swap + shuffle spill +
+// remote shuffle); Checksum is the workload's answer digest, so two
+// bench runs can be diffed for result drift, not just speed.
+type Metric struct {
+	Name     string  `json:"name"`
+	Mode     string  `json:"mode,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	GCSec    float64 `json:"gc_sec"`
+	Bytes    int64   `json:"bytes"`
+	Checksum float64 `json:"checksum"`
 }
 
 func (r *Report) add(format string, args ...any) {
 	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// record captures a workload result as a metric row alongside whatever
+// rendered Rows the experiment adds.
+func (r *Report) record(name string, res workloads.Result) {
+	r.Metrics = append(r.Metrics, Metric{
+		Name:     name,
+		Mode:     res.Mode.String(),
+		WallMS:   float64(res.Wall) / float64(time.Millisecond),
+		GCSec:    res.GC.GCCPUSeconds,
+		Bytes:    res.CacheBytes + res.SwapBytes + res.ShuffleSpillBytes + res.RemoteShuffleBytes,
+		Checksum: res.Checksum,
+	})
+}
+
+// metric appends a hand-built metric for experiments that measure
+// something other than a workloads.Result (throughputs, sweeps).
+func (r *Report) metric(m Metric) {
+	r.Metrics = append(r.Metrics, m)
 }
 
 // String renders the report.

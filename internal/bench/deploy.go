@@ -73,6 +73,7 @@ func DeployComparison(o Options) (*Report, error) {
 				return nil, fmt.Errorf("%s[%v]: checksum %g != inprocess %g",
 					a.name, deploy, res.Checksum, baseline)
 			}
+			rep.record(fmt.Sprintf("%s-%s", a.name, deploy), res)
 			rep.add("%-3s %-10s exec=%-9s remote-fetches=%-5d remote=%-9s checksum=%.6g",
 				a.name, deploy, fmtDur(res.Wall),
 				res.RemoteShuffleFetches, mb(res.RemoteShuffleBytes), res.Checksum)

@@ -80,6 +80,7 @@ func FaultTolerance(o Options) (*Report, error) {
 					return nil, fmt.Errorf("%s[%v] rate %.0f%%: checksum %g != fault-free %g",
 						a.name, kind, 100*rate, res.Checksum, baseline)
 				}
+				rep.record(fmt.Sprintf("%s-%v-fail%.0f%%", a.name, kind, 100*rate), res)
 				rep.add("%-3s %-9s fail=%4.0f%% exec=%-9s retries=%-4d failed=%-4d checksum=%.6g",
 					a.name, kind, 100*rate, fmtDur(res.Wall),
 					res.TaskRetries, res.TasksFailed, res.Checksum)
@@ -101,6 +102,7 @@ func FaultTolerance(o Options) (*Report, error) {
 				return nil, fmt.Errorf("%s[%v] kill: checksum %g != fault-free %g",
 					a.name, kind, res.Checksum, baseline)
 			}
+			rep.record(fmt.Sprintf("%s-%v-kill", a.name, kind), res)
 			rep.add("%-3s %-9s kill x1    exec=%-9s retries=%-4d blacklisted=%d checksum=%.6g",
 				a.name, kind, fmtDur(res.Wall), res.TaskRetries, res.ExecutorsBlacklisted, res.Checksum)
 		}
@@ -137,6 +139,7 @@ func FaultTolerance(o Options) (*Report, error) {
 			if row == "kill" {
 				label = "SIGKILL x1"
 			}
+			rep.record("WC-multiproc-"+row, res)
 			rep.add("%-3s %-9s %s exec=%-9s retries=%-4d blacklisted=%d checksum=%.6g",
 				"WC", "multiproc", label, fmtDur(res.Wall),
 				res.TaskRetries, res.ExecutorsBlacklisted, res.Checksum)

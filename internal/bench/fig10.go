@@ -40,6 +40,7 @@ func Fig10aPageRank(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.record("pagerank-"+g.name, res)
 			results = append(results, res)
 		}
 		rep.add("%-3s Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s gc(S/D)=%.3fs/%.3fs cache(S/D)=%s/%s",
@@ -69,6 +70,7 @@ func Fig10bCC(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.record("cc-"+g.name, res)
 			results = append(results, res)
 		}
 		rep.add("%-3s Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s gc(S/D)=%.3fs/%.3fs",

@@ -43,6 +43,7 @@ func Fig8aWCLifetime(o Options) (*Report, error) {
 				maxObj = s.HeapObjects
 			}
 		}
+		rep.record("wc-lifetime", res)
 		last := samples[len(samples)-1]
 		rep.add("%-9s exec=%-9s samples=%-4d heap-objects[min=%d max=%d swing=%.1fx] gc=%.3fs cycles=%d",
 			mode, fmtDur(res.Wall), len(samples), minObj, maxObj,
@@ -96,6 +97,8 @@ func Fig8bWordCount(o Options) (*Report, error) {
 			if deca, err = workloads.WordCount(o.baseCfg(engine.ModeDeca), params); err != nil {
 				return nil, err
 			}
+			rep.record(kc.name+"/"+sz.name, spark)
+			rep.record(kc.name+"/"+sz.name, deca)
 			rep.add("%-10s %-7s Spark=%-9s Deca=%-9s speedup=%-6s sparkGC=%.3fs decaGC=%.3fs",
 				kc.name, sz.name, fmtDur(spark.Wall), fmtDur(deca.Wall),
 				speedup(spark.Wall, deca.Wall), spark.GC.GCCPUSeconds, deca.GC.GCCPUSeconds)
@@ -127,6 +130,7 @@ func Fig9aLRLifetime(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("lr-lifetime", res)
 		// Steady-state object population: median of the second half.
 		half := samples[len(samples)/2:]
 		var sum uint64

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"deca/internal/engine"
 	"deca/internal/workloads"
 )
@@ -48,6 +50,7 @@ func Fig9bLR(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.record(fmt.Sprintf("lr-n%d", n), res)
 			results = append(results, res)
 		}
 		spark, deca := results[0], results[2]
@@ -82,6 +85,7 @@ func Fig9cKMeans(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.record(fmt.Sprintf("kmeans-n%d", n), res)
 			results = append(results, res)
 		}
 		rep.add("n=%-8d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",
@@ -123,6 +127,7 @@ func Fig9dHighDim(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("lr-highdim", res)
 		lrResults = append(lrResults, res)
 	}
 	rep.add("LR     n=%-6d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",
@@ -141,6 +146,7 @@ func Fig9dHighDim(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("kmeans-highdim", res)
 		kmResults = append(kmResults, res)
 	}
 	rep.add("KMeans n=%-6d Spark=%-9s SparkSer=%-9s Deca=%-9s speedup=%-6s cache(S/D)=%s/%s",

@@ -102,6 +102,7 @@ func mergeBufferRows(o Options, rep *Report) error {
 	if err != nil {
 		return err
 	}
+	recordMerge(rep, "group-merge", zc, drain)
 	rep.add("group-merge     %d outputs x %-7d recs  zero-copy=%-9s drain=%-9s speedup=%s",
 		sources, recs, fmtDur(zc), fmtDur(drain), speedup(drain, zc))
 
@@ -166,6 +167,7 @@ func mergeBufferRows(o Options, rep *Report) error {
 	if err != nil {
 		return err
 	}
+	recordMerge(rep, "agg-merge", zc, drain)
 	rep.add("agg-merge       %d outputs x %-7d recs  zero-copy=%-9s drain=%-9s speedup=%s",
 		sources, recs, fmtDur(zc), fmtDur(drain), speedup(drain, zc))
 
@@ -211,9 +213,16 @@ func mergeBufferRows(o Options, rep *Report) error {
 	if err != nil {
 		return err
 	}
+	recordMerge(rep, "sort-merge", zc, drain)
 	rep.add("sort-merge+read %d outputs x %-7d recs  zero-copy=%-9s drain=%-9s speedup=%s",
 		sources, recs, fmtDur(zc), fmtDur(drain), speedup(drain, zc))
 	return nil
+}
+
+// recordMerge emits a metric pair for one merge-shape comparison.
+func recordMerge(rep *Report, shape string, zc, drain time.Duration) {
+	rep.metric(Metric{Name: shape + "/zero-copy", WallMS: float64(zc) / float64(time.Millisecond)})
+	rep.metric(Metric{Name: shape + "/drain", WallMS: float64(drain) / float64(time.Millisecond)})
 }
 
 // mergeClusterRows sweeps PageRank across modes and executor counts with
@@ -263,6 +272,7 @@ func mergeClusterRows(o Options, rep *Report) error {
 				return fmt.Errorf("PR[%s] x%d executors: checksum %g != baseline %g — zero-copy merge changed the answer",
 					v.label, execs, res.Checksum, baseline)
 			}
+			rep.record(fmt.Sprintf("PR-%s-x%d", v.label, execs), res)
 			rep.add("PR %-10s execs=%d exec=%-9s gc=%6.3fs remote=%-9s checksum=%.6g",
 				v.label, execs, fmtDur(res.Wall), res.GC.GCCPUSeconds,
 				mb(res.RemoteShuffleBytes), res.Checksum)

@@ -75,6 +75,7 @@ func ScalingExecutors(o Options) (*Report, error) {
 					return nil, fmt.Errorf("%s[%v] x%d executors: checksum %g != single-executor %g",
 						a.name, mode, execs, res.Checksum, baseline)
 				}
+				rep.record(fmt.Sprintf("%s-x%d", a.name, execs), res)
 				rep.add("%-3s %-9s execs=%d exec=%-9s remote-fetches=%-5d remote=%-9s spill=%-9s checksum=%.6g",
 					a.name, mode, execs, fmtDur(res.Wall),
 					res.RemoteShuffleFetches, mb(res.RemoteShuffleBytes),

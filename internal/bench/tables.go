@@ -59,6 +59,8 @@ func Table3GCReduction(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record(a.name, spark)
+		rep.record(a.name, deca)
 		reduction := 0.0
 		if spark.GC.GCCPUSeconds > 0 {
 			reduction = 100 * (1 - deca.GC.GCCPUSeconds/spark.GC.GCCPUSeconds)
@@ -93,6 +95,7 @@ func Table4GCTuning(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record(fmt.Sprintf("lr-frac%.1f", frac), res)
 		rep.add("  frac=%.1f  exec=%-9s gc=%6.3fs swap=%s", frac, fmtDur(res.Wall), res.GC.GCCPUSeconds, mb(res.SwapBytes))
 	}
 	rep.add("LR: collector aggressiveness sweep (GOGC as the PS/CMS/G1 analogue)")
@@ -105,12 +108,14 @@ func Table4GCTuning(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record(fmt.Sprintf("lr-gogc%d", gogc), res)
 		rep.add("  GOGC=%-4d exec=%-9s gc=%6.3fs", gogc, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 	}
 	decaLR, err := workloads.LogisticRegression(o.baseCfg(engine.ModeDeca), lrParams)
 	if err != nil {
 		return nil, err
 	}
+	rep.record("lr-deca", decaLR)
 	rep.add("  Deca      exec=%-9s gc=%6.3fs (no tuning)", fmtDur(decaLR.Wall), decaLR.GC.GCCPUSeconds)
 
 	prParams := workloads.GraphParams{Vertices: int64(o.scaled(20_000)), Edges: o.scaled(150_000), Skew: 0.6, Iterations: 4}
@@ -122,6 +127,7 @@ func Table4GCTuning(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record(fmt.Sprintf("pr-frac%.2f", frac), res)
 		rep.add("  frac=%.2f exec=%-9s gc=%6.3fs", frac, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 	}
 	rep.add("PR: collector aggressiveness sweep")
@@ -134,12 +140,14 @@ func Table4GCTuning(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record(fmt.Sprintf("pr-gogc%d", gogc), res)
 		rep.add("  GOGC=%-4d exec=%-9s gc=%6.3fs", gogc, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 	}
 	decaPR, err := workloads.PageRank(o.baseCfg(engine.ModeDeca), prParams)
 	if err != nil {
 		return nil, err
 	}
+	rep.record("pr-deca", decaPR)
 	rep.add("  Deca      exec=%-9s gc=%6.3fs (no tuning)", fmtDur(decaPR.Wall), decaPR.GC.GCCPUSeconds)
 	return rep, nil
 }
@@ -168,6 +176,7 @@ func Table5Micro(o Options) (*Report, error) {
 					rep.add("  %-9s error: %v", mode, err)
 					continue
 				}
+				rep.record("lr-smallheap", res)
 				rep.add("  %-9s exec=%-9s gc=%6.3fs", mode, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 			}
 		})
@@ -178,6 +187,7 @@ func Table5Micro(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("lr-largeheap", res)
 		rep.add("  %-9s exec=%-9s gc=%6.3fs", mode, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 	}
 
@@ -191,6 +201,7 @@ func Table5Micro(o Options) (*Report, error) {
 					rep.add("  %-9s error: %v", mode, err)
 					continue
 				}
+				rep.record("pr-smallheap", res)
 				rep.add("  %-9s exec=%-9s gc=%6.3fs", mode, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 			}
 		})
@@ -201,10 +212,11 @@ func Table5Micro(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.record("pr-largeheap", res)
 		rep.add("  %-9s exec=%-9s gc=%6.3fs", mode, fmtDur(res.Wall), res.GC.GCCPUSeconds)
 	}
 
-	serRow, deserRow := perObjectCosts(o)
+	serRow, deserRow := perObjectCosts(o, rep)
 	rep.add("%s", serRow)
 	rep.add("%s", deserRow)
 	return rep, nil
@@ -212,7 +224,7 @@ func Table5Micro(o Options) (*Report, error) {
 
 // perObjectCosts measures average per-object encode/decode times for the
 // Deca codec and the Kryo-style serializer (Table 5's bottom rows).
-func perObjectCosts(o Options) (string, string) {
+func perObjectCosts(o Options, rep *Report) (string, string) {
 	const dim = 10
 	n := o.scaled(200_000)
 	pts := datagen.Points(3, n, dim)
@@ -261,6 +273,15 @@ func perObjectCosts(o Options) (string, string) {
 	}
 	kryoDeser := time.Since(start)
 
+	for _, m := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"ser/deca", decaSer}, {"ser/kryo", kryoSer},
+		{"deser/deca", decaDeser}, {"deser/kryo", kryoDeser},
+	} {
+		rep.metric(Metric{Name: m.name, WallMS: float64(m.d) / float64(time.Millisecond)})
+	}
 	per := func(d time.Duration) string {
 		return fmt.Sprintf("%.0fns", float64(d.Nanoseconds())/float64(n))
 	}
@@ -319,6 +340,8 @@ func Table6SQL(o Options) (*Report, error) {
 	rep.add("Query 1 (filter, %d rows):", nRank)
 	for _, q := range q1 {
 		wall, gc, count := timeQuery(q.f)
+		rep.metric(Metric{Name: "q1/" + q.name, WallMS: float64(wall) / float64(time.Millisecond),
+			GCSec: gc.GCCPUSeconds, Bytes: q.size, Checksum: float64(count)})
 		rep.add("  %-18s exec=%-9s gc=%6.3fs cache=%-9s rows=%d",
 			q.name, fmtDur(wall), gc.GCCPUSeconds, mb(q.size), count)
 	}
@@ -335,6 +358,8 @@ func Table6SQL(o Options) (*Report, error) {
 	rep.add("Query 2 (group-by aggregate, %d rows):", nVisit)
 	for _, q := range q2 {
 		wall, gc, groups := timeQuery(q.f)
+		rep.metric(Metric{Name: "q2/" + q.name, WallMS: float64(wall) / float64(time.Millisecond),
+			GCSec: gc.GCCPUSeconds, Bytes: q.size, Checksum: float64(groups)})
 		rep.add("  %-18s exec=%-9s gc=%6.3fs cache=%-9s groups=%d",
 			q.name, fmtDur(wall), gc.GCCPUSeconds, mb(q.size), groups)
 	}

@@ -160,6 +160,10 @@ func WireThroughput(o Options) (*Report, error) {
 		enc := throughputMBps(size, iters, encDur)
 		dec := throughputMBps(size, iters, decDur)
 		mbps[pi] = [2]float64{enc, dec}
+		rep.metric(Metric{Name: "encode/" + p.label, Bytes: size,
+			WallMS: float64(encDur) / float64(time.Millisecond) / float64(iters)})
+		rep.metric(Metric{Name: "decode/" + p.label, Bytes: size,
+			WallMS: float64(decDur) / float64(time.Millisecond) / float64(iters)})
 		rep.add("%-11s frame=%-9s encode=%8.1fMB/s decode=%8.1fMB/s (records=%d dim=%d)",
 			p.label, mb(size), enc, dec, records, dim)
 	}

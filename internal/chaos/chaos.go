@@ -123,6 +123,8 @@ func (i *Injector) count(f func(s *Stats)) {
 }
 
 // roll hashes the seed and fault coordinates into a uniform [0, 1).
+//
+//deca:pure
 func (i *Injector) roll(label string, a, b, c int64) float64 {
 	h := uint64(i.Seed) * 0x9e3779b97f4a7c15
 	for _, ch := range []byte(label) {
@@ -172,6 +174,8 @@ func (i *Injector) BeforeAttempt(stage, part, attempt, exec int, cancel <-chan s
 
 // AfterAttempt implements sched.FaultInjector: fail a completed attempt
 // after its side effects (registrations) landed.
+//
+//deca:pure
 func (i *Injector) AfterAttempt(stage, part, attempt, exec int) error {
 	hit := false
 	if i.FailAfterMatch != nil {
@@ -187,6 +191,11 @@ func (i *Injector) AfterAttempt(stage, part, attempt, exec int) error {
 		ErrInjected, exec, stage, part, attempt)
 }
 
+// delayHit decides whether this attempt draws an injected straggler
+// delay (the delay itself is served in BeforeAttempt; the decision is
+// what must be pure).
+//
+//deca:pure
 func (i *Injector) delayHit(stage, part, attempt, exec int) bool {
 	if i.DelayMatch != nil {
 		return i.DelayMatch(stage, part, attempt, exec)
@@ -197,6 +206,8 @@ func (i *Injector) delayHit(stage, part, attempt, exec int) bool {
 
 // fetchFault decides whether this Fetch call fails. Each output id keeps
 // its own try counter, so a fetch that failed rerolls on retry.
+//
+//deca:pure
 func (i *Injector) fetchFault(id transport.MapOutputID) error {
 	n := i.fetchCount.Add(1)
 	if i.FailFetchN > 0 && n == i.FailFetchN {

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks module packages from source with no dependency
+// beyond the standard library and the go toolchain itself: `go list
+// -deps -export -json` yields, for every package in the transitive
+// closure, the compiled export data the build cache already holds, and
+// the gc importer consumes those files while go/parser + go/types handle
+// the target packages' syntax and typing. This is the same shape a
+// go/analysis driver has, minus the x/tools dependency the repo's
+// no-new-modules rule forbids.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Module     *struct{ Path string }
+	GoFiles    []string
+	Export     string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (e.g. "./..."), type-checks every non-test package
+// that belongs to the current module, and returns them sorted by import
+// path. dir is the working directory for the go command ("" = cwd).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && !lp.Standard && lp.Error == nil {
+			targets = append(targets, lp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadDir type-checks one directory of Go files as the package pkgPath,
+// resolving its imports through export data listed for deps (additional
+// `go list` patterns, e.g. the deca packages a testdata package uses).
+// This is the golden-test entry point: testdata directories are
+// invisible to `go list ./...` by design, so the harness loads them
+// explicitly.
+func LoadDir(dir, pkgPath string, deps ...string) (*Package, error) {
+	patterns := append([]string{"std"}, deps...)
+	listed, err := goList("", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	return typeCheck(fset, exportImporter(fset, exports), pkgPath, files)
+}
+
+// goList runs `go list -deps -export -json` over the patterns.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// exportImporter adapts the gc export-data importer to the files go list
+// reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck parses and type-checks one package from explicit file paths.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

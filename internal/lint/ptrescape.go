@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PtrEscape enforces the lifetime rule behind memory.Ptr: a Ptr is an
+// offset into its Group's pages, so any copy of it that can outlive the
+// Group is a latent use-after-free. The analyzer flags the storage
+// shapes that create such copies:
+//
+//   - package-level variables whose type contains memory.Ptr (a global
+//     outlives every Group);
+//   - struct fields containing memory.Ptr, unless the field is annotated
+//     //deca:owns or the struct also carries a *memory.Group field — a
+//     guardian whose Release the container is responsible for, which is
+//     exactly the DecaBlock / shuffle-container pattern;
+//   - channel types whose element contains memory.Ptr (the receiver's
+//     lifetime is unknowable statically);
+//   - straight-line use after Release: once g.Release() executes, later
+//     statements on the same path must not touch g or byte slices
+//     obtained from it. (Reset is deliberately not tracked: the
+//     spill-restart pattern reuses a Group after Reset.)
+//
+// The defining package deca/internal/memory is exempt — it is the
+// implementation being guarded, not a client of it.
+var PtrEscape = &Analyzer{
+	Name: "ptrescape",
+	Doc:  "memory.Ptr and page-backed bytes must not outlive their Group or be used after Release",
+	Run:  runPtrEscape,
+}
+
+const memoryPkg = "deca/internal/memory"
+
+func runPtrEscape(p *Pass) {
+	if p.Pkg.PkgPath == memoryPkg {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkPtrGlobals(p, d)
+				checkPtrFields(p, d)
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkUseAfterRelease(p, d.Body)
+				}
+			}
+		}
+		// Channel types anywhere in the file (fields, vars, make calls).
+		ast.Inspect(f, func(n ast.Node) bool {
+			ch, ok := n.(*ast.ChanType)
+			if !ok {
+				return true
+			}
+			if tv, ok := p.Pkg.Info.Types[ch.Value]; ok && containsPtr(tv.Type, nil) {
+				p.Reportf(ch.Pos(),
+					"channel of Ptr-bearing type %s: the receiver's lifetime is unbounded relative to the Group; send indexes or copies instead", tv.Type)
+			}
+			return false
+		})
+	}
+}
+
+// checkPtrGlobals flags package-level vars holding memory.Ptr.
+func checkPtrGlobals(p *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != p.Pkg.Types.Scope() {
+				continue
+			}
+			if containsPtr(obj.Type(), nil) {
+				p.Reportf(name.Pos(),
+					"package-level %s holds memory.Ptr, which outlives every Group; keep Ptrs inside Group-guarded owners", name.Name)
+			}
+		}
+	}
+}
+
+// checkPtrFields flags Ptr-bearing struct fields in structs that carry
+// neither a //deca:owns marker on the field nor a *memory.Group guardian
+// field.
+func checkPtrFields(p *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		hasGuardian := false
+		for _, field := range st.Fields.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if ok && isNamed(tv.Type, memoryPkg, "Group") {
+				hasGuardian = true
+			}
+		}
+		if hasGuardian {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if !ok || !containsPtr(tv.Type, nil) {
+				continue
+			}
+			for _, name := range field.Names {
+				if p.Ann.OwnsFields[fieldKey(p.Pkg.Types.Path(), ts.Name.Name, name.Name)] {
+					continue
+				}
+				p.Reportf(name.Pos(),
+					"field %s.%s holds memory.Ptr but the struct has no *memory.Group guardian field; add one or annotate the field //deca:owns",
+					ts.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// containsPtr reports whether t transitively contains memory.Ptr.
+// Channels are excluded (they get their own rule).
+func containsPtr(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if isNamed(t, memoryPkg, "Ptr") {
+		return true
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return containsPtr(t.Underlying(), seen)
+	case *types.Pointer:
+		return containsPtr(t.Elem(), seen)
+	case *types.Slice:
+		return containsPtr(t.Elem(), seen)
+	case *types.Array:
+		return containsPtr(t.Elem(), seen)
+	case *types.Map:
+		return containsPtr(t.Key(), seen) || containsPtr(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsPtr(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+//
+// Straight-line use-after-Release.
+//
+
+// checkUseAfterRelease walks a function body tracking Groups released by
+// a direct g.Release() statement; any later reference to g — or to a
+// byte slice previously derived from g — on the same path is flagged.
+// Branches are walked with a copy of the released set, so a conditional
+// release does not poison the join.
+func checkUseAfterRelease(p *Pass, body *ast.BlockStmt) {
+	derived := make(map[types.Object]types.Object) // byte var → source group
+	walkReleased(p, body.List, make(map[types.Object]bool), derived)
+}
+
+func walkReleased(p *Pass, stmts []ast.Stmt, released map[types.Object]bool, derived map[types.Object]types.Object) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if obj := groupReleaseTarget(p, s.X); obj != nil {
+				released[obj] = true
+				continue
+			}
+			reportReleasedUses(p, s, released, derived)
+		case *ast.AssignStmt:
+			// RHS reads first, then note derivations and rebinds.
+			for _, r := range s.Rhs {
+				reportReleasedUses(p, r, released, derived)
+			}
+			for i, l := range s.Lhs {
+				if obj := identObj(p.Pkg.Info, l); obj != nil {
+					delete(released, obj)
+					delete(derived, obj)
+					if i < len(s.Rhs) {
+						if src := byteDerivation(p, s.Rhs[i]); src != nil {
+							derived[obj] = src
+						}
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			walkReleased(p, s.List, released, derived)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkReleased(p, []ast.Stmt{s.Init}, released, derived)
+			}
+			reportReleasedUses(p, s.Cond, released, derived)
+			walkReleased(p, s.Body.List, cloneSet(released), derived)
+			if s.Else != nil {
+				walkReleased(p, []ast.Stmt{s.Else}, cloneSet(released), derived)
+			}
+		case *ast.ForStmt:
+			walkReleased(p, s.Body.List, cloneSet(released), derived)
+		case *ast.RangeStmt:
+			reportReleasedUses(p, s.X, released, derived)
+			walkReleased(p, s.Body.List, cloneSet(released), derived)
+		case *ast.SwitchStmt:
+			for _, b := range caseBodies(s.Body) {
+				walkReleased(p, b, cloneSet(released), derived)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, b := range caseBodies(s.Body) {
+				walkReleased(p, b, cloneSet(released), derived)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				reportReleasedUses(p, r, released, derived)
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred releases run at function exit; not straight-line.
+		default:
+			reportReleasedUsesStmt(p, s, released, derived)
+		}
+	}
+}
+
+func cloneSet(m map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// groupReleaseTarget matches a statement-level g.Release() where g is a
+// *memory.Group variable, returning g's object.
+func groupReleaseTarget(p *Pass, e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	obj := identObj(p.Pkg.Info, sel.X)
+	if obj == nil || !isNamed(obj.Type(), memoryPkg, "Group") {
+		return nil
+	}
+	return obj
+}
+
+// byteDerivation matches g.Alloc/Bytes/CheckedBytes/Page calls,
+// returning g's object so the byte result is tied to the group.
+func byteDerivation(p *Pass, e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Alloc", "Bytes", "CheckedBytes", "Page":
+	default:
+		return nil
+	}
+	obj := identObj(p.Pkg.Info, sel.X)
+	if obj == nil || !isNamed(obj.Type(), memoryPkg, "Group") {
+		return nil
+	}
+	return obj
+}
+
+func reportReleasedUses(p *Pass, n ast.Node, released map[types.Object]bool, derived map[types.Object]types.Object) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // closure bodies run later; not straight-line
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if released[obj] {
+			p.Reportf(id.Pos(), "use of group %q after Release on this path", id.Name)
+			delete(released, obj) // one report per object per path
+		} else if src, ok := derived[obj]; ok && released[src] {
+			p.Reportf(id.Pos(), "use of %q, page bytes of group %q, after the group's Release", id.Name, src.Name())
+			delete(derived, obj)
+		}
+		return true
+	})
+}
+
+// reportReleasedUsesStmt applies the ident scan to statements with no
+// special handling, without descending into nested blocks (those arrive
+// via the walker).
+func reportReleasedUsesStmt(p *Pass, s ast.Stmt, released map[types.Object]bool, derived map[types.Object]types.Object) {
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return
+	}
+	reportReleasedUses(p, s, released, derived)
+}

@@ -1,0 +1,73 @@
+// Package determinism is golden-test input for the determinism
+// analyzer. Only //deca:pure functions are checked; the manifest
+// round-trip is exercised against the real chaos/sched packages by the
+// repo-wide run.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// True positive: wall-clock read inside a pure decision function.
+//
+//deca:pure
+func usesClock(a int64) int64 {
+	if time.Now().UnixNano() > a { // want "time.Now"
+		return a
+	}
+	return 0
+}
+
+// True positive: process-global randomness.
+//
+//deca:pure
+func usesGlobalRand(rate float64) bool {
+	return rand.Float64() < rate // want "global rand"
+}
+
+// True positive: branching on map-iteration order.
+//
+//deca:pure
+func rangesOverMap(m map[int]int) int {
+	s := 0
+	for k := range m { // want "ranges over a map"
+		s += k
+	}
+	return s
+}
+
+// Negative: the seeded fault-coordinate hash — arithmetic on inputs
+// only, the roll() shape.
+//
+//deca:pure
+func pureRoll(seed, a, b int64) float64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	h ^= uint64(a) + (h << 6) + (h >> 2)
+	h ^= uint64(b) + (h << 6) + (h >> 2)
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Negative: map lookup (not iteration) is deterministic.
+//
+//deca:pure
+func mapLookup(m map[int]int, k int) int {
+	return m[k]
+}
+
+// Negative: unannotated functions may use the clock freely.
+func unchecked() int64 {
+	return time.Now().UnixNano()
+}
+
+// Negative: ranging over a slice is ordered.
+//
+//deca:pure
+func rangesOverSlice(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

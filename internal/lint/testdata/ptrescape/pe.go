@@ -1,0 +1,80 @@
+// Package ptrescape is golden-test input for the ptrescape analyzer.
+package ptrescape
+
+import "deca/internal/memory"
+
+// True positive: a global outlives every Group.
+var globalPtr memory.Ptr // want "package-level"
+
+// True positive: Ptr containment is transitive.
+var globalSlice []memory.Ptr // want "package-level"
+
+// Negative: plain globals are fine.
+var globalCount int
+
+// True positive: a Ptr field with no Group guardian beside it.
+type unguarded struct {
+	p memory.Ptr // want "guardian"
+	n int
+}
+
+// Negative: the container carries its Group, the DecaBlock pattern.
+type guarded struct {
+	g *memory.Group
+	p memory.Ptr
+}
+
+// Negative: the field is a sanctioned owner.
+type sanctioned struct {
+	p memory.Ptr //deca:owns (fixture: lifetime managed by an external group)
+}
+
+// True positive: channel element contains a Ptr.
+type pipeline struct {
+	ch chan memory.Ptr // want "channel of Ptr-bearing"
+}
+
+// True positive: straight-line use after Release.
+func useAfterRelease(m *memory.Manager) int {
+	g := m.NewGroup()
+	g.Release()
+	return g.NumPages() // want "after Release"
+}
+
+// True positive: page bytes read after their group died.
+func bytesAfterRelease(m *memory.Manager) byte {
+	g := m.NewGroup()
+	b, _ := g.Alloc(4)
+	g.Release()
+	return b[0] // want "page bytes"
+}
+
+// Negative: rebinding the bytes first is fine.
+func rebindBytes(m *memory.Manager) byte {
+	g := m.NewGroup()
+	b, _ := g.Alloc(4)
+	g.Release()
+	b = []byte{1}
+	return b[0]
+}
+
+// Negative: a release inside one branch does not poison the join.
+func branchRelease(m *memory.Manager, c bool) int {
+	g := m.NewGroup()
+	if c {
+		g.Release()
+		return 0
+	}
+	n := g.NumPages()
+	g.Release()
+	return n
+}
+
+// Negative: Reset is reuse, not death (the spill-restart pattern).
+func resetReuse(m *memory.Manager) int {
+	g := m.NewGroup()
+	g.Reset()
+	n := g.NumPages()
+	g.Release()
+	return n
+}

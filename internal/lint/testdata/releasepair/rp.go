@@ -1,0 +1,140 @@
+// Package releasepair is golden-test input for the releasepair
+// analyzer: each "want" comment pins an expected diagnostic, everything
+// else must stay silent.
+package releasepair
+
+import (
+	"errors"
+	"io"
+
+	"deca/internal/memory"
+	"deca/internal/transport"
+)
+
+var errBoom = errors.New("boom")
+
+// True positive: the classic acquire → error return without release.
+func leakOnErrorPath(m *memory.Manager, fail bool) error {
+	g := m.NewGroup()
+	if fail {
+		return errBoom // want "may not be released on this path"
+	}
+	g.Release()
+	return nil
+}
+
+// True positive: falling off the end of the function still live.
+func leakAtEnd(m *memory.Manager) {
+	g := m.NewGroup()
+	_, _ = g.Alloc(8)
+} // want "may not be released on this path"
+
+// True positive: the producer result is dropped on the floor.
+func discards(m *memory.Manager) {
+	_ = m.NewGroup() // want "discarded"
+}
+
+// Negative: released on every path.
+func releasedBothBranches(m *memory.Manager, c bool) {
+	g := m.NewGroup()
+	if c {
+		g.Release()
+	} else {
+		g.Release()
+	}
+}
+
+// Negative: deferred release covers every exit.
+func deferredRelease(m *memory.Manager, fail bool) error {
+	g := m.NewGroup()
+	defer g.Release()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// Negative: deferred cleanup closure captures the group — a hand-off.
+func deferredClosure(m *memory.Manager, fail bool) error {
+	g := m.NewGroup()
+	defer func() { g.Release() }()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// Negative: an error return under the producer's own error guard is not
+// a leak — RestoreGroup returns a nil group beside a non-nil error.
+func producerErrGuard(m *memory.Manager, r memory.ByteReader) (*memory.Group, error) {
+	g, err := m.RestoreGroup(r)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Negative: passing the resource to a call is a hand-off (AdoptPages is
+// the documented ownership transfer).
+func handedOff(m *memory.Manager, dst *memory.Group) {
+	g := m.NewGroup()
+	dst.AdoptPages(g)
+}
+
+type holder struct {
+	g *memory.Group
+}
+
+type owner struct {
+	g *memory.Group //deca:owns (fixture: sanctioned owner)
+}
+
+// True positive: stored into a field with no //deca:owns sanction.
+func storeUnannotated(m *memory.Manager, h *holder) {
+	g := m.NewGroup()
+	h.g = g // want "not annotated //deca:owns"
+}
+
+// Negative: the annotated field is a sanctioned owner.
+func storeAnnotated(m *memory.Manager, o *owner) {
+	g := m.NewGroup()
+	o.g = g
+}
+
+// True positive: Register's displaced payload is dropped.
+func dropsDisplaced(tr transport.Transport, id transport.MapOutputID, p transport.Payload) {
+	tr.Register(id, p) // want "Register result discarded"
+}
+
+// True positive: displaced payload bound to blanks.
+func blankDisplaced(tr transport.Transport, id transport.MapOutputID, p transport.Payload) {
+	_, _ = tr.Register(id, p) // want "assigned to _"
+}
+
+// Negative: the replace-release idiom.
+func handlesDisplaced(tr transport.Transport, id transport.MapOutputID, p transport.Payload) {
+	prev, replaced := tr.Register(id, p)
+	if replaced {
+		if c, ok := prev.Data.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+}
+
+// Negative via suppression: a justified //deca:allow covers the line.
+func suppressed(m *memory.Manager, fail bool) error {
+	g := m.NewGroup()
+	if fail {
+		//deca:allow releasepair -- fixture: leak is the point of this test
+		return errBoom
+	}
+	g.Release()
+	return nil
+}
+
+// A reasonless suppression is itself a finding.
+func reasonless(m *memory.Manager) {
+	g := m.NewGroup()
+	//deca:allow releasepair // want "suppression without a reason"
+	g.Release()
+}

@@ -1,0 +1,67 @@
+// Package wiresafe is golden-test input for the wiresafe analyzer.
+package wiresafe
+
+import "encoding/binary"
+
+// True positive: indexes the buffer with no bounds guard anywhere.
+func DecodeByte(src []byte) (byte, int) {
+	return src[0], 1 // want "no preceding bounds guard"
+}
+
+// Negative: the canonical guard-then-index decoder.
+func DecodeByteGuarded(src []byte) (byte, int) {
+	if len(src) < 1 {
+		return 0, 0
+	}
+	return src[0], 1
+}
+
+// True positive: a truncation guard that lies about consumption.
+func DecodeLying(src []byte) (byte, int) {
+	if len(src) < 2 {
+		return 0, 1 // want "non-zero consumed"
+	}
+	return src[1], 2
+}
+
+// Negative: the consumed-guard idiom — k is checked before src[k:] even
+// though len(src) never appears.
+func DecodeCounted(src []byte) (uint64, int) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return 0, 0
+	}
+	rest := src[k:]
+	_ = rest
+	return n, k
+}
+
+// Negative: unexported helpers sit behind the exported guarded surface.
+func scan(src []byte) byte {
+	return src[0]
+}
+
+// Negative: the decompose.Codec contract decodes trusted page segments.
+type TrustedCodec struct{}
+
+func (TrustedCodec) FixedSize() int { return 4 }
+func (TrustedCodec) Decode(seg []byte) (uint32, int) {
+	return binary.LittleEndian.Uint32(seg[0:4]), 4
+}
+
+// True positive: an encoder whose frames nothing can read back.
+type Orphan struct{}
+
+func (Orphan) EncodeWire() error { return nil } // want "no matching DecodeOrphan"
+
+// Negative: encoder/decoder pair by name.
+type Paired struct{}
+
+func (Paired) EncodeWire() error { return nil }
+func DecodePaired(b []byte) (*Paired, error) { // no int result, Decode-named: still shape-checked
+	if len(b) < 1 {
+		return nil, nil
+	}
+	_ = b[0]
+	return &Paired{}, nil
+}

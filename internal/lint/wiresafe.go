@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireSafe guards the decode side of the wire format. Frames arrive off
+// sockets and spill files, so decoders must treat every byte as hostile:
+//
+//   - a byte decoder (a func with a []byte parameter that either returns
+//     a consumed-int or is named Decode*/Unmarshal*) must not index or
+//     slice the buffer before a guard: an early-return if whose
+//     condition checks len(buf) or checks a variable the subsequent
+//     index uses (the `k <= 0` consumed-guard idiom);
+//   - a truncation guard — a comparison showing len(buf) is too small —
+//     must propagate failure as literal 0 consumed, the signal every
+//     record drainer checks, never a partial count;
+//   - every EncodeWire method has a matching Decode<Type> function in
+//     the same package, so no frame is writable but unreadable.
+//
+// Two shapes are deliberately out of scope. Methods on types carrying a
+// FixedSize() int method implement the decompose.Codec contract: their
+// segment is an engine-written page slice whose layout the
+// classification pass proved, and skipping per-access checks there is
+// the paper's point, not a bug. And unexported functions are helpers
+// behind a package's exported decode surface, where the guard belongs.
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc:  "wire decoders bounds-guard before indexing, return 0 consumed on truncation, and pair with encoders",
+	Run:  runWireSafe,
+}
+
+func runWireSafe(p *Pass) {
+	checkEncodeDecodePairs(p)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if buf := byteDecoderParam(p, fd); buf != nil {
+				checkDecoderBody(p, fd, buf)
+			}
+		}
+	}
+}
+
+// byteDecoderParam reports the []byte parameter of a byte-decoder-shaped
+// function, or nil. Shape: exactly one []byte parameter, and either an
+// int among the results (the consumed count) or a Decode*/Unmarshal*
+// name. Encoder-shaped functions returning []byte (append style) are
+// excluded.
+func byteDecoderParam(p *Pass, fd *ast.FuncDecl) *types.Var {
+	obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok || !fd.Name.IsExported() {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && hasFixedSizeMethod(recv.Type()) {
+		return nil // decompose.Codec contract: trusted page segments
+	}
+	var buf *types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		pv := sig.Params().At(i)
+		if isByteSlice(pv.Type()) {
+			if buf != nil {
+				return nil // two byte buffers: copy/transform helper, not a decoder
+			}
+			buf = pv
+		}
+	}
+	if buf == nil {
+		return nil
+	}
+	hasInt, hasByteResult := false, false
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if b, ok := types.Unalias(t).(*types.Basic); ok && b.Kind() == types.Int {
+			hasInt = true
+		}
+		if isByteSlice(t) {
+			hasByteResult = true
+		}
+	}
+	if hasByteResult {
+		return nil // append-style encoder
+	}
+	named := strings.HasPrefix(fd.Name.Name, "Decode") || strings.HasPrefix(fd.Name.Name, "Unmarshal") ||
+		fd.Name.Name == "Unmarshal"
+	if !hasInt && !named {
+		return nil
+	}
+	return buf
+}
+
+// hasFixedSizeMethod reports whether t implements the decompose.Codec
+// marker method FixedSize() int.
+func hasFixedSizeMethod(t types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(typeDeref(t)))
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != "FixedSize" {
+			continue
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			if b, ok := types.Unalias(sig.Results().At(0).Type()).(*types.Basic); ok && b.Kind() == types.Int {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkDecoderBody enforces guard-before-index and 0-consumed-on-
+// truncation inside one decoder.
+func checkDecoderBody(p *Pass, fd *ast.FuncDecl, buf *types.Var) {
+	info := p.Pkg.Info
+
+	// Pass 1: collect guard positions — early-return ifs checking
+	// len(buf) (and the variables those conditions mention).
+	type guard struct {
+		pos      token.Pos
+		mentions map[types.Object]bool
+		lenGuard bool
+	}
+	var guards []guard
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !bodyReturns(ifs.Body) {
+			return true
+		}
+		g := guard{pos: ifs.Pos(), mentions: make(map[types.Object]bool)}
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					g.mentions[obj] = true
+				}
+			}
+			if call, ok := m.(*ast.CallExpr); ok && isLenOf(info, call, buf) {
+				g.lenGuard = true
+			}
+			return true
+		})
+		if g.lenGuard || len(g.mentions) > 0 {
+			guards = append(guards, g)
+		}
+		return true
+	})
+
+	guarded := func(idx *ast.Ident, indexVars map[types.Object]bool) bool {
+		for _, g := range guards {
+			if g.pos >= idx.Pos() {
+				continue
+			}
+			if g.lenGuard {
+				return true
+			}
+			for v := range indexVars {
+				if g.mentions[v] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every index/slice of buf must be covered by an earlier
+	// guard.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var x ast.Expr
+		var idxExprs []ast.Expr
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			x, idxExprs = n.X, []ast.Expr{n.Index}
+		case *ast.SliceExpr:
+			x = n.X
+			for _, e := range []ast.Expr{n.Low, n.High, n.Max} {
+				if e != nil {
+					idxExprs = append(idxExprs, e)
+				}
+			}
+		default:
+			return true
+		}
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok || info.ObjectOf(id) != buf {
+			return true
+		}
+		indexVars := make(map[types.Object]bool)
+		for _, e := range idxExprs {
+			ast.Inspect(e, func(m ast.Node) bool {
+				if vid, ok := m.(*ast.Ident); ok {
+					if obj := info.ObjectOf(vid); obj != nil {
+						indexVars[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		if !guarded(id, indexVars) {
+			p.Reportf(n.Pos(),
+				"decoder %s indexes %s with no preceding bounds guard; check len(%s) (or the consumed count) and return 0 consumed on truncation",
+				fd.Name.Name, buf.Name(), buf.Name())
+		}
+		return true
+	})
+
+	// Pass 3: truncation guards must return literal 0 for int results.
+	retSig := p.Pkg.Info.Defs[fd.Name].(*types.Func).Type().(*types.Signature)
+	intResults := make(map[int]bool)
+	for i := 0; i < retSig.Results().Len(); i++ {
+		if b, ok := types.Unalias(retSig.Results().At(i).Type()).(*types.Basic); ok && b.Kind() == types.Int {
+			intResults[i] = true
+		}
+	}
+	if len(intResults) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !isTruncationGuard(info, ifs.Cond, buf) {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			ret, ok := m.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != retSig.Results().Len() {
+				return true
+			}
+			for i, r := range ret.Results {
+				if !intResults[i] {
+					continue
+				}
+				if !isZeroLiteral(r) {
+					p.Reportf(r.Pos(),
+						"decoder %s returns a non-zero consumed count on a truncation path; truncation must propagate as 0", fd.Name.Name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// bodyReturns reports whether a block's statement list ends in a return.
+func bodyReturns(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// isLenOf matches len(buf) or len(buf)-k style operands rooted at buf.
+func isLenOf(info *types.Info, call *ast.CallExpr, buf *types.Var) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" || len(call.Args) != 1 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if a, ok := n.(*ast.Ident); ok && info.ObjectOf(a) == buf {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isTruncationGuard matches conditions of the shape "available bytes too
+// small": len(buf) on the small side of < / <=, or on the large side of
+// > / >= when compared against a need, possibly under ||.
+func isTruncationGuard(info *types.Info, cond ast.Expr, buf *types.Var) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ:
+			if mentionsLenOf(info, be.X, buf) {
+				found = true
+			}
+		case token.GTR, token.GEQ:
+			if mentionsLenOf(info, be.Y, buf) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsLenOf(info *types.Info, e ast.Expr, buf *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isLenOf(info, call, buf) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == "0"
+}
+
+//
+// EncodeWire / Decode pairing.
+//
+
+// checkEncodeDecodePairs requires a Decode<Type> function beside every
+// EncodeWire method.
+func checkEncodeDecodePairs(p *Pass) {
+	decoders := make(map[string]bool)
+	type encoder struct {
+		pos      token.Pos
+		typeName string
+	}
+	var encoders []encoder
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				if strings.HasPrefix(fd.Name.Name, "Decode") {
+					decoders[strings.TrimPrefix(fd.Name.Name, "Decode")] = true
+				}
+				continue
+			}
+			if fd.Name.Name != "EncodeWire" || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if name := recvTypeName(fd.Recv.List[0].Type); name != "" {
+				encoders = append(encoders, encoder{pos: fd.Name.Pos(), typeName: name})
+			}
+		}
+	}
+	for _, e := range encoders {
+		if !decoders[e.typeName] {
+			p.Reportf(e.pos,
+				"%s.EncodeWire has no matching Decode%s in this package; a frame that cannot be decoded is a wire-format hole",
+				e.typeName, e.typeName)
+		}
+	}
+}
+
+// recvTypeName extracts the base type name from a receiver type
+// expression (*T, T[K, V], etc.).
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}

@@ -195,6 +195,8 @@ func NewCluster(conf Config) *Cluster {
 // re-placed deterministically over the healthy executors; partitions
 // whose homes are healthy never move, so surviving executors keep their
 // cache locality.
+//
+//deca:pure
 func (c *Cluster) Place(part int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -203,6 +205,8 @@ func (c *Cluster) Place(part int) int {
 
 // placeLocked resolves placement, optionally avoiding one executor (a
 // speculative duplicate should not run beside the attempt it is racing).
+//
+//deca:pure
 func (c *Cluster) placeLocked(part, avoid int) int {
 	n := c.conf.NumExecutors
 	home := part % n

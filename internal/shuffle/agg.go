@@ -39,6 +39,8 @@ type ObjectAggConfig[K comparable, V any] struct {
 }
 
 // NewObjectAgg returns an empty buffer combining values with combine.
+//
+//deca:owns
 func NewObjectAgg[K comparable, V any](combine func(V, V) V, cfg ObjectAggConfig[K, V]) *ObjectAgg[K, V] {
 	es := cfg.EntrySize
 	if es == nil {
@@ -166,7 +168,7 @@ type DecaAgg[K comparable, V any] struct {
 	valCodec decompose.Codec[V]
 	valSize  int
 
-	group *memory.Group
+	group *memory.Group //deca:owns (released by Release; decode re-homes restored groups here)
 	slots map[K]memory.Ptr
 	dir   string
 
@@ -178,6 +180,8 @@ type DecaAgg[K comparable, V any] struct {
 // NewDecaAgg returns a page-backed aggregation buffer. valCodec must
 // report a non-negative FixedSize. keyCodec is needed only for spilling;
 // pass nil to disable spill.
+//
+//deca:owns
 func NewDecaAgg[K comparable, V any](
 	mem *memory.Manager,
 	combine func(V, V) V,

@@ -35,6 +35,8 @@ type ObjectGroupConfig[K comparable, V any] struct {
 }
 
 // NewObjectGroup returns an empty grouping buffer.
+//
+//deca:owns
 func NewObjectGroup[K comparable, V any](cfg ObjectGroupConfig[K, V]) *ObjectGroup[K, V] {
 	es := cfg.EntrySize
 	if es == nil {
@@ -160,7 +162,7 @@ type DecaGroup[K comparable, V any] struct {
 	keyCodec decompose.Codec[K]
 	valCodec decompose.Codec[V]
 
-	group *memory.Group
+	group *memory.Group //deca:owns (released by Release; decode re-homes restored groups here)
 	slots map[K][]memory.Ptr
 	dir   string
 
@@ -172,6 +174,8 @@ type DecaGroup[K comparable, V any] struct {
 
 // NewDecaGroup returns a page-backed grouping buffer. keyCodec is needed
 // only for spilling.
+//
+//deca:owns
 func NewDecaGroup[K comparable, V any](
 	mem *memory.Manager,
 	keyCodec decompose.Codec[K],

@@ -35,6 +35,8 @@ type ObjectSortConfig[K comparable, V any] struct {
 }
 
 // NewObjectSort returns an empty sort buffer ordering keys by less.
+//
+//deca:owns
 func NewObjectSort[K comparable, V any](less func(a, b K) bool, cfg ObjectSortConfig[K, V]) *ObjectSort[K, V] {
 	es := cfg.EntrySize
 	if es == nil {
@@ -153,7 +155,7 @@ type DecaSort[K comparable, V any] struct {
 	less      func(a, b K) bool
 	pairCodec decompose.PairCodec[K, V]
 
-	group *memory.Group
+	group *memory.Group //deca:owns (released by Release; decode re-homes restored groups here)
 	ptrs  []memory.Ptr
 	dir   string
 
@@ -163,6 +165,8 @@ type DecaSort[K comparable, V any] struct {
 }
 
 // NewDecaSort returns a page-backed sort buffer.
+//
+//deca:owns
 func NewDecaSort[K comparable, V any](
 	mem *memory.Manager,
 	less func(a, b K) bool,

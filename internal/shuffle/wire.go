@@ -446,19 +446,23 @@ func DecodeObjectAgg[K comparable, V any](
 	b := NewObjectAgg(combine, cfg)
 	n, err := readCount(r, "ObjectAgg record")
 	if err != nil {
+		b.Release()
 		return nil, err
 	}
 	var buf []byte
 	for i := 0; i < n; i++ {
 		if buf, err = readLenBytes(r, buf, "ObjectAgg record"); err != nil {
+			b.Release()
 			return nil, err
 		}
 		k, kn := cfg.KeySer.Unmarshal(buf)
 		if kn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectAgg record %d: corrupt key", i)
 		}
 		v, vn := cfg.ValSer.Unmarshal(buf[kn:])
 		if vn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectAgg record %d: corrupt value", i)
 		}
 		b.Put(k, v)
@@ -626,19 +630,23 @@ func DecodeObjectGroup[K comparable, V any](
 	b := NewObjectGroup(cfg)
 	n, err := readCount(r, "ObjectGroup record")
 	if err != nil {
+		b.Release()
 		return nil, err
 	}
 	var buf []byte
 	for i := 0; i < n; i++ {
 		if buf, err = readLenBytes(r, buf, "ObjectGroup record"); err != nil {
+			b.Release()
 			return nil, err
 		}
 		k, kn := cfg.KeySer.Unmarshal(buf)
 		if kn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectGroup record %d: corrupt key", i)
 		}
 		v, vn := cfg.ValSer.Unmarshal(buf[kn:])
 		if vn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectGroup record %d: corrupt value", i)
 		}
 		b.Put(k, v)
@@ -773,19 +781,23 @@ func DecodeObjectSort[K comparable, V any](
 	b := NewObjectSort(less, cfg)
 	n, err := readCount(r, "ObjectSort record")
 	if err != nil {
+		b.Release()
 		return nil, err
 	}
 	var buf []byte
 	for i := 0; i < n; i++ {
 		if buf, err = readLenBytes(r, buf, "ObjectSort record"); err != nil {
+			b.Release()
 			return nil, err
 		}
 		k, kn := cfg.KeySer.Unmarshal(buf)
 		if kn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectSort record %d: corrupt key", i)
 		}
 		v, vn := cfg.ValSer.Unmarshal(buf[kn:])
 		if vn <= 0 {
+			b.Release()
 			return nil, fmt.Errorf("shuffle: ObjectSort record %d: corrupt value", i)
 		}
 		b.Put(k, v)

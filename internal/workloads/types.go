@@ -53,8 +53,14 @@ func (LabeledPointSer) Marshal(dst []byte, p datagen.LabeledPoint) []byte {
 }
 
 func (LabeledPointSer) Unmarshal(src []byte) (datagen.LabeledPoint, int) {
+	if len(src) < 8 {
+		return datagen.LabeledPoint{}, 0
+	}
 	label, _ := serial.Float64(src)
 	f, n := serial.F64Slice{}.Unmarshal(src[8:])
+	if n <= 0 {
+		return datagen.LabeledPoint{}, 0
+	}
 	return datagen.LabeledPoint{Label: label, Features: f}, 8 + n
 }
 
@@ -118,6 +124,12 @@ func (VecSumSer) Marshal(dst []byte, v VecSum) []byte {
 
 func (VecSumSer) Unmarshal(src []byte) (VecSum, int) {
 	s, n := serial.F64Slice{}.Unmarshal(src)
+	if n <= 0 {
+		return VecSum{}, 0
+	}
 	c, m := serial.Varint(src[n:])
+	if m <= 0 {
+		return VecSum{}, 0
+	}
 	return VecSum{Sum: s, Count: c}, n + m
 }
