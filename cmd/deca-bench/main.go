@@ -36,6 +36,7 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "directory for spills and swaps (default: temp)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault injector (0 = 1; used when -failure-rate > 0)")
 		failRate  = flag.Float64("failure-rate", 0, "inject this per-attempt task failure probability into every experiment (0 = no chaos)")
+		fetchRate = flag.Float64("fetch-failure-rate", 0, "inject this transient data-plane fetch failure probability (multiproc: inside the executor processes)")
 		maxRetry  = flag.Int("max-retries", 0, "per-task retry budget (0 = engine default of 3, negative disables retries)")
 		jsonDir   = flag.String("json", "", "also write each report as BENCH_<experiment>.json (wall, bytes, checksums) into this directory ('.' = cwd)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
@@ -73,7 +74,8 @@ func main() {
 		Scale: *scale, Parallelism: *par, NumExecutors: *execs,
 		SpillDir: *spillDir, TransportKind: transportKind,
 		Deploy: deployKind, ExecutorCmd: executorCmd,
-		ChaosSeed: *chaosSeed, FailureRate: *failRate, MaxRetries: *maxRetry,
+		ChaosSeed: *chaosSeed, FailureRate: *failRate, FetchFailureRate: *fetchRate,
+		MaxRetries: *maxRetry,
 	}
 	if opts.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "deca-bench-*")

@@ -1,0 +1,114 @@
+// Command deca-benchdiff compares a freshly generated BENCH_<id>.json
+// report against a committed baseline. Checksums are the contract: any
+// drift means an experiment now computes a different answer, which is a
+// hard failure. Wall time is advice: CI machines are noisy, so
+// regressions beyond the threshold only warn.
+//
+// Usage:
+//
+//	deca-benchdiff -baseline bench/baseline/BENCH_faults.json -current out/BENCH_faults.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// metric mirrors the bench.Metric JSON shape (only the compared fields).
+type metric struct {
+	Name     string  `json:"name"`
+	WallMS   float64 `json:"wall_ms"`
+	Checksum float64 `json:"checksum"`
+}
+
+type report struct {
+	ID      string   `json:"id"`
+	Metrics []metric `json:"metrics"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "", "committed BENCH_<id>.json to compare against")
+		curPath  = flag.String("current", "", "freshly generated BENCH_<id>.json")
+		wallWarn = flag.Float64("wall-warn", 0.25, "warn when a row's wall_ms regresses by more than this fraction")
+	)
+	flag.Parse()
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "deca-benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deca-benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deca-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	current := make(map[string]metric, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		current[m.Name] = m
+	}
+
+	failed := false
+	for _, want := range base.Metrics {
+		got, ok := current[want.Name]
+		if !ok {
+			// A row the baseline measured vanished: the experiment's
+			// coverage shrank, which silent wall/checksum comparison would
+			// never notice.
+			fmt.Printf("FAIL %-28s missing from current report\n", want.Name)
+			failed = true
+			continue
+		}
+		// Float checksums are scheduler-order sensitive only across
+		// partitions folded in nondeterministic order; the bench folds in
+		// partition order, so a small relative tolerance covers them.
+		if math.Abs(got.Checksum-want.Checksum) > 1e-6*math.Abs(want.Checksum) {
+			fmt.Printf("FAIL %-28s checksum %.6g, baseline %.6g — answers drifted\n",
+				want.Name, got.Checksum, want.Checksum)
+			failed = true
+			continue
+		}
+		if want.WallMS > 0 && got.WallMS > want.WallMS*(1+*wallWarn) {
+			fmt.Printf("WARN %-28s wall %.1fms vs baseline %.1fms (+%.0f%%)\n",
+				want.Name, got.WallMS, want.WallMS, 100*(got.WallMS/want.WallMS-1))
+			continue
+		}
+		fmt.Printf("ok   %-28s checksum %.6g, wall %.1fms (baseline %.1fms)\n",
+			want.Name, got.Checksum, got.WallMS, want.WallMS)
+	}
+	for _, m := range cur.Metrics {
+		found := false
+		for _, want := range base.Metrics {
+			if want.Name == m.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("new  %-28s checksum %.6g (not in baseline — regenerate it)\n", m.Name, m.Checksum)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// every experiment's engine (deca-bench -failure-rate). The faults
 	// experiment sweeps its own rates regardless.
 	FailureRate float64
+	// FetchFailureRate injects a transient data-plane fetch failure
+	// probability (deca-bench -fetch-failure-rate). Under -deploy
+	// multiproc the rate travels in the plan, so the faults fire inside
+	// the executor processes.
+	FetchFailureRate float64
 	// MaxRetries overrides the per-task retry budget (deca-bench
 	// -max-retries; 0 = engine default of 3, negative disables).
 	MaxRetries int
@@ -237,6 +242,9 @@ func (o Options) applyChaos(cfg *workloads.Config) {
 		inj := chaos.New(o.chaosSeed())
 		inj.TaskFailureRate = o.FailureRate
 		cfg.Chaos = inj
+	}
+	if o.FetchFailureRate > 0 {
+		cfg.FetchFailureRate = o.FetchFailureRate
 	}
 }
 

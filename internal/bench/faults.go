@@ -114,11 +114,16 @@ func FaultTolerance(o Options) (*Report, error) {
 	// rows above, answers still identical.
 	if len(o.ExecutorCmd) > 0 {
 		baseline := 0.0
-		for _, row := range []string{"none", "kill"} {
+		for _, row := range []string{"none", "fetch", "kill"} {
 			cfg := baseCfg(engine.TransportInProcess)
 			cfg.Deploy = engine.DeployMultiproc
 			cfg.ExecutorCmd = o.ExecutorCmd
-			if row == "kill" {
+			switch row {
+			case "fetch":
+				// The rate rides in the plan: each executor process builds
+				// its own injector and fails fetches inside the data plane.
+				cfg.FetchFailureRate = 0.2
+			case "kill":
 				inj := chaos.New(o.chaosSeed())
 				inj.KillExecutor = execs - 1
 				inj.KillAfter = 2
@@ -132,11 +137,14 @@ func FaultTolerance(o Options) (*Report, error) {
 			if row == "none" {
 				baseline = res.Checksum
 			} else if !checksumClose(res.Checksum, baseline) {
-				return nil, fmt.Errorf("WC[multiproc] kill: checksum %g != fault-free %g",
-					res.Checksum, baseline)
+				return nil, fmt.Errorf("WC[multiproc] %s: checksum %g != fault-free %g",
+					row, res.Checksum, baseline)
 			}
 			label := "fail=   0%"
-			if row == "kill" {
+			switch row {
+			case "fetch":
+				label = "fetch= 20%"
+			case "kill":
 				label = "SIGKILL x1"
 			}
 			rep.record("WC-multiproc-"+row, res)

@@ -75,6 +75,14 @@ type Injector struct {
 	// SIGKILL.
 	OnKill func(exec int)
 
+	// MergeFailMatch, when non-nil, fails a reduce attempt *mid-merge* —
+	// after it has already consumed `consumed` map outputs — modeling the
+	// executor dying partway through the merge. The engine consults it
+	// from the reduce body after every merged output. Under the
+	// stage-commit protocol such a failure is retryable: the consumed
+	// outputs are still pinned and the retry re-fetches them.
+	MergeFailMatch func(stage, part, attempt, consumed int) bool
+
 	// FetchFailureRate is the probability a given map-output fetch try
 	// fails with a retryable error, decided independently per (output id,
 	// try) — the transport-level retry then recovers deterministically.
@@ -102,6 +110,7 @@ type Stats struct {
 	Delays        int64
 	Kills         int64
 	FetchFailures int64
+	MergeFailures int64
 }
 
 // New returns an injector with no faults configured (KillExecutor -1).
@@ -191,6 +200,19 @@ func (i *Injector) AfterAttempt(stage, part, attempt, exec int) error {
 		ErrInjected, exec, stage, part, attempt)
 }
 
+// MergeFault decides whether a reduce attempt that has merged `consumed`
+// map outputs dies here (MergeFailMatch exact targeting; tests).
+//
+//deca:pure
+func (i *Injector) MergeFault(stage, part, attempt, consumed int) error {
+	if i.MergeFailMatch == nil || !i.MergeFailMatch(stage, part, attempt, consumed) {
+		return nil
+	}
+	i.count(func(s *Stats) { s.MergeFailures++ })
+	return fmt.Errorf("%w: reduce attempt died mid-merge (stage %d task %d attempt %d, %d outputs consumed)",
+		ErrInjected, stage, part, attempt, consumed)
+}
+
 // delayHit decides whether this attempt draws an injected straggler
 // delay (the delay itself is served in BeforeAttempt; the decision is
 // what must be pure).
@@ -256,6 +278,17 @@ func (t *Transport) Fetch(id transport.MapOutputID, dstExecutor int) (transport.
 		return transport.Payload{}, false, err
 	}
 	return t.inner.Fetch(id, dstExecutor)
+}
+
+// Commit delegates to the inner transport (commits are a driver
+// decision, never a fault site).
+func (t *Transport) Commit(ids []transport.MapOutputID) []transport.Payload {
+	return t.inner.Commit(ids)
+}
+
+// Abort delegates to the inner transport.
+func (t *Transport) Abort(ids []transport.MapOutputID) []transport.Payload {
+	return t.inner.Abort(ids)
 }
 
 // Drop delegates to the inner transport.

@@ -27,6 +27,9 @@ var PureDecisionFuncs = []string{
 	// Fetch-fault decisions (per-output retry counters are deterministic
 	// state, not clocks).
 	"deca/internal/chaos.Injector.fetchFault",
+	// Mid-merge reduce-death coordinates (exact targeting via
+	// MergeFailMatch; the match predicate itself must stay pure too).
+	"deca/internal/chaos.Injector.MergeFault",
 	// Placement: partition → executor affinity and deterministic
 	// re-placement after blacklisting.
 	"deca/internal/sched.Cluster.Place",

@@ -278,6 +278,17 @@ func (d *Driver) markDead(st *execState, cause error) {
 	for _, ch := range reqs {
 		close(ch)
 	}
+	// Sweep the directory: outputs homed on the dead executor are gone
+	// with its process, so lookups for them must report definitively
+	// missing — that miss is what triggers map-task-granular lineage
+	// repair on the driver.
+	d.dirMu.Lock()
+	for id, entry := range d.dir {
+		if entry.exec == st.id {
+			delete(d.dir, id)
+		}
+	}
+	d.dirMu.Unlock()
 	if d.cfg.OnExecutorDead != nil && !d.closed.Load() {
 		d.cfg.OnExecutorDead(st.id)
 	}
@@ -335,15 +346,7 @@ func (d *Driver) readLoop(st *execState) {
 			st.lastSnap = snap
 			st.mu.Unlock()
 		case msgTaskDone:
-			taskID := dd.uint()
-			res := TaskResult{
-				OK:             dd.bool(),
-				NoRetry:        dd.bool(),
-				ErrMsg:         dd.str(),
-				MissingDataset: int(dd.int()),
-				MissingEpoch:   int(dd.int()),
-				Result:         append([]byte(nil), dd.bytes()...),
-			}
+			taskID, res := decodeTaskResult(dd)
 			if !dd.ok() {
 				continue
 			}
@@ -367,11 +370,11 @@ func (d *Driver) readLoop(st *execState) {
 			if !dd.ok() {
 				continue
 			}
+			// Non-consuming: the entry survives the lookup so reduce
+			// retries and speculative twins can re-fetch; CommitOutputs or
+			// DropShuffle end its lifetime.
 			d.dirMu.Lock()
 			entry, found := d.dir[id]
-			if found {
-				delete(d.dir, id)
-			}
 			d.dirMu.Unlock()
 			var e enc
 			e.uint(reqID)
@@ -384,17 +387,6 @@ func (d *Driver) readLoop(st *execState) {
 				e.str("")
 			}
 			st.conn.send(msgLookupReply, e.b)
-		case msgRestoreOutput:
-			id := decodeOutputID(dd)
-			exec := int(dd.int())
-			if !dd.ok() {
-				continue
-			}
-			d.dirMu.Lock()
-			if _, taken := d.dir[id]; !taken {
-				d.dir[id] = dirEntry{exec: exec}
-			}
-			d.dirMu.Unlock()
 		case msgNeedShuffle:
 			dataset := int(dd.int())
 			if !dd.ok() {
@@ -478,6 +470,29 @@ func (d *Driver) Registered() uint64 {
 	return d.registered
 }
 
+// CommitOutputs ends the listed outputs' lifetime after their consuming
+// stage committed: each directory entry is retired and its holder told
+// to discard the pinned buffer. Unknown ids (already swept by markDead
+// or a racing drop) are skipped. It returns how many entries were
+// committed away.
+func (d *Driver) CommitOutputs(ids []transport.MapOutputID) int {
+	d.dirMu.Lock()
+	var hit []transport.MapOutputID
+	var holders []int
+	for _, id := range ids {
+		if entry, ok := d.dir[id]; ok {
+			hit = append(hit, id)
+			holders = append(holders, entry.exec)
+			delete(d.dir, id)
+		}
+	}
+	d.dirMu.Unlock()
+	for i, id := range hit {
+		d.sendDiscard(holders[i], id)
+	}
+	return len(hit)
+}
+
 // DropShuffle purges the shuffle's directory entries and tells each
 // holder to discard the buffers. It returns how many entries were
 // dropped.
@@ -534,8 +549,13 @@ func (d *Driver) Kill(exec int) {
 
 // RunTask dispatches one attempt descriptor to an executor and waits for
 // its result. A dead executor — at dispatch time or mid-flight — returns
-// an error, which the scheduler counts as the attempt's failure.
-func (d *Driver) RunTask(exec int, key string, stage, part, attempt int) (TaskResult, error) {
+// an error, which the scheduler counts as the attempt's failure. A close
+// of cancel (nil = never) relays a best-effort msgCancelTask to the
+// executor — the attempt's twin already won, or its stage aborted — and
+// keeps waiting: the executor always answers with msgTaskDone. Per-
+// connection FIFO guarantees the executor reads the RunTask frame before
+// the CancelTask frame.
+func (d *Driver) RunTask(exec int, key string, stage, part, attempt int, cancel <-chan struct{}) (TaskResult, error) {
 	st := d.execs[exec]
 	taskID := d.nextTask.Add(1)
 	ch := make(chan TaskResult, 1)
@@ -560,12 +580,21 @@ func (d *Driver) RunTask(exec int, key string, stage, part, attempt int) (TaskRe
 		st.mu.Unlock()
 		return TaskResult{}, fmt.Errorf("ctl: dispatching to executor %d: %w", exec, err)
 	}
-	res, ok := <-ch
-	if !ok {
-		return TaskResult{}, fmt.Errorf("ctl: executor %d died running %s part %d attempt %d",
-			exec, key, part, attempt)
+	for {
+		select {
+		case res, ok := <-ch:
+			if !ok {
+				return TaskResult{}, fmt.Errorf("ctl: executor %d died running %s part %d attempt %d",
+					exec, key, part, attempt)
+			}
+			return res, nil
+		case <-cancel:
+			var ce enc
+			ce.uint(taskID)
+			st.conn.send(msgCancelTask, ce.b)
+			cancel = nil // fire once, then wait out the result
+		}
 	}
-	return res, nil
 }
 
 // broadcast sends a frame to every live executor.

@@ -17,7 +17,9 @@ type Runtime interface {
 	// RunTask executes one dispatched attempt against the mirrored plan.
 	// It blocks until the mirrored program has registered the stage's
 	// body (the program reaches every stage the driver dispatches).
-	RunTask(key string, stage, part, attempt int) TaskResult
+	// cancel closes when the driver sent CancelTask for this attempt
+	// (best-effort early stop; a result is still expected).
+	RunTask(key string, stage, part, attempt int, cancel <-chan struct{}) TaskResult
 	// MaterializeDataset ensures the announced epoch of the dataset's
 	// shuffle is materialized locally (follower-side exchange), so
 	// executors that hold map tasks for a shuffle none of their own tasks
@@ -78,6 +80,7 @@ type Follower struct {
 	actions  map[string][]byte
 	mats     map[int]matEntry
 	lookups  map[uint64]chan lookupReply
+	cancels  map[uint64]chan struct{} // taskID → attempt cancel signal
 	closed   bool
 	closeErr error
 
@@ -116,6 +119,7 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		actions:    make(map[string][]byte),
 		mats:       make(map[int]matEntry),
 		lookups:    make(map[uint64]chan lookupReply),
+		cancels:    make(map[uint64]chan struct{}),
 		shutdownCh: make(chan struct{}),
 	}
 	f.cond = sync.NewCond(&f.mu)
@@ -244,7 +248,23 @@ func (f *Follower) readLoop() {
 			if !dd.ok() {
 				continue
 			}
-			go f.handleRunTask(taskID, key, stage, part, attempt)
+			cancel := make(chan struct{})
+			f.mu.Lock()
+			f.cancels[taskID] = cancel
+			f.mu.Unlock()
+			go f.handleRunTask(taskID, key, stage, part, attempt, cancel)
+		case msgCancelTask:
+			taskID := dd.uint()
+			if !dd.ok() {
+				continue
+			}
+			f.mu.Lock()
+			cancel := f.cancels[taskID]
+			delete(f.cancels, taskID)
+			f.mu.Unlock()
+			if cancel != nil {
+				close(cancel)
+			}
 		case msgStageEnd:
 			key := dd.str()
 			if len(dd.b) < 1 {
@@ -348,22 +368,19 @@ func (f *Follower) readLoop() {
 	}
 }
 
-func (f *Follower) handleRunTask(taskID uint64, key string, stage, part, attempt int) {
+func (f *Follower) handleRunTask(taskID uint64, key string, stage, part, attempt int, cancel <-chan struct{}) {
 	rt := f.runtime()
 	var res TaskResult
 	if rt == nil {
 		res = TaskResult{ErrMsg: "ctl: follower shut down before running the task"}
 	} else {
-		res = rt.RunTask(key, stage, part, attempt)
+		res = rt.RunTask(key, stage, part, attempt, cancel)
 	}
+	f.mu.Lock()
+	delete(f.cancels, taskID) // a cancel arriving after the result is a no-op
+	f.mu.Unlock()
 	var e enc
-	e.uint(taskID)
-	e.bool(res.OK)
-	e.bool(res.NoRetry)
-	e.str(res.ErrMsg)
-	e.int(int64(res.MissingDataset))
-	e.int(int64(res.MissingEpoch))
-	e.bytes(res.Result)
+	appendTaskResult(&e, taskID, res)
 	f.conn.send(msgTaskDone, e.b)
 }
 
@@ -475,8 +492,10 @@ func (f *Follower) RegisterOutput(id transport.MapOutputID) error {
 	return f.conn.send(msgRegisterOutput, e.b)
 }
 
-// LookupOutput consumes the output's directory entry, returning its
-// holder. found=false with nil error means nothing is registered.
+// LookupOutput resolves the output's directory entry without consuming
+// it (the entry lives until the consuming stage commits). found=false
+// with nil error means nothing is registered — the output is
+// definitively lost and lineage repair is the only way back.
 func (f *Follower) LookupOutput(id transport.MapOutputID) (exec int, addr string, found bool, err error) {
 	reqID := f.nextReq.Add(1)
 	ch := make(chan lookupReply, 1)
@@ -502,13 +521,4 @@ func (f *Follower) LookupOutput(id transport.MapOutputID) (exec int, addr string
 		return 0, "", false, fmt.Errorf("ctl: driver connection lost during lookup")
 	}
 	return rep.exec, rep.addr, rep.found, nil
-}
-
-// RestoreOutput restores a consumed directory entry after a failed fetch
-// round-trip, so a retry (or a drop) can still reach the output.
-func (f *Follower) RestoreOutput(id transport.MapOutputID, exec int) {
-	var e enc
-	appendOutputID(&e, id)
-	e.int(int64(exec))
-	f.conn.send(msgRestoreOutput, e.b)
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"deca/internal/serial"
+	"deca/internal/transport"
 )
 
 // Message types. The comment gives the direction and payload layout.
@@ -40,8 +41,8 @@ const (
 	msgPlan byte = 3
 	// msgRunTask (driver→exec): taskID, key, stage, part, attempt.
 	msgRunTask byte = 4
-	// msgTaskDone (exec→driver): taskID, ok, noRetry, errMsg,
-	// missingDataset, missingEpoch, result bytes.
+	// msgTaskDone (exec→driver): taskID, ok, canceled, errMsg,
+	// missingDataset, missingEpoch, lostOutputs, result bytes.
 	msgTaskDone byte = 5
 	// msgStageEnd (driver→exec): key, verdict, errMsg. Broadcast stage
 	// outcome; followers act on the verdict, never on their own guesses.
@@ -63,9 +64,9 @@ const (
 	msgLookupOutput byte = 11
 	// msgLookupReply (driver→exec): reqID, found, exec, addr.
 	msgLookupReply byte = 12
-	// msgRestoreOutput (exec→driver): shuffle, mapTask, reduce, exec. A
-	// failed fetch round-trip restores the consumed location entry.
-	msgRestoreOutput byte = 13
+	// 13 was msgRestoreOutput; retired when lookups became non-consuming
+	// under the stage-commit protocol (directory entries survive fetches,
+	// so a failed round-trip has nothing to restore).
 	// msgDiscardOutput (driver→exec): shuffle, mapTask, reduce. The
 	// holder takes the output from its data server and releases it.
 	msgDiscardOutput byte = 14
@@ -81,6 +82,11 @@ const (
 	msgMetricsReply byte = 18
 	// msgShutdown (driver→exec): none. The executor exits.
 	msgShutdown byte = 19
+	// msgCancelTask (driver→exec): taskID. A best-effort request to stop a
+	// running attempt early (its twin already won, or the stage aborted);
+	// the executor still sends msgTaskDone for the attempt, typically with
+	// canceled set.
+	msgCancelTask byte = 20
 )
 
 // Verdicts broadcast in msgStageEnd.
@@ -103,17 +109,52 @@ const maxFrame = 1 << 30
 
 // TaskResult is one attempt's outcome, shipped back in msgTaskDone.
 type TaskResult struct {
-	OK      bool
-	NoRetry bool   // the driver should not retry (sched.ErrNoRetry semantics)
-	ErrMsg  string // set when !OK
+	OK       bool
+	Canceled bool   // the attempt stopped on a driver CancelTask (sched.ErrCanceled semantics)
+	ErrMsg   string // set when !OK
 	// MissingDataset/MissingEpoch name a shuffle whose locally-owned
 	// output was gone when the task tried to drain it (its reduce ran on
 	// an executor that died). The driver releases that materialization so
 	// the retry re-runs it from lineage. 0 = not a missing-output failure.
 	MissingDataset int
 	MissingEpoch   int
+	// LostOutputs lists map outputs a reduce attempt found definitively
+	// missing (their holder died). The driver re-runs exactly those map
+	// tasks from lineage instead of failing the round.
+	LostOutputs []transport.MapOutputID
 	// Result carries an action task's encoded partial result.
 	Result []byte
+}
+
+// appendTaskResult / decodeTaskResult keep the msgTaskDone layout in one
+// place: the follower encodes, the driver decodes.
+func appendTaskResult(e *enc, taskID uint64, res TaskResult) {
+	e.uint(taskID)
+	e.bool(res.OK)
+	e.bool(res.Canceled)
+	e.str(res.ErrMsg)
+	e.int(int64(res.MissingDataset))
+	e.int(int64(res.MissingEpoch))
+	e.uint(uint64(len(res.LostOutputs)))
+	for _, id := range res.LostOutputs {
+		appendOutputID(e, id)
+	}
+	e.bytes(res.Result)
+}
+
+func decodeTaskResult(d *dec) (taskID uint64, res TaskResult) {
+	taskID = d.uint()
+	res.OK = d.bool()
+	res.Canceled = d.bool()
+	res.ErrMsg = d.str()
+	res.MissingDataset = int(d.int())
+	res.MissingEpoch = int(d.int())
+	n := int(d.uint())
+	for i := 0; i < n && d.ok(); i++ {
+		res.LostOutputs = append(res.LostOutputs, decodeOutputID(d))
+	}
+	res.Result = append([]byte(nil), d.bytes()...)
+	return taskID, res
 }
 
 // MetricsSnapshot is the executor-owned counter set carried by

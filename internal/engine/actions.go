@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"deca/internal/decompose"
+	"deca/internal/sched"
 )
 
 // Actions trigger job execution: they run one task per partition of the
@@ -152,14 +153,25 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) (zero T, ok bool, err error) {
 // and must not rely on driver-process state. Under the retrying
 // scheduler the semantics are at-least-once: an attempt that fails
 // mid-partition is re-run and re-applies f to records the failed attempt
-// already visited — make f idempotent, or disable retries with
-// Config.MaxTaskRetries = -1. (The other actions are unaffected: they
-// accumulate attempt-locally and publish only on success.)
+// already visited — make f idempotent, use ForeachAttempt to dedup by
+// attempt epoch, or disable retries with Config.MaxTaskRetries = -1.
+// (The other actions are unaffected: they accumulate attempt-locally and
+// publish only on success.)
 func Foreach[T any](d *Dataset[T], f func(p int, v T)) error {
-	_, err := runAction(d.ctx, d.parts,
-		func(p int, _ *Executor) (bool, error) {
-			if err := d.Iterate(p, func(v T) bool {
-				f(p, v)
+	return ForeachAttempt(d, func(p, _ int, v T) { f(p, v) })
+}
+
+// ForeachAttempt is Foreach with the scheduler's attempt epoch visible
+// to f: every retry of a partition carries a distinct, increasing
+// attempt number, so a side-effecting sink can tag its writes with
+// (partition, attempt) and discard the partial output of attempts that
+// never finished — the standard recipe for exactly-once effects on top
+// of at-least-once execution.
+func ForeachAttempt[T any](d *Dataset[T], f func(p, attempt int, v T)) error {
+	_, err := runActionAttempt(d.ctx, d.parts,
+		func(t sched.Attempt, _ *Executor) (bool, error) {
+			if err := d.Iterate(t.Part, func(v T) bool {
+				f(t.Part, t.Attempt, v)
 				return true
 			}); err != nil {
 				return false, err

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -284,6 +285,88 @@ func TestChaosSpeculativeRaceLeaksNothing(t *testing.T) {
 	}
 }
 
+// TestChaosMidMergeReduceFailureRetries: under the stage-commit
+// protocol serving is non-consuming, so a reduce attempt that dies
+// mid-merge — after half its inputs already folded in — simply retries
+// against the still-pinned sources: no map re-runs, byte-identical
+// answer, nothing leaked.
+func TestChaosMidMergeReduceFailureRetries(t *testing.T) {
+	for _, kind := range []TransportKind{TransportInProcess, TransportTCP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			want := wordCountOn(t, clusterCtx(t, ModeDeca, 4))
+
+			inj := chaos.New(5)
+			inj.MergeFailMatch = func(stage, part, attempt, consumed int) bool {
+				return stage == wcReduceStage && attempt == 1 && consumed == 4
+			}
+			ctx := chaosCtx(t, kind, inj, nil)
+			got := wordCountOn(t, ctx)
+			if !reflect.DeepEqual(got, want) {
+				t.Error("result differs after mid-merge reduce failures")
+			}
+			st := inj.Stats()
+			if st.MergeFailures == 0 {
+				t.Fatal("no mid-merge failure injected; the test proves nothing")
+			}
+			m := ctx.MetricsRef()
+			if m.TaskRetries.Load() < st.MergeFailures {
+				t.Errorf("TaskRetries = %d, want >= %d (one retry per injected merge death)",
+					m.TaskRetries.Load(), st.MergeFailures)
+			}
+			if n := m.LineageMapReruns.Load(); n != 0 {
+				t.Errorf("LineageMapReruns = %d, want 0 (sources stayed pinned; no repair needed)", n)
+			}
+			ctx.ReleaseAllShuffles()
+			assertNoLeaks(t, ctx)
+			assertNoSpillFiles(t, ctx.Conf().SpillDir)
+		})
+	}
+}
+
+// TestChaosReduceSpeculationReleasesLoser: with SpeculateReduce on, a
+// stalled reduce attempt gets a speculative twin. Both fetch the same
+// pinned inputs (serving is non-consuming), the winner's merge lands,
+// and the loser's is released by its cancel poll or the have-guard —
+// identical answer, no failures counted, nothing leaked.
+func TestChaosReduceSpeculationReleasesLoser(t *testing.T) {
+	for _, kind := range []TransportKind{TransportInProcess, TransportTCP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			want := wordCountOn(t, clusterCtx(t, ModeDeca, 4))
+
+			inj := chaos.New(88)
+			inj.TaskDelay = 300 * time.Millisecond
+			inj.DelayMatch = func(stage, part, attempt, exec int) bool {
+				return stage == wcReduceStage && part == 3 && attempt == 1
+			}
+			ctx := chaosCtx(t, kind, inj, func(c *Config) {
+				c.SpeculationEnabled = true
+				c.SpeculateReduce = true
+				c.SpeculationQuantile = 0.5
+				c.SpeculationMultiplier = 1.2
+				c.SpeculationMinRuntime = 10 * time.Millisecond
+				c.SpeculationInterval = time.Millisecond
+			})
+			got := wordCountOn(t, ctx)
+			if !reflect.DeepEqual(got, want) {
+				t.Error("result differs after a speculative reduce race")
+			}
+			m := ctx.MetricsRef()
+			if m.SpeculativeLaunched.Load() == 0 {
+				t.Error("no speculative attempt launched for the stalled reduce task")
+			}
+			if m.SpeculativeWon.Load() == 0 {
+				t.Error("the speculative duplicate never won against a 300ms stall")
+			}
+			if m.TasksFailed.Load() != 0 {
+				t.Errorf("TasksFailed = %d, want 0 (a cancelled loser is not a failure)", m.TasksFailed.Load())
+			}
+			ctx.ReleaseAllShuffles()
+			assertNoLeaks(t, ctx)
+			assertNoSpillFiles(t, ctx.Conf().SpillDir)
+		})
+	}
+}
+
 // TestChaosFetchFaultsRetryBelowTaskLevel: injected fetch failures are
 // retried per fetch (never consuming the registration), so the stage
 // completes without any task-level retry noise.
@@ -391,4 +474,54 @@ func TestChaosExhaustedBudgetStillReleasesEverything(t *testing.T) {
 	}
 	ctx.ReleaseAllShuffles()
 	assertNoLeaks(t, ctx)
+}
+
+// TestForeachAttemptExposesRetryEpoch: a Foreach partition whose user
+// function dies mid-partition is retried with a distinct, larger
+// attempt number, and the retry re-applies f from the first record —
+// the at-least-once contract ForeachAttempt lets side-effecting sinks
+// dedup against.
+func TestForeachAttemptExposesRetryEpoch(t *testing.T) {
+	ctx := clusterCtx(t, ModeDeca, 2)
+	const parts, per = 4, 10
+	var vals []int64
+	for i := int64(0); i < parts*per; i++ {
+		vals = append(vals, i)
+	}
+	d := Parallelize(ctx, vals, parts)
+
+	var mu sync.Mutex
+	seen := map[int]map[int]int{} // partition -> attempt -> records applied
+	err := ForeachAttempt(d, func(p, attempt int, v int64) {
+		mu.Lock()
+		m := seen[p]
+		if m == nil {
+			m = map[int]int{}
+			seen[p] = m
+		}
+		m[attempt]++
+		n := m[attempt]
+		mu.Unlock()
+		if p == 2 && attempt == 1 && n == 3 {
+			panic(fmt.Errorf("sink crashed mid-partition"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < parts; p++ {
+		m := seen[p]
+		if p == 2 {
+			if m[1] != 3 || m[2] != per {
+				t.Errorf("partition 2 applied %v records per attempt, want 3 on attempt 1 then all %d on attempt 2", m, per)
+			}
+			continue
+		}
+		if len(m) != 1 || m[1] != per {
+			t.Errorf("partition %d applied %v records per attempt, want %d on attempt 1 only", p, m, per)
+		}
+	}
+	if ctx.MetricsRef().TaskRetries.Load() == 0 {
+		t.Error("the crashed partition left no TaskRetries trace")
+	}
 }

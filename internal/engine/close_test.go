@@ -5,16 +5,21 @@ import (
 	"sync"
 	"testing"
 
+	"deca/internal/chaos"
 	"deca/internal/decompose"
-	"deca/internal/transport"
 )
 
 // TestCloseIdempotentAfterFailedStage: a stage that errors mid-flight
-// (a stolen map output fails the reduce stage) must not leave the TCP
-// transport leaking listeners or pooled connections, and Close must be
-// safe to call repeatedly — including concurrently, the shape of an
-// error path racing a deferred Close. Run with -race.
+// (chaos fails every merge attempt until retries run out) must not leave
+// the TCP transport leaking listeners or pooled connections, and Close
+// must be safe to call repeatedly — including concurrently, the shape of
+// an error path racing a deferred Close. Run with -race.
 func TestCloseIdempotentAfterFailedStage(t *testing.T) {
+	inj := chaos.New(1)
+	// Kill every reduce attempt mid-merge, after it has pulled real
+	// cross-executor TCP fetches (pooled conns live), so the stage fails
+	// only once the scheduler's retries are exhausted.
+	inj.MergeFailMatch = func(stage, part, attempt, consumed int) bool { return true }
 	ctx := New(Config{
 		NumExecutors:  4,
 		Parallelism:   2,
@@ -22,17 +27,8 @@ func TestCloseIdempotentAfterFailedStage(t *testing.T) {
 		PageSize:      1024,
 		SpillDir:      t.TempDir(),
 		TransportKind: TransportTCP,
+		Chaos:         inj,
 	})
-	// Steal a map output between the stages so the reduce stage fails
-	// after real cross-executor TCP fetches have run (pooled conns live).
-	ctx.testAfterMapStage = func(id transport.ShuffleID) {
-		pl, ok, _ := ctx.trans.Fetch(transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: 0}, 0)
-		if ok {
-			if rel, isRel := pl.Data.(releasable); isRel {
-				rel.Release()
-			}
-		}
-	}
 	var pairs []decompose.Pair[int64, int64]
 	for i := int64(0); i < 2000; i++ {
 		pairs = append(pairs, KV(i%97, i))
@@ -43,7 +39,7 @@ func TestCloseIdempotentAfterFailedStage(t *testing.T) {
 		t.Fatal("reduce stage unexpectedly succeeded with a stolen output")
 	}
 
-	addrs := ctx.trans.(interface{ Addrs() []string }).Addrs()
+	addrs := ctx.trans.(*chaos.Transport).Inner().(interface{ Addrs() []string }).Addrs()
 
 	// Concurrent + repeated Close: idempotent, race-free.
 	var wg sync.WaitGroup

@@ -13,6 +13,7 @@ import (
 
 	"deca/internal/cache"
 	"deca/internal/decompose"
+	"deca/internal/sched"
 )
 
 func clusterCtx(t *testing.T, mode Mode, execs int) *Context {
@@ -216,7 +217,8 @@ func TestRunTasksJoinsAllErrors(t *testing.T) {
 		MaxTaskRetries: -1,
 	})
 	t.Cleanup(ctx.Close)
-	err := ctx.runTasks(6, func(p int, _ *Executor) error {
+	err := ctx.runStage(6, sched.StageOptions{}, func(t sched.Attempt, _ *Executor) error {
+		p := t.Part
 		if p%2 == 1 {
 			return fmt.Errorf("boom-%d", p)
 		}
@@ -253,7 +255,7 @@ func TestRunTasksJoinsAllErrors(t *testing.T) {
 func TestRunTasksRetriesCountPerAttempt(t *testing.T) {
 	ctx := clusterCtx(t, ModeSpark, 2)
 	var calls atomic.Int64
-	err := ctx.runTasks(1, func(p int, _ *Executor) error {
+	err := ctx.runStage(1, sched.StageOptions{}, func(t sched.Attempt, _ *Executor) error {
 		calls.Add(1)
 		return fmt.Errorf("always-boom")
 	})
@@ -281,7 +283,8 @@ func TestRunTasksRetriesCountPerAttempt(t *testing.T) {
 func TestRunTasksRetryRecovers(t *testing.T) {
 	ctx := clusterCtx(t, ModeSpark, 2)
 	var calls atomic.Int64
-	err := ctx.runTasks(4, func(p int, _ *Executor) error {
+	err := ctx.runStage(4, sched.StageOptions{}, func(t sched.Attempt, _ *Executor) error {
+		p := t.Part
 		if p == 2 && calls.Add(1) <= 2 {
 			return fmt.Errorf("flaky-boom")
 		}

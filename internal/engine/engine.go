@@ -241,10 +241,21 @@ type Config struct {
 	// stage. 0 selects the default of 30s; negative disables deadlines.
 	// Ignored by the in-process transport.
 	FetchTimeout time.Duration
-	// SpeculationEnabled duplicates straggler map tasks (reduce and action
-	// stages never speculate: fetches are single-consumer and result
-	// slots are not idempotent). Default off.
+	// SpeculationEnabled duplicates straggler map tasks (action stages
+	// never speculate: result slots are not idempotent). Default off.
 	SpeculationEnabled bool
+	// SpeculateReduce extends speculation to reduce stages. Safe under
+	// the stage-commit protocol — map outputs stay pinned until the
+	// consuming stage commits, so duplicate reduce attempts re-fetch the
+	// same inputs and the loser's partial merge is released. Requires
+	// SpeculationEnabled. Default off.
+	SpeculateReduce bool
+	// BlacklistProbationAfter re-admits a blacklisted executor on
+	// probation after this long: it gets one probe task, and a probe
+	// success reinstates it into placement while a failure re-stamps the
+	// probation clock. 0 (default) disables probation — blacklisting
+	// stays permanent for the context's lifetime.
+	BlacklistProbationAfter time.Duration
 	// SpeculationQuantile is the fraction of a stage's tasks that must
 	// finish before stragglers are duplicated (0 = 0.75).
 	SpeculationQuantile float64
@@ -318,6 +329,10 @@ type Metrics struct {
 	// TaskRetries counts retry attempts launched after a failure — the
 	// recomputed-task volume fault injection causes.
 	TaskRetries atomic.Int64
+	// LineageMapReruns counts map tasks re-run by the lineage repair:
+	// a reduce attempt found their outputs definitively lost, and exactly
+	// these tasks — not the whole exchange — were recomputed.
+	LineageMapReruns atomic.Int64
 	// SpeculativeLaunched / SpeculativeWon count straggler duplicates and
 	// how many of them beat the original attempt.
 	SpeculativeLaunched atomic.Int64
@@ -389,10 +404,11 @@ func New(conf Config) *Context {
 		faults = conf.Chaos
 	}
 	c.cluster = sched.NewCluster(sched.Config{
-		NumExecutors:        conf.NumExecutors,
-		SlotsPerExecutor:    conf.Parallelism,
-		MaxTaskRetries:      conf.MaxTaskRetries,
-		MaxExecutorFailures: conf.MaxExecutorFailures,
+		NumExecutors:            conf.NumExecutors,
+		SlotsPerExecutor:        conf.Parallelism,
+		MaxTaskRetries:          conf.MaxTaskRetries,
+		MaxExecutorFailures:     conf.MaxExecutorFailures,
+		BlacklistProbationAfter: conf.BlacklistProbationAfter,
 		Speculation: sched.Speculation{
 			Enabled:    conf.SpeculationEnabled,
 			Quantile:   conf.SpeculationQuantile,
@@ -453,7 +469,9 @@ func New(conf Config) *Context {
 	default:
 		trans = transport.NewInProcess()
 	}
-	if conf.Chaos != nil && conf.CtlFollower == nil {
+	// Followers wrap too: an executor-process injector (built from the
+	// plan's chaos spec) makes fetch faults fire inside the real process.
+	if conf.Chaos != nil {
 		trans = chaos.WrapTransport(trans, conf.Chaos)
 	}
 	c.trans = trans
@@ -642,7 +660,7 @@ func (c *Context) shuffleID() transport.ShuffleID {
 	return transport.ShuffleID(c.nextShf.Add(1))
 }
 
-// runTasks executes fn for every partition index on that partition's
+// runStage executes fn for every partition index on that partition's
 // affine executor through the fault-tolerant scheduler (internal/sched):
 // failed attempts retry up to Config.MaxTaskRetries times, re-placed if
 // their executor has been blacklisted. Worker slots stay stage-local — a
@@ -651,18 +669,19 @@ func (c *Context) shuffleID() transport.ShuffleID {
 // slots their children hold (Spark likewise bounds concurrency per
 // running stage). Per task only the final attempt's error survives into
 // the joined stage error (with its attempt count and final executor);
-// TasksRun/TasksFailed count once per attempt.
-func (c *Context) runTasks(parts int, fn func(p int, ex *Executor) error) error {
-	return c.runStage(parts, sched.StageOptions{}, func(t sched.Attempt, ex *Executor) error {
-		return fn(t.Part, ex)
+// TasksRun/TasksFailed count once per attempt. The attempt is visible to
+// fn — shuffle stages use it to opt into speculation and cooperative
+// cancellation, actions to expose the at-least-once attempt epoch.
+func (c *Context) runStage(parts int, opts sched.StageOptions, fn func(t sched.Attempt, ex *Executor) error) error {
+	return c.cluster.RunStage(parts, opts, func(t sched.Attempt) error {
+		return fn(t, c.execs[t.Exec])
 	})
 }
 
-// runStage is runTasks with scheduling options and attempt visibility —
-// the shuffle map stage uses it to opt into speculation and to poll for
-// cooperative cancellation.
-func (c *Context) runStage(parts int, opts sched.StageOptions, fn func(t sched.Attempt, ex *Executor) error) error {
-	return c.cluster.RunStage(parts, opts, func(t sched.Attempt) error {
+// runStageOn is runStage over an explicit (possibly sparse) partition
+// set — the lineage repair's way to re-run exactly the lost map tasks.
+func (c *Context) runStageOn(partIDs []int, opts sched.StageOptions, fn func(t sched.Attempt, ex *Executor) error) error {
+	return c.cluster.RunStageOn(partIDs, opts, func(t sched.Attempt) error {
 		return fn(t, c.execs[t.Exec])
 	})
 }
@@ -735,6 +754,25 @@ func (c *Context) dropShuffleOutputs(id transport.ShuffleID) {
 	for _, p := range c.trans.Drop(id) {
 		if r, ok := p.Data.(releasable); ok {
 			r.Release()
+		}
+	}
+}
+
+// commitShuffleOutputs is the stage commit: the reduce stage consuming
+// shuffle id settled, so every registered map output's lifetime ends and
+// its pinned buffers are released. Ids the transport no longer holds
+// (displaced, dropped, or held by another process) are skipped by the
+// transport itself.
+func (c *Context) commitShuffleOutputs(id transport.ShuffleID, M, R int) {
+	ids := make([]transport.MapOutputID, 0, M*R)
+	for m := 0; m < M; m++ {
+		for r := 0; r < R; r++ {
+			ids = append(ids, transport.MapOutputID{Shuffle: id, MapTask: m, Reduce: r})
+		}
+	}
+	for _, p := range c.trans.Commit(ids) {
+		if rel, ok := p.Data.(releasable); ok {
+			rel.Release()
 		}
 	}
 }

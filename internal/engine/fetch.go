@@ -21,10 +21,12 @@ type fetchResult struct {
 // fetched but not yet merged. Delivery is strictly in map-task order so
 // the merge remains deterministic and identical to the sequential path.
 //
-// Single-consumer fetch semantics are preserved: each MapOutputID is
-// fetched exactly once, by exactly one worker, and per-executor
-// local/remote locality is accounted at fetch time on the destination
-// executor. The deadlock shape of ordered delivery + byte budgeting is
+// Each MapOutputID is fetched exactly once per attempt, by exactly one
+// worker, and per-executor local/remote locality is accounted at fetch
+// time on the destination executor. Serving is non-consuming under the
+// stage-commit protocol — the source registration stays pinned, so a
+// retried or speculative attempt re-fetches the same outputs. The
+// deadlock shape of ordered delivery + byte budgeting is
 // avoided by construction: workers acquire the budget *before* taking a
 // ticket (tickets are issued in m order), and a fetch in progress never
 // waits — so the lowest undelivered output is always either delivered or
@@ -43,7 +45,6 @@ type fetchPipeline struct {
 	inFlight int64 // bytes fetched but not yet merged
 	next     int   // next map task index to fetch
 	aborted  bool
-	fetched  int // outputs successfully fetched (consumed from the transport)
 
 	slots []chan fetchResult // one single-use slot per map task
 	wg    sync.WaitGroup
@@ -101,7 +102,6 @@ func (fp *fetchPipeline) worker() {
 		if res.ok {
 			fp.mu.Lock()
 			fp.inFlight += fetchCharge(res.pl)
-			fp.fetched++
 			fp.mu.Unlock()
 			fp.ctx.noteFetch(fp.ex, res.pl)
 		}
@@ -109,22 +109,13 @@ func (fp *fetchPipeline) worker() {
 	}
 }
 
-// consumedAny reports whether any worker has fetched an output — i.e.
-// removed it from the transport. A reduce attempt that failed after that
-// point cannot be re-run (fetch is single-consumer), so its error should
-// be marked sched.NoRetry.
-func (fp *fetchPipeline) consumedAny() bool {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
-	return fp.fetched > 0
-}
-
 // fetchWithRetry is the per-fetch retry loop: a transient transport error
 // (socket fault, timeout, injected fault) leaves the output registered,
 // so the fetch is re-tried against the serving executor up to
 // Config.FetchRetries times before the error is given up as final. A
 // definitive miss (ok=false, nil error) is never retried — the output is
-// not registered anywhere.
+// not registered anywhere; the reduce body collects such ids and reports
+// them for map-task-granular lineage repair.
 func (fp *fetchPipeline) fetchWithRetry(id transport.MapOutputID) fetchResult {
 	retries := fp.ctx.conf.FetchRetries
 	for try := 0; ; try++ {

@@ -32,14 +32,19 @@ import (
 // executor↔executor over the same transport.DataServer/DataClient data
 // plane the single-process TCP transport uses.
 //
-// Recovery differs from the in-process chaos model in one honest way: a
-// killed executor process takes its registered map outputs with it.
-// A reduce stage that loses consumed inputs is re-run together with its
-// map stage (VerdictRetry — Spark's FetchFailed stage resubmission), and
-// an action task that finds its locally-owned reduce output gone (its
-// producer died after the exchange) reports a MissingOutputError; the
-// driver releases that materialization everywhere and the retry
-// re-materializes it from lineage under the post-blacklist placement.
+// Recovery is lineage-granular: a killed executor process takes its
+// registered map outputs with it, the driver's directory sweep turns
+// their lookups into definitive misses, and the reduce attempt that
+// observes them reports the lost MapOutputIDs back in its TaskResult.
+// The driver re-runs exactly those map tasks (lineageRepair) and retries
+// the reduce attempt, which re-fetches everything — serving is
+// non-consuming until the stage commits. Whole-exchange re-runs
+// (VerdictRetry — Spark's FetchFailed stage resubmission) remain the
+// fallback when repair itself keeps failing, and an action task that
+// finds its locally-owned reduce output gone (its producer died after
+// the exchange) reports a MissingOutputError; the driver releases that
+// materialization everywhere and the retry re-materializes it from
+// lineage under the post-blacklist placement.
 
 // maxExchangeRounds bounds how many times a multiproc exchange re-runs
 // its map+reduce pair after losing consumed outputs to a dead executor.
@@ -234,29 +239,44 @@ func (c *Context) recoverMissingOutput(dataset, epoch int) {
 	time.Sleep(20 * time.Millisecond)
 }
 
-// runRemoteStage runs a stage whose task bodies execute in the executor
-// processes: each attempt is an RPC carrying the stage key and the
-// attempt coordinates, and the usual scheduler machinery (retries,
+// runRemoteStageOn runs a stage whose task bodies execute in the
+// executor processes, over an explicit (possibly sparse) partition set:
+// each attempt is an RPC carrying the stage key and the attempt
+// coordinates, and the usual scheduler machinery (retries,
 // blacklist-aware placement, speculation) operates on the dispatch
-// outcomes. collect receives each task's result bytes (first successful
-// attempt per partition wins).
-func (c *Context) runRemoteStage(parts int, opts sched.StageOptions, key string,
-	collect func(part int, result []byte) error) error {
+// outcomes. The attempt's cancel signal is relayed to the executor as a
+// CancelTask frame, so a speculative loser or an aborted attempt stops
+// early inside its real process. rep (optional) receives LostOutputs
+// reports — a reduce attempt found map outputs definitively gone — and
+// re-runs exactly those map tasks before the attempt retries. collect
+// receives each task's result bytes (first successful attempt per
+// partition wins).
+func (c *Context) runRemoteStageOn(partIDs []int, opts sched.StageOptions, key string,
+	rep *lineageRepair, collect func(part int, result []byte) error) error {
 	d := c.driver.d
 	var mu sync.Mutex
-	seen := make([]bool, parts)
-	return c.cluster.RunStage(parts, opts, func(t sched.Attempt) error {
-		res, err := d.RunTask(t.Exec, key, t.Stage, t.Part, t.Attempt)
+	seen := make(map[int]bool, len(partIDs))
+	return c.cluster.RunStageOn(partIDs, opts, func(t sched.Attempt) error {
+		g0 := 0
+		if rep != nil {
+			g0 = rep.generation()
+		}
+		res, err := d.RunTask(t.Exec, key, t.Stage, t.Part, t.Attempt, t.CancelCh())
 		if err != nil {
 			return err
 		}
 		if !res.OK {
+			if res.Canceled {
+				return sched.ErrCanceled
+			}
 			if res.MissingDataset != 0 {
 				c.recoverMissingOutput(res.MissingDataset, res.MissingEpoch)
 			}
 			taskErr := fmt.Errorf("executor %d: %s", t.Exec, res.ErrMsg)
-			if res.NoRetry {
-				return sched.NoRetry(taskErr)
+			if rep != nil && len(res.LostOutputs) > 0 {
+				if rerr := rep.repair(g0, res.LostOutputs); rerr != nil {
+					return errors.Join(taskErr, rerr)
+				}
 			}
 			return taskErr
 		}
@@ -275,16 +295,38 @@ func (c *Context) runRemoteStage(parts int, opts sched.StageOptions, key string,
 	})
 }
 
+// runRemoteStage is runRemoteStageOn over the dense partition set.
+func (c *Context) runRemoteStage(parts int, opts sched.StageOptions, key string,
+	rep *lineageRepair, collect func(part int, result []byte) error) error {
+	ids := make([]int, parts)
+	for i := range ids {
+		ids[i] = i
+	}
+	return c.runRemoteStageOn(ids, opts, key, rep, collect)
+}
+
 // stageRun runs one shuffle stage in whatever role this context has:
 // locally on the executor goroutines (in-process deployments), or
 // dispatched to the executor fleet (multiproc driver). Followers never
-// call it — their stages are driven by registered bodies.
+// call it — their stages are driven by registered bodies. rep is the
+// reduce stage's lineage-repair hook (nil elsewhere); in-process
+// deployments handle repair inside the body itself.
 func (c *Context) stageRun(parts int, opts sched.StageOptions, key string,
-	local func(t sched.Attempt, ex *Executor) error) error {
+	rep *lineageRepair, local func(t sched.Attempt, ex *Executor) error) error {
 	if c.driver != nil {
-		return c.runRemoteStage(parts, opts, key, nil)
+		return c.runRemoteStage(parts, opts, key, rep, nil)
 	}
 	return c.runStage(parts, opts, local)
+}
+
+// stageRunOn is stageRun over an explicit partition set — the lineage
+// repair's sparse map re-run, in either role.
+func (c *Context) stageRunOn(partIDs []int, opts sched.StageOptions, key string,
+	local func(t sched.Attempt, ex *Executor) error) error {
+	if c.driver != nil {
+		return c.runRemoteStageOn(partIDs, opts, key, nil, nil)
+	}
+	return c.runStageOn(partIDs, opts, local)
 }
 
 // endStage broadcasts a stage verdict to the fleet (driver; no-op
@@ -360,21 +402,27 @@ func (f *ctlFollower) awaitStageBody(key string) (stageBody, error) {
 type followerRuntime struct{ c *Context }
 
 // RunTask executes one dispatched attempt against the mirrored plan.
-func (r followerRuntime) RunTask(key string, stage, part, attempt int) ctl.TaskResult {
+// cancel closes when the driver sends CancelTask for this attempt; the
+// body observes it through Attempt.Canceled and stops early.
+func (r followerRuntime) RunTask(key string, stage, part, attempt int, cancel <-chan struct{}) ctl.TaskResult {
 	f := r.c.follower
 	body, err := f.awaitStageBody(key)
 	if err != nil {
 		return ctl.TaskResult{ErrMsg: err.Error()}
 	}
-	res, err := runBodySafely(body, sched.ExternalAttempt(stage, part, attempt, f.me), r.c.execs[f.me])
+	res, err := runBodySafely(body, sched.ExternalAttempt(stage, part, attempt, f.me, cancel), r.c.execs[f.me])
 	if err == nil {
 		return ctl.TaskResult{OK: true, Result: res}
 	}
-	tr := ctl.TaskResult{ErrMsg: err.Error(), NoRetry: errors.Is(err, sched.ErrNoRetry)}
+	tr := ctl.TaskResult{ErrMsg: err.Error(), Canceled: errors.Is(err, sched.ErrCanceled)}
 	var missing *MissingOutputError
 	if errors.As(err, &missing) {
 		tr.MissingDataset = missing.Dataset
 		tr.MissingEpoch = missing.Epoch
+	}
+	var lost *LostOutputsError
+	if errors.As(err, &lost) {
+		tr.LostOutputs = lost.IDs
 	}
 	return tr
 }
@@ -471,6 +519,21 @@ func (t *driverTransport) Drop(shuffle transport.ShuffleID) []transport.Payload 
 	return nil
 }
 
+// Commit retires the committed outputs' directory entries and tells each
+// holder to discard its pinned source buffers. Nothing comes back: the
+// driver hosts no data.
+func (t *driverTransport) Commit(ids []transport.MapOutputID) []transport.Payload {
+	t.c.driver.d.CommitOutputs(ids)
+	return nil
+}
+
+// Abort is Commit with failure semantics — cross-process, both retire
+// the same directory entries and holder buffers.
+func (t *driverTransport) Abort(ids []transport.MapOutputID) []transport.Payload {
+	t.c.driver.d.CommitOutputs(ids)
+	return nil
+}
+
 func (t *driverTransport) Stats() transport.Stats {
 	return transport.Stats{Registered: t.c.driver.d.Registered()}
 }
@@ -509,10 +572,14 @@ func (t *followerTransport) Register(id transport.MapOutputID, p transport.Paylo
 	return prev, replaced
 }
 
-// Fetch consumes the output's directory entry and takes the payload by
-// pointer (local holder) or as a wire frame over the data plane (remote
-// holder). A failed remote round-trip restores the directory entry and
-// reports a transient error, exactly like the in-process TCP transport.
+// Fetch resolves the output in the driver's directory (non-consuming)
+// and serves it as a decoded-on-demand wire frame: local holders serve
+// through DataServer.ServeLocal, remote holders over the data plane. The
+// source entry stays registered either way, so retried and speculative
+// attempts re-fetch the same outputs until the stage commits. A failed
+// remote round-trip is a transient error (the directory entry is
+// untouched); a definitive miss (found=false) means the producer died
+// and only lineage repair brings the output back.
 func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.Payload, bool, error) {
 	exec, addr, found, err := t.f.LookupOutput(id)
 	if err != nil {
@@ -522,9 +589,9 @@ func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.
 		return transport.Payload{}, false, nil
 	}
 	if exec == t.me {
-		p, ok := t.node.Take(id)
-		if !ok {
-			return transport.Payload{}, false, nil
+		p, ok, err := t.node.ServeLocal(id)
+		if err != nil || !ok {
+			return transport.Payload{}, false, err
 		}
 		t.mu.Lock()
 		t.stats.LocalFetches++
@@ -534,7 +601,6 @@ func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.
 	}
 	frame, err := t.client.Fetch(addr, id)
 	if err != nil {
-		t.f.RestoreOutput(id, exec)
 		return transport.Payload{}, false, err
 	}
 	if frame == nil {
@@ -556,6 +622,27 @@ func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.
 // (driverTransport.Drop) coordinates the cluster-wide purge.
 func (t *followerTransport) Drop(shuffle transport.ShuffleID) []transport.Payload {
 	return t.node.DropShuffle(shuffle)
+}
+
+// Commit takes this process's local entries for the committed ids and
+// hands them back for release. It runs belt-and-braces with the driver's
+// discard broadcasts (Take is idempotent — whoever gets there first
+// wins), so a follower frees its pinned sources as soon as its own
+// mirror observes the stage verdict rather than a broadcast later.
+func (t *followerTransport) Commit(ids []transport.MapOutputID) []transport.Payload {
+	var out []transport.Payload
+	for _, id := range ids {
+		if p, ok := t.node.Take(id); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Abort mirrors Commit: a failed consuming stage retires the same
+// entries.
+func (t *followerTransport) Abort(ids []transport.MapOutputID) []transport.Payload {
+	return t.Commit(ids)
 }
 
 func (t *followerTransport) Stats() transport.Stats {
@@ -603,16 +690,28 @@ func runAction[P, R any](ctx *Context, parts int,
 	partial func(p int, ex *Executor) (P, error),
 	fold func(ps []P) R,
 ) (R, error) {
+	return runActionAttempt(ctx, parts,
+		func(t sched.Attempt, ex *Executor) (P, error) { return partial(t.Part, ex) },
+		fold)
+}
+
+// runActionAttempt is runAction with the scheduler attempt visible to
+// the partial — the seam side-effecting actions use to expose the
+// at-least-once attempt epoch to user code.
+func runActionAttempt[P, R any](ctx *Context, parts int,
+	partial func(t sched.Attempt, ex *Executor) (P, error),
+	fold func(ps []P) R,
+) (R, error) {
 	key := ctx.actionKey()
 	var zero R
-	run := func(p int, ex *Executor) (v P, err error) {
+	run := func(t sched.Attempt, ex *Executor) (v P, err error) {
 		defer recoverErr(&err)
-		return partial(p, ex)
+		return partial(t, ex)
 	}
 
 	if f := ctx.follower; f != nil {
 		ctx.registerStageBody(key, func(t sched.Attempt, ex *Executor) ([]byte, error) {
-			v, err := run(t.Part, ex)
+			v, err := run(t, ex)
 			if err != nil {
 				return nil, err
 			}
@@ -639,7 +738,7 @@ func runAction[P, R any](ctx *Context, parts int,
 
 	ps := make([]P, parts)
 	if d := ctx.driver; d != nil {
-		err := ctx.runRemoteStage(parts, sched.StageOptions{}, key, func(part int, raw []byte) error {
+		err := ctx.runRemoteStage(parts, sched.StageOptions{}, key, nil, func(part int, raw []byte) error {
 			var v P
 			if err := gobDecode(raw, &v); err != nil {
 				return fmt.Errorf("engine: decoding action %s partial %d: %w", key, part, err)
@@ -662,12 +761,12 @@ func runAction[P, R any](ctx *Context, parts int,
 		return out, nil
 	}
 
-	err := ctx.runTasks(parts, func(p int, ex *Executor) error {
-		v, err := run(p, ex)
+	err := ctx.runStage(parts, sched.StageOptions{}, func(t sched.Attempt, ex *Executor) error {
+		v, err := run(t, ex)
 		if err != nil {
 			return err
 		}
-		ps[p] = v
+		ps[t.Part] = v
 		return nil
 	})
 	if err != nil {

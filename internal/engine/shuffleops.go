@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -193,38 +194,61 @@ func shuffleMapBody[K comparable, V any, S pairSink[K, V]](
 	return nil
 }
 
+// LostOutputsError reports map outputs a reduce attempt found
+// definitively missing — nothing registered anywhere under their ids,
+// which under the stage-commit protocol means their producing executor
+// died. The exchange reacts by re-running exactly the named map tasks
+// from lineage and retrying the reduce attempt.
+type LostOutputsError struct {
+	IDs []transport.MapOutputID
+}
+
+func (e *LostOutputsError) Error() string {
+	return fmt.Sprintf("engine: %d map outputs lost (first: %v)", len(e.IDs), e.IDs[0])
+}
+
+// lostMapParts extracts the distinct map-task indices of the lost ids —
+// the sparse partition set the lineage repair re-runs.
+func lostMapParts(ids []transport.MapOutputID) []int {
+	seen := make(map[int]bool, len(ids))
+	var parts []int
+	for _, id := range ids {
+		if !seen[id.MapTask] {
+			seen[id.MapTask] = true
+			parts = append(parts, id.MapTask)
+		}
+	}
+	return parts
+}
+
 // shuffleReduceBody is one reduce task: fetch the task's M inputs
 // through a bounded-concurrency prefetch pipeline — crossing executors
-// where placement differs, with locality noted per executor — decode any
-// wire frames into a container in this executor's memory manager (local
-// fetches keep the pointer path), and merge them, in map order, into a
-// buffer created on this executor, releasing each source as it folds in.
-// The merged buffer is returned; on error everything fetched or built is
-// released first.
+// where placement differs, with locality noted per executor — decode the
+// wire frames into containers in this executor's memory manager, and
+// merge them, in map order, into a buffer created on this executor,
+// releasing each private copy as it folds in. The source registrations
+// stay pinned (serving is non-consuming), so a failed attempt is simply
+// retryable. Definitively-missing outputs are collected across the whole
+// input set and reported as one *LostOutputsError, so the lineage repair
+// re-runs every lost map task at once. The merged buffer is returned; on
+// error everything fetched or built is released first.
 func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
 	ctx *Context,
 	shufID transport.ShuffleID,
-	M, r int,
+	M int,
+	t sched.Attempt,
 	ex *Executor,
 	newBuf func(ex *Executor) (S, error),
 	merge func(dst, src S) error,
 	codec wireCodec[S],
 ) (out S, err error) {
 	var zero S
+	r := t.Part
 	merged, err := newBuf(ex)
 	if err != nil {
 		return zero, err
 	}
 	fp := ctx.startFetchPipeline(shufID, r, M, ex)
-	// A reduce attempt that fails after its pipeline consumed any
-	// single-consumer map output cannot be re-run — mark the error
-	// non-retryable so the scheduler fails the stage with the root
-	// cause instead of doomed retries that report "missing output".
-	defer func() {
-		if err != nil && fp.consumedAny() {
-			err = sched.NoRetry(err)
-		}
-	}()
 	done := false
 	defer func() {
 		// shutdown releases whatever the workers fetched ahead of a
@@ -238,15 +262,28 @@ func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
 			merged.Release()
 		}
 	}()
+	var lost []transport.MapOutputID
 	for m := 0; m < M; m++ {
 		res := fp.wait(m)
+		id := transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}
 		if res.err != nil {
-			return zero, fmt.Errorf("engine: fetching map output %v: %w",
-				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r}, res.err)
+			if len(lost) > 0 {
+				continue // already repairing; the retried attempt re-fetches
+			}
+			return zero, fmt.Errorf("engine: fetching map output %v: %w", id, res.err)
 		}
 		if !res.ok {
-			return zero, fmt.Errorf("engine: missing map output %v",
-				transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r})
+			lost = append(lost, id)
+			continue
+		}
+		if len(lost) > 0 {
+			// The attempt is already doomed to a lineage retry; drain the
+			// remaining deliveries without merging.
+			if rel, ok := res.pl.Data.(releasable); ok {
+				rel.Release()
+			}
+			fp.merged(res.pl)
+			continue
 		}
 		// A payload that crossed the wire decodes into this executor's
 		// memory manager; a pointer payload casts straight back.
@@ -264,9 +301,54 @@ func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
 		if err != nil {
 			return zero, err
 		}
+		if f := ctx.conf.Chaos; f != nil {
+			if err := f.MergeFault(t.Stage, t.Part, t.Attempt, m+1); err != nil {
+				return zero, err
+			}
+		}
+		if t.Canceled() {
+			// A speculative twin won (or the stage aborted); the merged
+			// partial is released by the deferred cleanup.
+			return zero, sched.ErrCanceled
+		}
+	}
+	if len(lost) > 0 {
+		return zero, &LostOutputsError{IDs: lost}
 	}
 	done = true
 	return merged, nil
+}
+
+// lineageRepair serializes map-task re-runs for one reduce stage. A
+// reduce attempt that finds outputs definitively missing reports them
+// together with the repair generation it observed before fetching; the
+// first reporter of a generation re-runs exactly the lost map tasks (a
+// sparse lineage stage) and advances the generation, and every
+// concurrent or later reporter of the same generation skips straight to
+// its retry, which re-fetches the re-registered outputs.
+type lineageRepair struct {
+	mu  sync.Mutex
+	gen int
+	run func(parts []int) error
+}
+
+func (lr *lineageRepair) generation() int {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.gen
+}
+
+func (lr *lineageRepair) repair(g0 int, ids []transport.MapOutputID) error {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.gen != g0 {
+		return nil // another attempt already repaired this generation
+	}
+	if err := lr.run(lostMapParts(ids)); err != nil {
+		return err
+	}
+	lr.gen++
+	return nil
 }
 
 // exchange is the transport-backed map/reduce exchange every keyed
@@ -276,14 +358,16 @@ func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
 // only the partitions the driver placed on it; the multiproc driver owns
 // none (its outputs live in the executor processes).
 //
-// The multiproc driver additionally re-runs the whole map+reduce pair —
-// up to maxExchangeRounds — when the reduce stage fails: a dead executor
-// process takes registered and consumed map outputs with it, and
-// re-running the producing stage is the recovery (Spark's FetchFailed
-// stage resubmission). Round decisions are broadcast as stage verdicts;
-// followers obey them and never decide on their own. On any terminal
-// error, every buffer this exchange created, fetched, or still holds
-// registered is released before returning.
+// Recovery is map-task-granular: serving is non-consuming, so a failed
+// reduce attempt simply retries, and when its inputs are definitively
+// lost (their producing executor died) the lineage repair re-runs only
+// the lost map tasks before the retry re-fetches. The whole-round re-run
+// (VerdictRetry, up to maxExchangeRounds) survives as the multiproc
+// fallback for losses the granular path cannot absorb within the retry
+// budget. On success the consuming stage commits: every registered map
+// output's lifetime ends cluster-wide. On any terminal error, every
+// buffer this exchange created, fetched, or still holds registered is
+// released before returning.
 func exchange[K comparable, V any, S pairSink[K, V]](
 	d *Dataset[decompose.Pair[K, V]],
 	dsID int,
@@ -316,10 +400,10 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 		// build private buffers and register content-identical outputs, and
 		// Register's replace semantics release whichever set is displaced.
 		mapKey := shuffleStageKey(shufID, epoch, round, "map")
-		err := ctx.stageRun(M, sched.StageOptions{Speculatable: true}, mapKey,
-			func(t sched.Attempt, ex *Executor) error {
-				return shuffleMapBody(ctx, d, key, shufID, R, threshold, entrySize, newBuf, codec, t, ex)
-			})
+		mapBody := func(t sched.Attempt, ex *Executor) error {
+			return shuffleMapBody(ctx, d, key, shufID, R, threshold, entrySize, newBuf, codec, t, ex)
+		}
+		err := ctx.stageRun(M, sched.StageOptions{Speculatable: true}, mapKey, nil, mapBody)
 		if err != nil {
 			ctx.endStage(mapKey, ctl.VerdictAbort, err)
 			ctx.dropShuffleOutputs(shufID)
@@ -330,14 +414,41 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 			ctx.testAfterMapStage(shufID)
 		}
 
+		// The repair re-dispatches against the same mapKey — still
+		// registered follower-side until the reduce verdict — without
+		// broadcasting a verdict of its own: it is an internal re-dispatch
+		// inside the still-open round, not a new stage.
+		rep := &lineageRepair{run: func(parts []int) error {
+			ctx.metrics.LineageMapReruns.Add(int64(len(parts)))
+			return ctx.stageRunOn(parts, sched.StageOptions{Speculatable: true}, mapKey, mapBody)
+		}}
+
 		outputs := make([]S, R)
 		have := make([]bool, R)
+		var outMu sync.Mutex
 		redKey := shuffleStageKey(shufID, epoch, round, "reduce")
-		err = ctx.stageRun(R, sched.StageOptions{}, redKey,
+		// The reduce stage speculates only when the config opts in: under
+		// the commit protocol duplicate reduce attempts are safe (both
+		// re-fetch pinned inputs; the loser's merge is released by the
+		// have-guard below or its cancel poll).
+		err = ctx.stageRun(R, sched.StageOptions{Speculatable: ctx.conf.SpeculateReduce}, redKey, rep,
 			func(t sched.Attempt, ex *Executor) error {
-				merged, err := shuffleReduceBody(ctx, shufID, M, t.Part, ex, newBuf, merge, codec)
+				g0 := rep.generation()
+				merged, err := shuffleReduceBody(ctx, shufID, M, t, ex, newBuf, merge, codec)
 				if err != nil {
+					var lerr *LostOutputsError
+					if errors.As(err, &lerr) {
+						if rerr := rep.repair(g0, lerr.IDs); rerr != nil {
+							return errors.Join(err, rerr)
+						}
+					}
 					return err
+				}
+				outMu.Lock()
+				defer outMu.Unlock()
+				if have[t.Part] {
+					merged.Release() // a duplicate attempt lost; keep the first
+					return nil
 				}
 				outputs[t.Part] = merged
 				have[t.Part] = true
@@ -345,6 +456,9 @@ func exchange[K comparable, V any, S pairSink[K, V]](
 			})
 		if err == nil {
 			ctx.endStage(redKey, ctl.VerdictOK, nil)
+			// Stage commit: the consuming stage settled, so every map
+			// output's lifetime ends cluster-wide.
+			ctx.commitShuffleOutputs(shufID, M, R)
 			return outputs, have, nil
 		}
 		lastErr = err
@@ -402,20 +516,24 @@ func exchangeFollower[K comparable, V any, S pairSink[K, V]](
 			return nil, shuffleMapBody(ctx, d, key, shufID, R, threshold, entrySize, newBuf, codec, t, ex)
 		})
 		verdict, msg, err := f.ctl.AwaitStageEnd(mapKey)
-		ctx.unregisterStageBody(mapKey)
 		if err != nil {
+			ctx.unregisterStageBody(mapKey)
 			return nil, nil, err
 		}
 		if verdict != ctl.VerdictOK {
+			ctx.unregisterStageBody(mapKey)
 			return nil, nil, fmt.Errorf("engine: shuffle %d map stage failed at driver: %s", shufID, msg)
 		}
+		// The map body stays registered through the reduce phase: the
+		// driver's lineage repair re-dispatches lost map tasks against
+		// this same key while reduce attempts are still running.
 
 		outputs := make([]S, R)
 		have := make([]bool, R)
 		var outMu sync.Mutex
 		redKey := shuffleStageKey(shufID, epoch, round, "reduce")
 		ctx.registerStageBody(redKey, func(t sched.Attempt, ex *Executor) ([]byte, error) {
-			merged, err := shuffleReduceBody(ctx, shufID, M, t.Part, ex, newBuf, merge, codec)
+			merged, err := shuffleReduceBody(ctx, shufID, M, t, ex, newBuf, merge, codec)
 			if err != nil {
 				return nil, err
 			}
@@ -431,6 +549,7 @@ func exchangeFollower[K comparable, V any, S pairSink[K, V]](
 		})
 		verdict, msg, err = f.ctl.AwaitStageEnd(redKey)
 		ctx.unregisterStageBody(redKey)
+		ctx.unregisterStageBody(mapKey)
 		release := func() {
 			outMu.Lock()
 			defer outMu.Unlock()
@@ -447,6 +566,11 @@ func exchangeFollower[K comparable, V any, S pairSink[K, V]](
 		}
 		switch verdict {
 		case ctl.VerdictOK:
+			// Stage commit observed: end the locally-held map outputs'
+			// lifetime. The driver also broadcasts per-id discards from its
+			// directory sweep; Take is idempotent, so whichever side gets
+			// there first releases the buffer.
+			ctx.commitShuffleOutputs(shufID, M, R)
 			return outputs, have, nil
 		case ctl.VerdictRetry:
 			// The driver re-runs the exchange: drop this round everywhere

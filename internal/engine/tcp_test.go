@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"deca/internal/chaos"
 	"deca/internal/decompose"
 	"deca/internal/transport"
 )
@@ -144,11 +145,12 @@ func TestTCPSpilledShuffleEquivalence(t *testing.T) {
 	}
 }
 
-// TestDropOnFailedReduceStage is the error-path contract on both
-// transports: when the reduce stage fails (a map output vanished), every
-// map output still registered must come back out of the transport and be
-// released — no leaked pages, no live groups, nothing left pending.
-func TestDropOnFailedReduceStage(t *testing.T) {
+// TestLineageRepairOnLostMapOutput is the recovery contract on both
+// transports: a map output that is definitively gone before the reduce
+// stage runs does not fail the job — the reduce attempt reports it, the
+// scheduler re-runs exactly that map task from lineage, and the retried
+// reduce produces the right answer with nothing leaked.
+func TestLineageRepairOnLostMapOutput(t *testing.T) {
 	type pending interface{ Pending() int }
 	for _, kind := range []TransportKind{TransportInProcess, TransportTCP} {
 		t.Run(kind.String(), func(t *testing.T) {
@@ -161,18 +163,71 @@ func TestDropOnFailedReduceStage(t *testing.T) {
 				TransportKind: kind,
 			})
 			defer ctx.Close()
-			// Simulate a lost map output: steal (and release) one entry
-			// between the stages, so the reduce stage hits NOTFOUND.
+			// Lose one map task's outputs between the stages: purge its
+			// registrations so every lookup is a definitive miss.
 			ctx.testAfterMapStage = func(id transport.ShuffleID) {
-				pl, ok, _ := ctx.trans.Fetch(transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: 0}, 0)
-				if !ok {
-					t.Error("hook could not steal map output 0/0")
-					return
+				var ids []transport.MapOutputID
+				for r := 0; r < 4; r++ {
+					ids = append(ids, transport.MapOutputID{Shuffle: id, MapTask: 0, Reduce: r})
 				}
-				if rel, ok := pl.Data.(releasable); ok {
-					rel.Release()
+				for _, pl := range ctx.trans.Abort(ids) {
+					if rel, ok := pl.Data.(releasable); ok {
+						rel.Release()
+					}
 				}
 			}
+			var pairs []decompose.Pair[int64, int64]
+			want := make(map[int64]int64)
+			for i := int64(0); i < 1000; i++ {
+				pairs = append(pairs, KV(i%53, i))
+				want[i%53] += i
+			}
+			red := ReduceByKey(Parallelize(ctx, pairs, 8), int64Ops(4),
+				func(a, b int64) int64 { return a + b })
+			got, err := CollectMap(red)
+			if err != nil {
+				t.Fatalf("job did not recover from the lost map output: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("recovered result differs from the true sums")
+			}
+			if n := ctx.MetricsRef().LineageMapReruns.Load(); n != 1 {
+				t.Errorf("LineageMapReruns = %d, want 1 (only the lost map task re-runs)", n)
+			}
+			ctx.ReleaseAllShuffles()
+			if p, ok := ctx.trans.(pending); ok {
+				if n := p.Pending(); n != 0 {
+					t.Errorf("%d payloads still registered after release", n)
+				}
+			}
+			if in := ctx.MemoryInUse(); in != 0 {
+				t.Errorf("recovered job leaked %d bytes of pages", in)
+			}
+		})
+	}
+}
+
+// TestDropOnFailedReduceStage is the error-path contract on both
+// transports: when the reduce stage fails for good (chaos kills every
+// merge attempt), every map output still registered must come back out
+// of the transport and be released — no leaked pages, no live groups,
+// nothing left pending.
+func TestDropOnFailedReduceStage(t *testing.T) {
+	type pending interface{ Pending() int }
+	for _, kind := range []TransportKind{TransportInProcess, TransportTCP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			inj := chaos.New(1)
+			inj.MergeFailMatch = func(stage, part, attempt, consumed int) bool { return true }
+			ctx := New(Config{
+				NumExecutors:  4,
+				Parallelism:   2,
+				Mode:          ModeDeca,
+				PageSize:      1024,
+				SpillDir:      t.TempDir(),
+				TransportKind: kind,
+				Chaos:         inj,
+			})
+			defer ctx.Close()
 			var pairs []decompose.Pair[int64, int64]
 			for i := int64(0); i < 1000; i++ {
 				pairs = append(pairs, KV(i%53, i))
@@ -183,7 +238,7 @@ func TestDropOnFailedReduceStage(t *testing.T) {
 			if err == nil {
 				t.Fatal("expected the reduce stage to fail")
 			}
-			if !strings.Contains(err.Error(), "missing map output") {
+			if !strings.Contains(err.Error(), "injected") {
 				t.Fatalf("unexpected error: %v", err)
 			}
 			// The transport must hold nothing and every page group across

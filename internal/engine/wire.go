@@ -14,10 +14,12 @@ import (
 // one wireCodec for its sink shape (built from the same PairOps both
 // sides of the exchange share), the exchange hands the transport only the
 // codec's Encode closure via Payload.Encode, and frames that come back
-// from a remote fetch decode into a container allocated in the
-// *destination* executor's memory manager. The scheduler and the
-// transport never learn the payload's generic type; local fetches never
-// touch the codec at all and keep the pointer path.
+// from a fetch decode into a container allocated in the *destination*
+// executor's memory manager. The scheduler and the transport never learn
+// the payload's generic type. Under the stage-commit protocol every
+// fetch — executor-local included — serves an encoded frame so the
+// pinned source stays private to its holder; only payloads without a
+// wire form fall back to the consuming pointer handover.
 
 // wireCodec is one shuffle's codec-registry entry for sink type S.
 type wireCodec[S any] struct {
@@ -61,6 +63,16 @@ func (wc wireCodec[S]) payloadFor(s S, ex *Executor, sizeBytes, spilledBytes int
 	return pl
 }
 
+// wireable reports whether this shuffle's sinks can round-trip a wire
+// frame: a Deca-flavoured sink (decaSink) encodes through its codecs,
+// an object-flavoured one needs the Kryo-style serializers. A
+// non-wireable shuffle gets a nil encoder, so its payloads fall back to
+// the transport's consuming pointer handover (single-process only)
+// instead of failing at serve time.
+func (o PairOps[K, V]) wireable(decaSink bool) bool {
+	return decaSink || (o.KeySer != nil && o.ValSer != nil)
+}
+
 // aggWireCodec builds the codec-registry entry for ReduceByKey's sinks.
 // The frame is self-describing (a kind byte leads), and both ends derive
 // the container flavour from the same Config and PairOps, so encode
@@ -68,6 +80,9 @@ func (wc wireCodec[S]) payloadFor(s S, ex *Executor, sizeBytes, spilledBytes int
 func aggWireCodec[K comparable, V any](
 	ctx *Context, ops PairOps[K, V], combine func(V, V) V,
 ) wireCodec[aggSink[K, V]] {
+	if !ops.wireable(ops.decaAble(ctx)) {
+		return wireCodec[aggSink[K, V]]{}
+	}
 	return wireCodec[aggSink[K, V]]{
 		encode: func(s aggSink[K, V], w io.Writer) error {
 			switch b := s.(type) {
@@ -95,6 +110,9 @@ func aggWireCodec[K comparable, V any](
 func groupWireCodec[K comparable, V any](
 	ctx *Context, ops PairOps[K, V],
 ) wireCodec[groupSink[K, V]] {
+	if !ops.wireable(ops.decaGroupAble(ctx)) {
+		return wireCodec[groupSink[K, V]]{}
+	}
 	return wireCodec[groupSink[K, V]]{
 		encode: func(s groupSink[K, V], w io.Writer) error {
 			switch b := s.(type) {
@@ -122,6 +140,9 @@ func groupWireCodec[K comparable, V any](
 func sortWireCodec[K comparable, V any](
 	ctx *Context, ops PairOps[K, V],
 ) wireCodec[sortSink[K, V]] {
+	if !ops.wireable(ctx.Mode() == ModeDeca && ops.KeyCodec != nil && ops.ValCodec != nil) {
+		return wireCodec[sortSink[K, V]]{}
+	}
 	return wireCodec[sortSink[K, V]]{
 		encode: func(s sortSink[K, V], w io.Writer) error {
 			switch b := s.(type) {

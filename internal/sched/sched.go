@@ -3,11 +3,14 @@
 // Spark-shaped recovery model: every (stage, partition) runs as a chain of
 // task *attempts* with a per-task retry budget; repeated attempt failures
 // on one executor blacklist it cluster-wide, after which placement
-// re-routes that executor's partitions to the surviving ones; and stages
-// whose tasks are safe to duplicate (map stages — their side effect is
-// map-output registration, which replaces idempotently) can launch a
-// speculative copy of straggler tasks past a quantile-based runtime
-// threshold, the loser being cancelled cooperatively.
+// re-routes that executor's partitions to the surviving ones (with an
+// optional timed probation that lets a blacklisted executor earn its way
+// back); and stages whose tasks are safe to duplicate — map stages, whose
+// side effect is map-output registration replacing idempotently, and
+// reduce stages under the engine's stage-commit shuffle protocol, whose
+// fetches are non-consuming — can launch a speculative copy of straggler
+// tasks past a quantile-based runtime threshold, the loser being
+// cancelled cooperatively.
 //
 // The package is engine-agnostic: it schedules opaque attempt bodies over
 // integer executor ids. The engine adapts bodies to its Executor objects,
@@ -19,7 +22,6 @@ package sched
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,18 +32,6 @@ import (
 // completed it. The scheduler treats it as a clean exit, not a failure:
 // it is not counted, not retried, and not held against the executor.
 var ErrCanceled = errors.New("sched: attempt canceled (task completed by a twin attempt)")
-
-// ErrNoRetry marks attempt errors retrying cannot fix. A body returns
-// NoRetry(err) when the failed attempt consumed state a re-run would need
-// — a reduce attempt that already fetched single-consumer map outputs —
-// so the scheduler fails the task immediately with the root-cause error
-// instead of burning the budget on doomed re-runs that mask it.
-var ErrNoRetry = errors.New("sched: attempt failure is not retryable")
-
-// NoRetry wraps err so the scheduler will not retry the attempt's task.
-func NoRetry(err error) error {
-	return fmt.Errorf("%w: %w", ErrNoRetry, err)
-}
 
 // Hooks observes scheduler events. The engine implements it to mirror
 // events into cluster- and executor-level metrics. All methods may be
@@ -140,6 +130,13 @@ type Config struct {
 	// have failed on it. 0 disables blacklisting. The last healthy
 	// executor is never blacklisted.
 	MaxExecutorFailures int
+	// BlacklistProbationAfter, when > 0, gives a blacklisted executor a
+	// probation probe after that long on the blacklist: the next primary
+	// attempt placed while a probe is due runs there. A successful probe
+	// reinstates the executor (failure count reset); a failed one
+	// re-blacklists it and restarts the probation clock. 0 (the default)
+	// keeps blacklists permanent.
+	BlacklistProbationAfter time.Duration
 	// Speculation tunes straggler duplication.
 	Speculation Speculation
 	// Hooks observes scheduler events (nil = none).
@@ -177,16 +174,22 @@ type Cluster struct {
 	failures    []int
 	blacklisted []bool
 	numHealthy  int
+	// Probation bookkeeping (BlacklistProbationAfter > 0): when each
+	// executor was blacklisted, and whether a probe attempt is in flight.
+	blacklistedAt []time.Time
+	probing       []bool
 }
 
 // NewCluster builds a cluster with every executor healthy.
 func NewCluster(conf Config) *Cluster {
 	conf = conf.withDefaults()
 	return &Cluster{
-		conf:        conf,
-		failures:    make([]int, conf.NumExecutors),
-		blacklisted: make([]bool, conf.NumExecutors),
-		numHealthy:  conf.NumExecutors,
+		conf:          conf,
+		failures:      make([]int, conf.NumExecutors),
+		blacklisted:   make([]bool, conf.NumExecutors),
+		numHealthy:    conf.NumExecutors,
+		blacklistedAt: make([]time.Time, conf.NumExecutors),
+		probing:       make([]bool, conf.NumExecutors),
 	}
 }
 
@@ -253,6 +256,7 @@ func (c *Cluster) Blacklist(exec int) bool {
 	ok := !c.blacklisted[exec] && c.numHealthy > 1
 	if ok {
 		c.blacklisted[exec] = true
+		c.blacklistedAt[exec] = time.Now()
 		c.numHealthy--
 	}
 	c.mu.Unlock()
@@ -275,6 +279,7 @@ func (c *Cluster) recordFailure(exec int) {
 		c.numHealthy > 1
 	if tripped {
 		c.blacklisted[exec] = true
+		c.blacklistedAt[exec] = time.Now()
 		c.numHealthy--
 	}
 	c.mu.Unlock()
@@ -283,14 +288,58 @@ func (c *Cluster) recordFailure(exec int) {
 	}
 }
 
+// placeForAttempt resolves a primary attempt's placement, preferring a
+// blacklisted executor whose probation is due: that attempt becomes the
+// executor's single probe task (probe=true), and its outcome must be
+// reported through probeResult. It is deliberately NOT pure — the
+// probation decision reads the clock — which is why the pure placement
+// rule (Place/placeLocked) stays untouched and probation lives in this
+// wrapper consulted only on the attempt path.
+func (c *Cluster) placeForAttempt(part int) (exec int, probe bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d := c.conf.BlacklistProbationAfter; d > 0 {
+		now := time.Now()
+		for e := 0; e < c.conf.NumExecutors; e++ {
+			if c.blacklisted[e] && !c.probing[e] && now.Sub(c.blacklistedAt[e]) >= d {
+				c.probing[e] = true
+				return e, true
+			}
+		}
+	}
+	return c.placeLocked(part, -1), false
+}
+
+// probeResult settles a probation probe: success reinstates the executor
+// into placement with a clean failure record; failure re-blacklists it
+// and restarts the probation clock.
+func (c *Cluster) probeResult(exec int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.probing[exec] {
+		return
+	}
+	c.probing[exec] = false
+	if ok {
+		c.blacklisted[exec] = false
+		c.failures[exec] = 0
+		c.numHealthy++
+		return
+	}
+	c.blacklistedAt[exec] = time.Now()
+}
+
 // StageOptions selects per-stage scheduling behaviour.
 type StageOptions struct {
 	// Speculatable marks the stage's tasks as safe to run twice
 	// concurrently: their side effects must be idempotent under
-	// duplication, like map-output registration (Transport.Register
-	// replaces, and the displaced buffers are released). Reduce stages are
-	// not speculatable — map-output fetch is single-consumer — nor are
-	// action stages that write shared result slots.
+	// duplication. Map stages qualify because map-output registration
+	// replaces (Transport.Register displaces, and the displaced buffers
+	// are released); reduce stages qualify under the stage-commit shuffle
+	// protocol, where fetches are non-consuming frame copies and the
+	// engine keeps only the first attempt's merged output. Action stages
+	// that write shared result slots must likewise guard their slot
+	// against a duplicate delivery before opting in.
 	Speculatable bool
 }
 
@@ -309,13 +358,17 @@ type Attempt struct {
 // ExternalAttempt builds the attempt descriptor for a task dispatched by
 // a remote scheduler (the multi-process control plane): the driver's
 // sched.Cluster made the placement and retry decisions, and the executor
-// process only executes the body. There is no cancel signal — the nil
-// channel makes Canceled report false — because cross-process
-// cancellation is not plumbed; duplicate attempts run to completion and
-// their side effects displace idempotently.
-func ExternalAttempt(stage, part, attempt, exec int) Attempt {
-	return Attempt{Stage: stage, Part: part, Attempt: attempt, Exec: exec}
+// process only executes the body. cancel carries the driver's CancelTask
+// signal into the body's cooperative polling; nil means no cancellation
+// is plumbed and Canceled always reports false.
+func ExternalAttempt(stage, part, attempt, exec int, cancel <-chan struct{}) Attempt {
+	return Attempt{Stage: stage, Part: part, Attempt: attempt, Exec: exec, cancel: cancel}
 }
+
+// CancelCh exposes the attempt's cancellation signal for dispatchers
+// that relay it across a process boundary — the multiproc driver selects
+// on it to send CancelTask. nil means cancellation was not plumbed.
+func (a Attempt) CancelCh() <-chan struct{} { return a.cancel }
 
 // Canceled reports whether the task was completed by a twin attempt;
 // long-running bodies should poll it and bail out with ErrCanceled.
@@ -341,6 +394,20 @@ func (a Attempt) Cancel() <-chan struct{} { return a.cancel }
 // are visible through the hooks); tasks that never succeeded report their
 // attempt count and final executor.
 func (c *Cluster) RunStage(parts int, opts StageOptions, body func(Attempt) error) error {
+	ids := make([]int, parts)
+	for p := range ids {
+		ids[p] = p
+	}
+	return c.RunStageOn(ids, opts, body)
+}
+
+// RunStageOn is RunStage over an explicit partition-id set: each attempt's
+// Part is taken from partIDs rather than a dense [0, parts) range. It is
+// the lineage-repair entry point — re-running exactly the map tasks whose
+// registered outputs were lost re-enters the original map body with the
+// original partition numbers, so the repaired outputs register under their
+// original MapOutputIDs.
+func (c *Cluster) RunStageOn(partIDs []int, opts StageOptions, body func(Attempt) error) error {
 	s := &stage{
 		c:    c,
 		id:   int(c.nextStage.Add(1)),
@@ -350,20 +417,20 @@ func (c *Cluster) RunStage(parts int, opts StageOptions, body func(Attempt) erro
 	for i := range s.sems {
 		s.sems[i] = make(chan struct{}, c.conf.SlotsPerExecutor)
 	}
-	s.tasks = make([]*taskState, parts)
-	for p := range s.tasks {
-		s.tasks[p] = &taskState{part: p, doneCh: make(chan struct{})}
+	s.tasks = make([]*taskState, len(partIDs))
+	for i, part := range partIDs {
+		s.tasks[i] = &taskState{part: part, doneCh: make(chan struct{})}
 	}
 
 	var stopMonitor, monitorDone chan struct{}
-	if opts.Speculatable && c.conf.Speculation.Enabled && parts > 1 {
+	if opts.Speculatable && c.conf.Speculation.Enabled && len(s.tasks) > 1 {
 		stopMonitor = make(chan struct{})
 		monitorDone = make(chan struct{})
 		go s.monitor(stopMonitor, monitorDone, body)
 	}
-	s.wg.Add(parts)
-	for p := 0; p < parts; p++ {
-		go s.primary(p, body)
+	s.wg.Add(len(s.tasks))
+	for i := range s.tasks {
+		go s.primary(i, body)
 	}
 	s.wg.Wait()
 	if stopMonitor != nil {

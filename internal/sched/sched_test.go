@@ -348,30 +348,91 @@ func TestPlaceIsStableWithoutBlacklist(t *testing.T) {
 	}
 }
 
-func TestNoRetryFailsFastWithRootCause(t *testing.T) {
-	rec := &recorder{}
-	c := NewCluster(Config{NumExecutors: 2, SlotsPerExecutor: 2, MaxTaskRetries: 3, Hooks: rec})
-	var bodies atomic.Int64
-	err := c.RunStage(2, StageOptions{}, func(a Attempt) error {
-		if a.Part == 1 {
-			bodies.Add(1)
-			return NoRetry(fmt.Errorf("consumed the inputs"))
+func TestRunStageOnSparsePartitions(t *testing.T) {
+	c := NewCluster(Config{NumExecutors: 3, SlotsPerExecutor: 2})
+	want := []int{2, 5, 11}
+	seen := make(map[int]int)
+	var mu sync.Mutex
+	err := c.RunStageOn(want, StageOptions{}, func(a Attempt) error {
+		mu.Lock()
+		seen[a.Part]++
+		mu.Unlock()
+		if a.Exec != c.Place(a.Part) {
+			t.Errorf("part %d placed on %d, want affinity %d", a.Part, a.Exec, c.Place(a.Part))
 		}
 		return nil
 	})
-	if err == nil {
-		t.Fatal("expected stage failure")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := bodies.Load(); got != 1 {
-		t.Errorf("non-retryable attempt ran %d times, want 1", got)
+	if len(seen) != len(want) {
+		t.Fatalf("ran %d distinct partitions, want %d (%v)", len(seen), len(want), seen)
 	}
-	msg := err.Error()
-	for _, want := range []string{"failed after 1 attempts", "consumed the inputs"} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("error %q missing %q", msg, want)
+	for _, p := range want {
+		if seen[p] != 1 {
+			t.Errorf("partition %d ran %d times, want 1", p, seen[p])
 		}
 	}
-	if got := rec.retried.Load(); got != 0 {
-		t.Errorf("retried = %d, want 0", got)
+}
+
+func TestBlacklistProbationReinstates(t *testing.T) {
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 2, MaxTaskRetries: 1,
+		BlacklistProbationAfter: 5 * time.Millisecond,
+	})
+	if !c.Blacklist(1) {
+		t.Fatal("blacklist did not take")
+	}
+	time.Sleep(10 * time.Millisecond)
+	// The next primary attempt becomes executor 1's probe; its success
+	// reinstates the executor.
+	var probeExec atomic.Int64
+	probeExec.Store(-1)
+	if err := c.RunStage(1, StageOptions{}, func(a Attempt) error {
+		probeExec.Store(int64(a.Exec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeExec.Load(); got != 1 {
+		t.Errorf("probe ran on executor %d, want the blacklisted executor 1", got)
+	}
+	if c.Blacklisted(1) {
+		t.Error("successful probe must reinstate the executor")
+	}
+	if got := c.NumBlacklisted(); got != 0 {
+		t.Errorf("NumBlacklisted = %d, want 0", got)
+	}
+}
+
+func TestBlacklistProbationFailureReblacklists(t *testing.T) {
+	c := NewCluster(Config{
+		NumExecutors: 2, SlotsPerExecutor: 2, MaxTaskRetries: 2,
+		BlacklistProbationAfter: 5 * time.Millisecond,
+	})
+	if !c.Blacklist(1) {
+		t.Fatal("blacklist did not take")
+	}
+	time.Sleep(10 * time.Millisecond)
+	var failed atomic.Int64
+	if err := c.RunStage(1, StageOptions{}, func(a Attempt) error {
+		if a.Exec == 1 {
+			failed.Add(1)
+			return fmt.Errorf("probe dies")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if failed.Load() == 0 {
+		t.Fatal("no probe attempt ran on the blacklisted executor")
+	}
+	if !c.Blacklisted(1) {
+		t.Error("failed probe must keep the executor blacklisted")
+	}
+	// The probation clock restarted: immediately after the failed probe,
+	// placement avoids executor 1 again.
+	if got, probe := c.placeForAttempt(1); probe || got != 0 {
+		t.Errorf("placeForAttempt right after failed probe = (%d, probe=%v), want (0, false)", got, probe)
 	}
 }

@@ -111,12 +111,13 @@ func (t *taskState) noteStopped() {
 }
 
 // primary runs a task's attempt chain: place, run, and on failure retry
-// within the budget. If a speculative duplicate is still in flight when
-// the budget runs out, the verdict waits for it — the duplicate may yet
-// complete the task.
-func (s *stage) primary(p int, body func(Attempt) error) {
+// within the budget. idx indexes s.tasks; the task's partition id may
+// differ on sparse (lineage-repair) stages. If a speculative duplicate is
+// still in flight when the budget runs out, the verdict waits for it —
+// the duplicate may yet complete the task.
+func (s *stage) primary(idx int, body func(Attempt) error) {
 	defer s.wg.Done()
-	t := s.tasks[p]
+	t := s.tasks[idx]
 	maxAttempts := s.c.conf.MaxTaskRetries + 1
 	var lastErr error
 	var lastExec, lastAttempt int
@@ -125,24 +126,20 @@ func (s *stage) primary(p int, body func(Attempt) error) {
 		if t.isDone() {
 			return
 		}
-		s.c.mu.Lock()
-		exec := s.c.placeLocked(p, -1)
-		s.c.mu.Unlock()
+		exec, probe := s.c.placeForAttempt(t.part)
 		attempt := t.issueAttempt()
 		if try > 1 {
 			s.c.conf.Hooks.TaskRetried(exec)
 		}
 		err := s.runAttempt(t, attempt, exec, false, body)
+		if probe {
+			s.c.probeResult(exec, err == nil)
+		}
 		if err == nil || t.isDone() {
 			return
 		}
 		lastErr, lastExec, lastAttempt = err, exec, attempt
 		attempts = try
-		if errors.Is(err, ErrNoRetry) {
-			// The attempt consumed state a re-run would need; further
-			// attempts are doomed and would only mask this error.
-			break
-		}
 	}
 	t.mu.Lock()
 	specWait := t.specWait
@@ -154,7 +151,7 @@ func (s *stage) primary(p int, body func(Attempt) error) {
 		}
 	}
 	t.fail(fmt.Errorf("task %d: failed after %d attempts, final attempt %d on executor %d: %w",
-		p, attempts, lastAttempt, lastExec, lastErr))
+		t.part, attempts, lastAttempt, lastExec, lastErr))
 }
 
 // speculative runs a straggler's single duplicate attempt. Its error (if

@@ -19,9 +19,7 @@
 // buffers serialize, Deca buffers write raw page-encoded records.
 package shuffle
 
-import (
-	"hash/maphash"
-)
+import ()
 
 // Buffer is the lifecycle interface every shuffle buffer implements.
 type Buffer interface {
@@ -44,14 +42,29 @@ type Key[K comparable] struct {
 	Less func(a, b K) bool
 }
 
-var hashSeed = maphash.MakeSeed()
-
-// StringKey returns Key ops for string keys.
+// StringKey returns Key ops for string keys. The hash is FNV-1a — a
+// fixed function, never a per-process random seed: lineage recovery
+// re-runs a map task in whatever process survives, and the re-run's
+// bucketing must agree with the outputs other reduce tasks already
+// merged, or records silently migrate between reduce partitions
+// (Spark's determinism requirement on partitioners).
 func StringKey() Key[string] {
 	return Key[string]{
-		Hash: func(s string) uint32 { return uint32(maphash.String(hashSeed, s)) },
+		Hash: fnv32a,
 		Less: func(a, b string) bool { return a < b },
 	}
+}
+
+// fnv32a is the 32-bit FNV-1a hash.
+//
+//deca:pure
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // Int64Key returns Key ops for int64 keys.

@@ -2,43 +2,44 @@ package transport
 
 import "sync"
 
-// InProcess is the single-process Transport: a mutex-guarded map from
-// MapOutputID to Payload. Payloads cross executor boundaries by pointer,
-// which models a cluster whose executors share an address space (the
-// paper's single-machine multi-executor deployments); the local/remote
-// distinction is still tracked so the engine can report how much shuffle
-// data would travel on a real network.
+// InProcess is the single-process Transport: a pinned outputStore keyed
+// by MapOutputID. Every fetch serves an encoded Wire frame — even when
+// source and destination are the same executor — so the registered
+// buffer survives its consumers and the stage-commit protocol applies
+// uniformly; the local/remote distinction is still tracked so the engine
+// can report how much shuffle data would travel on a real network.
 type InProcess struct {
-	mu      sync.Mutex
-	outputs map[MapOutputID]Payload
-	stats   Stats
+	store outputStore
+
+	mu    sync.Mutex
+	stats Stats
 }
 
 // NewInProcess returns an empty in-process transport.
 func NewInProcess() *InProcess {
-	return &InProcess{outputs: make(map[MapOutputID]Payload)}
+	t := &InProcess{}
+	t.store.init()
+	return t
 }
 
 // Register publishes a map output, returning any entry it replaced.
 func (t *InProcess) Register(id MapOutputID, p Payload) (Payload, bool) {
+	prev, replaced := t.store.put(id, p)
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	prev, replaced := t.outputs[id]
-	t.outputs[id] = p
 	t.stats.Registered++
+	t.mu.Unlock()
 	return prev, replaced
 }
 
-// Fetch removes and returns the output registered under id. In-process
-// fetches have no transient failure mode: the error is always nil.
+// Fetch serves a Wire-framed copy of the output registered under id,
+// leaving the registration pinned for other consumers. In-process
+// fetches have no transient failure mode beyond a failed encode.
 func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	p, ok := t.outputs[id]
-	if !ok {
-		return Payload{}, false, nil
+	p, ok, err := t.store.serveCopy(id)
+	if !ok || err != nil {
+		return Payload{}, false, err
 	}
-	delete(t.outputs, id)
+	t.mu.Lock()
 	if p.SrcExecutor == dstExecutor {
 		t.stats.LocalFetches++
 		t.stats.LocalBytes += p.Bytes
@@ -46,29 +47,30 @@ func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error
 		t.stats.RemoteFetches++
 		t.stats.RemoteBytes += p.Bytes
 	}
+	t.mu.Unlock()
 	return p, true, nil
+}
+
+// Commit releases the listed registrations after their consuming stage
+// committed.
+func (t *InProcess) Commit(ids []MapOutputID) []Payload {
+	return t.store.takeAll(ids)
+}
+
+// Abort releases the listed registrations for an abandoned round.
+func (t *InProcess) Abort(ids []MapOutputID) []Payload {
+	return t.store.takeAll(ids)
 }
 
 // Drop removes every output of the shuffle still registered.
 func (t *InProcess) Drop(shuffle ShuffleID) []Payload {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var dropped []Payload
-	for id, p := range t.outputs {
-		if id.Shuffle == shuffle {
-			dropped = append(dropped, p)
-			delete(t.outputs, id)
-		}
-	}
-	return dropped
+	return t.store.dropShuffle(shuffle)
 }
 
-// Pending returns the number of registered, unfetched outputs (tests and
-// leak checks).
+// Pending returns the number of registered outputs (tests and leak
+// checks).
 func (t *InProcess) Pending() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.outputs)
+	return t.store.pending()
 }
 
 // Stats snapshots the traffic counters.

@@ -22,15 +22,18 @@ import (
 
 // DataServer is one executor endpoint: its listener, its registered
 // outputs, and the serve loop answering FETCH requests. Serving is
-// consuming: once a frame is written the source buffer is released (the
-// bytes left; the destination rebuilds its own container).
+// non-consuming: a served entry stays pinned in the store for other
+// consumers (reduce retries, speculative twins) until the consuming
+// stage commits and the driver discards it, per the package's
+// stage-commit ownership rule.
 type DataServer struct {
 	ln   net.Listener
 	addr string
 
-	mu      sync.Mutex
-	outputs map[MapOutputID]Payload
-	closed  bool
+	store outputStore
+
+	mu     sync.Mutex
+	closed bool
 }
 
 // NewDataServer listens on addr ("host:port"; ":0" picks an ephemeral
@@ -45,10 +48,10 @@ func NewDataServer(addr string) (*DataServer, error) {
 		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
 	}
 	s := &DataServer{
-		ln:      ln,
-		addr:    ln.Addr().String(),
-		outputs: make(map[MapOutputID]Payload),
+		ln:   ln,
+		addr: ln.Addr().String(),
 	}
+	s.store.init()
 	go s.acceptLoop()
 	return s, nil
 }
@@ -57,46 +60,36 @@ func NewDataServer(addr string) (*DataServer, error) {
 func (s *DataServer) Addr() string { return s.addr }
 
 // Put stores a map output, returning any entry it displaced (task-retry
-// re-registration semantics: the caller owns releasing the old buffers).
+// re-registration semantics: the caller owns releasing the old buffers;
+// a mid-serve displaced entry releases server-side once its serve ends).
 func (s *DataServer) Put(id MapOutputID, p Payload) (prev Payload, replaced bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	prev, replaced = s.outputs[id]
-	s.outputs[id] = p
-	return prev, replaced
+	return s.store.put(id, p)
 }
 
-// Take removes and returns the entry for id.
+// Take removes the entry for id, returning its payload for the caller to
+// release. A mid-serve entry is removed but releases server-side later
+// (ok=false).
 func (s *DataServer) Take(id MapOutputID) (Payload, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.outputs[id]
-	if ok {
-		delete(s.outputs, id)
-	}
-	return p, ok
+	return s.store.take(id)
+}
+
+// ServeLocal serves the entry as an encoded Wire payload without
+// consuming it — the executor-local equivalent of a socket FETCH.
+// Payloads without a wire form fall back to the consuming pointer
+// handover.
+func (s *DataServer) ServeLocal(id MapOutputID) (Payload, bool, error) {
+	return s.store.serveCopy(id)
 }
 
 // DropShuffle removes every output of the shuffle and returns them.
 func (s *DataServer) DropShuffle(shuffle ShuffleID) []Payload {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var dropped []Payload
-	for id, p := range s.outputs {
-		if id.Shuffle == shuffle {
-			dropped = append(dropped, p)
-			delete(s.outputs, id)
-		}
-	}
-	return dropped
+	return s.store.dropShuffle(shuffle)
 }
 
-// Pending returns the number of registered, unfetched outputs (leak
-// probes in tests).
+// Pending returns the number of registered outputs (leak probes in
+// tests).
 func (s *DataServer) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.outputs)
+	return s.store.pending()
 }
 
 // Close shuts the listener. Registered payloads are not touched; take or
@@ -124,8 +117,9 @@ func (s *DataServer) acceptLoop() {
 }
 
 // serve answers FETCH requests on one server-side connection. Serving
-// pops the output and — after the frame is captured — releases the
-// source buffer: the transfer consumed it.
+// pins the entry, encodes its frame outside the store lock, and unpins —
+// the registration survives the transfer for other consumers; only a
+// Commit/Abort/Drop (or displacement) ends its lifetime.
 func (s *DataServer) serve(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
@@ -136,18 +130,18 @@ func (s *DataServer) serve(conn net.Conn) {
 		if err != nil {
 			return // client closed or spoke garbage; drop the connection
 		}
-		p, ok := s.Take(id)
+		p, e, ok := s.store.beginServe(id)
 		frame.Reset()
 		if ok {
 			if p.Encode != nil {
 				err = p.Encode(&frame)
 			} else {
+				// No wire form: unservable remotely. The entry stays
+				// registered (an executor-local consumer could still take
+				// it); the fetcher sees NOTFOUND and recovers by lineage.
 				err = fmt.Errorf("transport: payload %v has no wire form", id)
 			}
-			// The entry left the registry: release the source buffer
-			// whether encoding succeeded (bytes captured) or not (the
-			// fetcher will error the stage; nothing else owns this).
-			releasePayload(p)
+			s.store.endServe(e)
 			if err != nil {
 				ok = false
 			}
@@ -325,11 +319,8 @@ func (c *DataClient) Close() {
 // first response byte, then every frameReadChunk of the frame — rather
 // than the whole transfer: a hung peer still surfaces within one timeout
 // (no bytes arrive), while a large frame that keeps moving refreshes its
-// deadline with each chunk and is never failed for being slow. That
-// matters because serving is consuming — the source buffer is released
-// once the server encodes the frame, so a client-side deadline mid-frame
-// on a healthy transfer would turn a slow fetch into permanent output
-// loss.
+// deadline with each chunk and is never failed for being slow, keeping
+// slow-but-healthy transfers out of the retry path.
 func (c *dataConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) {
 	if timeout > 0 {
 		if err := c.c.SetDeadline(time.Now().Add(timeout)); err != nil {

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+)
+
+// outputStore is the pinned map-output registry shared by the in-process
+// transport and the networked DataServer. Serving is non-consuming: an
+// entry stays registered — pinned — until the consuming stage commits
+// (Commit), the exchange round is abandoned (Abort), or the shuffle is
+// dropped, so any number of consumers (reduce retries, speculative
+// twins) can fetch the same output.
+//
+// Because a serve encodes the entry's buffer outside the lock, an entry
+// removed mid-serve (displacement by a re-registration, a discard, a
+// commit racing a straggler fetch) cannot release its buffers
+// immediately: it leaves the registry as a zombie and the store releases
+// it when the last in-flight serve ends. Such removals report the entry
+// as absent/unreplaced to the caller — the release happened, just not in
+// the caller's hands.
+type outputStore struct {
+	mu sync.Mutex
+	m  map[MapOutputID]*storeEntry
+}
+
+type storeEntry struct {
+	p       Payload
+	serving int  // in-flight serves encoding this entry's buffer
+	dead    bool // removed from the registry mid-serve; release on last endServe
+}
+
+func (s *outputStore) init() {
+	s.m = make(map[MapOutputID]*storeEntry)
+}
+
+// put stores a payload, returning any entry it displaced so the caller
+// can release it. A displaced entry that is mid-serve is released by the
+// store instead (replaced=false).
+func (s *outputStore) put(id MapOutputID, p Payload) (prev Payload, replaced bool) {
+	s.mu.Lock()
+	old, had := s.m[id]
+	s.m[id] = &storeEntry{p: p}
+	if had && old.serving > 0 {
+		old.dead = true
+		had = false
+	}
+	s.mu.Unlock()
+	if !had {
+		return Payload{}, false
+	}
+	return old.p, true
+}
+
+// take removes the entry and returns its payload for the caller to
+// release. A mid-serve entry is removed but released by the store later
+// (ok=false).
+func (s *outputStore) take(id MapOutputID) (Payload, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(id)
+}
+
+func (s *outputStore) removeLocked(id MapOutputID) (Payload, bool) {
+	e, ok := s.m[id]
+	if !ok {
+		return Payload{}, false
+	}
+	delete(s.m, id)
+	if e.serving > 0 {
+		e.dead = true
+		return Payload{}, false
+	}
+	return e.p, true
+}
+
+// takeAll removes every listed entry, returning the payloads the caller
+// must release (mid-serve entries release store-side).
+func (s *outputStore) takeAll(ids []MapOutputID) []Payload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Payload
+	for _, id := range ids {
+		if p, ok := s.removeLocked(id); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dropShuffle removes every entry of the shuffle, returning the payloads
+// the caller must release.
+func (s *outputStore) dropShuffle(shuffle ShuffleID) []Payload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dropped []Payload
+	for id, e := range s.m {
+		if id.Shuffle != shuffle {
+			continue
+		}
+		delete(s.m, id)
+		if e.serving > 0 {
+			e.dead = true
+			continue
+		}
+		dropped = append(dropped, e.p)
+	}
+	return dropped
+}
+
+// pending counts registered entries (leak probes). Zombies awaiting
+// their last endServe are not counted: their release is already ordered.
+func (s *outputStore) pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// beginServe pins the entry for an out-of-lock encode and returns its
+// payload. The caller must call endServe exactly once with the handle.
+func (s *outputStore) beginServe(id MapOutputID) (Payload, *storeEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return Payload{}, nil, false
+	}
+	e.serving++
+	return e.p, e, true
+}
+
+// endServe unpins the entry; a zombie's buffers release on the last
+// unpin.
+func (s *outputStore) endServe(e *storeEntry) {
+	s.mu.Lock()
+	e.serving--
+	release := e.dead && e.serving == 0
+	s.mu.Unlock()
+	if release {
+		releasePayload(e.p)
+	}
+}
+
+// serveCopy serves the entry as an encoded Wire payload without
+// consuming it — the executor-local equivalent of a socket FETCH, so
+// local and remote consumers see identical multi-consumer semantics. A
+// payload with no wire form cannot be re-served; it falls back to the
+// legacy consuming pointer handover (a lost consumer there is recovered
+// by lineage, not re-fetch).
+func (s *outputStore) serveCopy(id MapOutputID) (Payload, bool, error) {
+	s.mu.Lock()
+	e, ok := s.m[id]
+	if !ok {
+		s.mu.Unlock()
+		return Payload{}, false, nil
+	}
+	if e.p.Encode == nil {
+		p, _ := s.removeLocked(id)
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	e.serving++
+	p := e.p
+	s.mu.Unlock()
+
+	var frame bytes.Buffer
+	err := p.Encode(&frame)
+	s.endServe(e)
+	if err != nil {
+		return Payload{}, false, fmt.Errorf("transport: encoding %v: %w", id, err)
+	}
+	return Payload{
+		Data:        Wire{Frame: frame.Bytes()},
+		SrcExecutor: p.SrcExecutor,
+		Bytes:       int64(frame.Len()),
+		MemBytes:    int64(frame.Len()),
+	}, true, nil
+}

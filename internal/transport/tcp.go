@@ -9,19 +9,20 @@ import (
 // TCP is the networked Transport for a single-process cluster: one
 // DataServer per executor, a driver-side location map from output id to
 // the executor holding it, and a shared pooled DataClient. It models the
-// paper's cluster deployments honestly within one process: a map output
-// fetched by its own executor crosses by pointer exactly as in-process
-// does, while a cross-executor fetch speaks a length-prefixed
-// request/response protocol ("FETCH id" → frame | NOTFOUND) over a real
-// socket — the payload is encoded by the source (Payload.Encode), the
-// frame bytes travel through the kernel's TCP stack, and the fetcher
-// receives a Wire payload to decode into its own executor's memory.
+// paper's cluster deployments honestly within one process: a
+// cross-executor fetch speaks a length-prefixed request/response
+// protocol ("FETCH id" → frame | NOTFOUND) over a real socket — the
+// payload is encoded by the source (Payload.Encode), the frame bytes
+// travel through the kernel's TCP stack, and the fetcher receives a Wire
+// payload to decode into its own executor's memory — while an
+// executor-local fetch encodes the same frame without the socket.
 // RemoteBytes counts the actual frame bytes moved, not an estimate.
 //
-// Serving is consuming: once a frame is written, the source buffer is
-// released by the server (the bytes left; the destination rebuilds its
-// own container), preserving the single-consumer ownership rule. Drop
-// purges whatever is still registered on every node and returns it.
+// Serving is non-consuming (the stage-commit ownership rule): the
+// location entry and the registered buffer survive every fetch, so
+// reduce retries and speculative twins can re-fetch. Commit/Abort end
+// the outputs' lifetime once the consuming stage settles; Drop purges
+// whatever is still registered on every node and returns it.
 //
 // The multi-process deployment reuses the same data plane (one
 // DataServer per deca-executor process, addresses advertised through
@@ -129,10 +130,11 @@ func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
 	return prev, replaced
 }
 
-// Fetch resolves the output's location and either hands it over by
-// pointer (same executor) or fetches its frame over the socket. A failed
-// round-trip (dial, write, read, deadline) returns a non-nil error and
-// leaves the output reachable for a retry; NOTFOUND returns ok=false with
+// Fetch resolves the output's location and serves a frame — over the
+// socket for a cross-executor fetch, encoded in place for a local one —
+// leaving the registration pinned for other consumers. A failed
+// round-trip (dial, write, read, deadline) returns a non-nil error with
+// the output still reachable for a retry; NOTFOUND returns ok=false with
 // a nil error.
 func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 	t.mu.Lock()
@@ -145,14 +147,13 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 		t.mu.Unlock()
 		return Payload{}, false, nil
 	}
-	delete(t.loc, id)
 	t.mu.Unlock()
 
 	node := t.nodes[src]
 	if src == dstExecutor {
-		p, ok := node.Take(id)
-		if !ok {
-			return Payload{}, false, nil
+		p, ok, err := node.ServeLocal(id)
+		if !ok || err != nil {
+			return Payload{}, false, err
 		}
 		t.mu.Lock()
 		t.stats.LocalFetches++
@@ -163,20 +164,15 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 
 	frame, err := t.client.Fetch(node.Addr(), id)
 	if err != nil {
-		// The round-trip failed (dial, write, read, deadline) — the output
-		// may well still be registered on the serving node. Restore the
-		// location entry so a retried fetch (or Drop) can still reach it;
-		// if the server did serve-and-release before the failure, the
-		// retry's take() simply misses.
-		t.mu.Lock()
-		if !t.closed {
-			t.loc[id] = src
-		}
-		t.mu.Unlock()
+		// The round-trip failed (dial, write, read, deadline). The
+		// registration was never consumed, so a retried fetch just works.
 		return Payload{}, false, err
 	}
 	if frame == nil {
-		// NOTFOUND: the serving node no longer holds the output.
+		// NOTFOUND: the node kept no servable frame for the id — the entry
+		// was purged by a racing Commit/Drop (its location is already
+		// gone), or it has no wire form (the location stays, so a local
+		// consumer or Drop can still reach the pinned payload).
 		return Payload{}, false, nil
 	}
 	t.mu.Lock()
@@ -189,6 +185,36 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 		Bytes:       int64(len(frame)),
 		MemBytes:    int64(len(frame)),
 	}, true, nil
+}
+
+// Commit ends the listed outputs' lifetime after their consuming stage
+// committed, returning the released payloads.
+func (t *TCP) Commit(ids []MapOutputID) []Payload { return t.purge(ids) }
+
+// Abort releases the listed outputs for an abandoned exchange round.
+func (t *TCP) Abort(ids []MapOutputID) []Payload { return t.purge(ids) }
+
+func (t *TCP) purge(ids []MapOutputID) []Payload {
+	type target struct {
+		id  MapOutputID
+		src int
+	}
+	t.mu.Lock()
+	var targets []target
+	for _, id := range ids {
+		if src, ok := t.loc[id]; ok {
+			targets = append(targets, target{id: id, src: src})
+			delete(t.loc, id)
+		}
+	}
+	t.mu.Unlock()
+	var out []Payload
+	for _, tg := range targets {
+		if p, ok := t.nodes[tg.src].Take(tg.id); ok {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Drop removes every output of the shuffle still registered on any node

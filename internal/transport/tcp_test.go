@@ -85,7 +85,7 @@ func TestTCPConfigurableListenAddrs(t *testing.T) {
 	}
 }
 
-func TestTCPLocalFetchIsPointerPath(t *testing.T) {
+func TestTCPLocalFetchServesFrameWithoutConsuming(t *testing.T) {
 	tr := newTCPT(t, 2)
 	buf := &fakeBuf{frame: []byte("hello")}
 	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 0}
@@ -95,19 +95,28 @@ func TestTCPLocalFetchIsPointerPath(t *testing.T) {
 	if !ok {
 		t.Fatal("local fetch missed")
 	}
-	if p.Data != buf {
-		t.Errorf("local fetch returned %T, want the registered pointer", p.Data)
+	if w, isWire := p.Data.(Wire); !isWire || string(w.Frame) != "hello" {
+		t.Errorf("local fetch returned %+v, want the encoded frame", p.Data)
 	}
 	if buf.released.Load() {
-		t.Error("local fetch must not release the buffer (the fetcher owns it)")
+		t.Error("local fetch must not release the source (it stays pinned until commit)")
 	}
 	st := tr.Stats()
 	if st.LocalFetches != 1 || st.RemoteFetches != 0 || st.LocalBytes != 5 {
 		t.Errorf("stats = %+v", st)
 	}
+	if tr.Pending() != 1 {
+		t.Errorf("pending = %d, want the source still registered", tr.Pending())
+	}
+	for _, c := range tr.Commit([]MapOutputID{id}) {
+		releasePayload(c)
+	}
+	if !buf.released.Load() || tr.Pending() != 0 {
+		t.Error("commit must release the pinned source")
+	}
 }
 
-func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
+func TestTCPRemoteFetchIsMultiConsumerUntilCommit(t *testing.T) {
 	tr := newTCPT(t, 3)
 	buf := &fakeBuf{frame: []byte("wire-frame-bytes")}
 	id := MapOutputID{Shuffle: 2, MapTask: 1, Reduce: 4}
@@ -127,16 +136,29 @@ func TestTCPRemoteFetchMovesFrameAndReleasesSource(t *testing.T) {
 	if p.SrcExecutor != 0 || p.Bytes != int64(len(w.Frame)) || p.MemBytes != p.Bytes {
 		t.Errorf("payload metadata = %+v", p)
 	}
-	if !buf.released.Load() {
-		t.Error("serving a frame must release the source buffer")
+	if buf.released.Load() {
+		t.Error("serving a frame must not release the pinned source")
 	}
 	st := tr.Stats()
 	if st.RemoteFetches != 1 || st.RemoteBytes != int64(len(w.Frame)) {
 		t.Errorf("stats = %+v", st)
 	}
-	// Single-consumer: the entry is gone.
+	// Multi-consumer: a second fetch (a reduce retry) serves again.
+	p2, ok, _ := tr.Fetch(id, 1)
+	if !ok {
+		t.Fatal("second fetch of a served id must succeed until commit")
+	}
+	if w2 := p2.Data.(Wire); string(w2.Frame) != "wire-frame-bytes" {
+		t.Errorf("re-served frame = %q", w2.Frame)
+	}
+	for _, c := range tr.Commit([]MapOutputID{id}) {
+		releasePayload(c)
+	}
+	if !buf.released.Load() {
+		t.Error("commit must release the source buffer")
+	}
 	if _, ok, _ := tr.Fetch(id, 2); ok {
-		t.Error("second fetch of a served id must miss")
+		t.Error("fetch after commit must miss")
 	}
 	if tr.Pending() != 0 {
 		t.Errorf("pending = %d", tr.Pending())
@@ -148,23 +170,31 @@ func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
 		t.Error("fetch of unregistered id should miss")
 	}
-	// A payload with no wire form can only cross by pointer; remote
-	// fetches miss and the popped buffer is released server-side.
+	// A payload with no wire form cannot be copied: remote fetches miss
+	// (the entry survives for a local consumer), and a local fetch falls
+	// back to the consuming pointer handover.
 	buf := &fakeBuf{frame: []byte("x")}
 	id := MapOutputID{Shuffle: 3, MapTask: 0, Reduce: 0}
 	tr.Register(id, Payload{Data: buf, SrcExecutor: 0, Bytes: 1})
 	if _, ok, _ := tr.Fetch(id, 1); ok {
 		t.Error("remote fetch of unencodable payload should miss")
 	}
-	if !buf.released.Load() {
-		t.Error("unencodable payload must be released after the failed serve")
+	if buf.released.Load() {
+		t.Error("a failed remote serve must not release the entry (a local consumer can still take it)")
+	}
+	if tr.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", tr.Pending())
+	}
+	p, ok, _ := tr.Fetch(id, 0)
+	if !ok || p.Data != buf {
+		t.Fatalf("local fetch of unencodable payload = %+v, %v, want the pointer handover", p, ok)
 	}
 	if tr.Pending() != 0 {
-		t.Errorf("pending = %d", tr.Pending())
+		t.Errorf("pending = %d after the consuming fallback", tr.Pending())
 	}
 }
 
-func TestTCPDropReturnsUnfetched(t *testing.T) {
+func TestTCPDropReturnsRegisteredIncludingServed(t *testing.T) {
 	tr := newTCPT(t, 4)
 	var bufs []*fakeBuf
 	for m := 0; m < 4; m++ {
@@ -172,21 +202,23 @@ func TestTCPDropReturnsUnfetched(t *testing.T) {
 		bufs = append(bufs, b)
 		tr.Register(MapOutputID{Shuffle: 5, MapTask: m, Reduce: 0}, b.payload(m))
 	}
-	tr.Register(MapOutputID{Shuffle: 6, MapTask: 0, Reduce: 0}, (&fakeBuf{frame: []byte("other")}).payload(0))
+	other := &fakeBuf{frame: []byte("other")}
+	tr.Register(MapOutputID{Shuffle: 6, MapTask: 0, Reduce: 0}, other.payload(0))
 
+	// A served output stays registered, so Drop still returns it.
 	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1); !ok {
 		t.Fatal("fetch failed")
 	}
 	dropped := tr.Drop(5)
-	if len(dropped) != 3 {
-		t.Fatalf("dropped %d payloads, want 3", len(dropped))
+	if len(dropped) != 4 {
+		t.Fatalf("dropped %d payloads, want 4 (serving does not consume)", len(dropped))
 	}
 	for _, p := range dropped {
 		releasePayload(p)
 	}
 	for m, b := range bufs {
 		if !b.released.Load() {
-			t.Errorf("map %d output not released after drop+release (or serve)", m)
+			t.Errorf("map %d output not released after drop+release", m)
 		}
 	}
 	if tr.Pending() != 1 {
@@ -213,11 +245,17 @@ func TestTCPRegisterTwiceReturnsReplaced(t *testing.T) {
 		t.Error("released replaced payload still live")
 	}
 	p, ok, _ := tr.Fetch(id, 2)
-	if !ok || p.Data != fresh {
-		t.Fatalf("fetch after replace = %+v, %v", p, ok)
+	if !ok {
+		t.Fatal("fetch after replace missed")
 	}
-	if tr.Pending() != 0 {
-		t.Errorf("pending = %d", tr.Pending())
+	if w, isWire := p.Data.(Wire); !isWire || string(w.Frame) != "new" {
+		t.Fatalf("fetch after replace = %+v", p.Data)
+	}
+	for _, c := range tr.Abort([]MapOutputID{id}) {
+		releasePayload(c)
+	}
+	if !fresh.released.Load() || tr.Pending() != 0 {
+		t.Error("abort must release the replacement entry")
 	}
 }
 
@@ -280,8 +318,89 @@ func TestTCPConcurrentFetches(t *testing.T) {
 	if st.RemoteFetches == 0 {
 		t.Error("expected remote fetches")
 	}
+	// Every source stays pinned through its fetch; the stage commit
+	// releases them all.
+	if tr.Pending() != n {
+		t.Errorf("pending = %d, want %d pinned sources", tr.Pending(), n)
+	}
+	ids := make([]MapOutputID, n)
+	for i := range ids {
+		ids[i] = MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}
+	}
+	for _, p := range tr.Commit(ids) {
+		releasePayload(p)
+	}
+	for i, b := range bufs {
+		if !b.released.Load() {
+			t.Errorf("buffer %d not released by commit", i)
+		}
+	}
 	if tr.Pending() != 0 {
-		t.Errorf("pending = %d", tr.Pending())
+		t.Errorf("pending = %d after commit", tr.Pending())
+	}
+}
+
+// TestTCPMidServeDisplacementDefersRelease: a Register that displaces an
+// entry while a serve goroutine is encoding it must not let the caller
+// release the buffer out from under the encoder — the store defers the
+// release to the end of the in-flight serve and reports no replacement.
+func TestTCPMidServeDisplacementDefersRelease(t *testing.T) {
+	tr := newTCPT(t, 2)
+	id := MapOutputID{Shuffle: 8, MapTask: 0, Reduce: 0}
+
+	old := &fakeBuf{frame: []byte("v1")}
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	tr.Register(id, Payload{
+		Data:        old,
+		SrcExecutor: 0,
+		Bytes:       2,
+		Encode: func(w io.Writer) error {
+			close(entered)
+			<-unblock
+			_, err := w.Write(old.frame)
+			return err
+		},
+	})
+
+	fetchDone := make(chan struct{})
+	go func() {
+		defer close(fetchDone)
+		tr.Fetch(id, 1) // blocks in the server-side Encode
+	}()
+	<-entered
+
+	fresh := &fakeBuf{frame: []byte("v2")}
+	_, replaced := tr.Register(id, fresh.payload(0))
+	if replaced {
+		t.Error("mid-serve displacement must not hand the payload to the caller")
+	}
+	if old.released.Load() {
+		t.Fatal("displaced buffer released while a serve was encoding it")
+	}
+	close(unblock)
+	<-fetchDone
+	// The zombie releases server-side once the in-flight serve ends.
+	deadline := time.Now().Add(2 * time.Second)
+	for !old.released.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("displaced buffer never released after the serve ended")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The replacement serves normally and commits away.
+	p, ok, err := tr.Fetch(id, 1)
+	if err != nil || !ok {
+		t.Fatalf("fetch of replacement = (ok=%v, err=%v)", ok, err)
+	}
+	if w := p.Data.(Wire); string(w.Frame) != "v2" {
+		t.Errorf("replacement frame = %q", w.Frame)
+	}
+	for _, c := range tr.Commit([]MapOutputID{id}) {
+		releasePayload(c)
+	}
+	if !fresh.released.Load() || tr.Pending() != 0 {
+		t.Error("replacement not released by commit")
 	}
 }
 

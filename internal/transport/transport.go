@@ -7,11 +7,19 @@
 // the interface is deliberately payload-agnostic because the shuffle
 // buffers are generic types the engine casts back on arrival.
 //
-// Ownership rule: a registered payload belongs to the transport until it
-// is fetched (fetch is single-consumer and removes the entry) or dropped;
-// after Fetch the reduce task owns it and must release it. Drop returns
-// whatever was still registered so the caller can release those buffers —
-// the error-path lifetime end of map output that was never consumed.
+// Ownership rule (stage-commit protocol): a registered payload belongs to
+// the transport until the driver commits the consuming stage (Commit),
+// the exchange round is abandoned (Abort), or the shuffle is dropped.
+// Fetch serves a *copy* — an encoded wire frame the consumer decodes into
+// its own memory — and never consumes the registration, so any number of
+// consumers (reduce retries after a mid-merge failure, speculative twins)
+// can fetch the same output. Commit/Abort/Drop return whatever was still
+// registered so the caller can release those buffers — the lifetime end
+// of every map output is one of those three calls, never a fetch. The
+// one exception is a payload with no wire form (Encode nil): it cannot
+// be copied, so fetching it consumes the registration as under the old
+// single-consumer rule, and a consumer that dies with it is recovered by
+// lineage (re-running the producing map task) rather than re-fetch.
 package transport
 
 import (
@@ -35,9 +43,7 @@ func (id MapOutputID) String() string {
 }
 
 // Payload is a registered map output: the buffer itself plus its origin
-// executor and estimated size, for locality accounting. In-process the
-// Data crosses by pointer (zero copy, zero serialization); a network
-// transport would move Bytes over the wire instead. MemBytes is the
+// executor and estimated size, for locality accounting. MemBytes is the
 // in-memory portion of Bytes (excluding spill files, which stay on disk
 // until drained) — the amount a fetch actually brings into the reduce
 // executor's memory, used to budget fetch pipelining. A fully-spilled
@@ -49,26 +55,26 @@ type Payload struct {
 	Bytes       int64
 	MemBytes    int64
 	// Encode writes the payload's self-describing wire frame — the byte
-	// representation a network transport ships instead of the Data
-	// pointer. Nil means the payload has no wire form; such entries can
-	// only be fetched executor-locally. After a remote serve, the
-	// transport releases the source buffer (Data's Release method, when
-	// present): the bytes have left, and the destination rebuilds its own
-	// container from the frame.
+	// representation every serve ships instead of the Data pointer, so
+	// the registered buffer survives its consumers. Encode must be
+	// re-invocable and safe for concurrent use (it reads the buffer, it
+	// never drains it); the registered Data must not be mutated while
+	// registered. Nil means the payload has no wire form; fetching such
+	// an entry consumes it (single-consumer fallback).
 	Encode func(w io.Writer) error
 }
 
-// Wire is the Data of a payload that arrived over a network transport:
-// the raw frame bytes produced by the source's Payload.Encode. The
-// fetching layer decodes it into a container in the destination
-// executor's memory manager; the transport itself never interprets it.
+// Wire is the Data of a payload that was served as an encoded frame: the
+// raw bytes produced by the source's Payload.Encode. The fetching layer
+// decodes it into a container in the destination executor's memory
+// manager; the transport itself never interprets it.
 type Wire struct {
 	Frame []byte
 }
 
 // Stats counts transport traffic. A fetch is "local" when the requesting
 // executor is the one that registered the output, "remote" otherwise —
-// the cross-executor shuffle traffic a network transport would pay for.
+// the cross-executor shuffle traffic a real network would pay for.
 type Stats struct {
 	Registered    uint64
 	LocalFetches  uint64
@@ -82,20 +88,34 @@ type Transport interface {
 	// Register publishes a map output. Registering the same id twice
 	// replaces the entry (task retry semantics) and returns the payload it
 	// displaced with replaced=true, so the caller can release the old
-	// buffers instead of leaking them.
+	// buffers instead of leaking them. A displaced entry that is mid-serve
+	// is released by the transport once the serve ends (replaced=false).
 	Register(id MapOutputID, p Payload) (prev Payload, replaced bool)
-	// Fetch hands the output to the reduce task running on dstExecutor and
-	// removes the entry. ok=false with a nil error means nothing is
-	// registered under id (definitively missing — retrying cannot help); a
-	// non-nil error is a transient transport fault (socket error, timeout,
-	// injected fault) that did NOT consume the registration, so the caller
-	// may retry the fetch. A networked transport returns the registered
-	// payload by pointer when dstExecutor is the registering executor, and
-	// a Wire-framed payload — Data holding the encoded frame,
-	// Bytes/MemBytes the frame length — after a cross-executor fetch.
+	// Fetch serves the output to the reduce task running on dstExecutor
+	// without consuming the registration: the returned payload is a
+	// Wire-framed copy (Data holding the encoded frame, Bytes/MemBytes the
+	// frame length) the caller owns and decodes, while the source stays
+	// pinned for other consumers until Commit/Abort/Drop. ok=false with a
+	// nil error means nothing is registered under id (definitively missing
+	// — lineage must re-run the producing map task); a non-nil error is a
+	// transient fault (socket error, timeout, injected fault) that left
+	// the registration intact, so the caller may retry. Payloads without a
+	// wire form are handed over by pointer and consumed (see the package
+	// ownership rule).
 	Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error)
+	// Commit ends the listed outputs' lifetime after their consuming stage
+	// committed: the registrations are removed and the still-registered
+	// payloads returned for the caller to release (mid-serve entries
+	// release transport-side when their last serve ends).
+	Commit(ids []MapOutputID) []Payload
+	// Abort is Commit for an abandoned exchange round: same release
+	// mechanics, kept distinct so call sites document whether the
+	// consuming stage succeeded or the round is being torn down for a
+	// retry.
+	Abort(ids []MapOutputID) []Payload
 	// Drop removes every output of the shuffle still registered and
-	// returns them, so the caller can release the buffers.
+	// returns them, so the caller can release the buffers (terminal
+	// shuffle teardown).
 	Drop(shuffle ShuffleID) []Payload
 	// Stats snapshots the traffic counters.
 	Stats() Stats

@@ -168,3 +168,84 @@ func TestMultiprocSIGKILLPageRank(t *testing.T) {
 		t.Errorf("chaos kill never fired")
 	}
 }
+
+// TestMultiprocReduceKillLineageRepair is the acceptance scenario across
+// real processes: an executor process is SIGKILLed on a reduce attempt —
+// after its map attempts registered their outputs — so the surviving
+// reduce attempts observe definitive misses for exactly that process's
+// map outputs. The driver must repair by lineage (re-running only the
+// lost map tasks, visible as LineageMapReruns), blacklist the dead
+// process, and still produce byte-identical WC output.
+func TestMultiprocReduceKillLineageRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	params := WCParams{DistinctKeys: 3_000, WordsPerLine: 8, Lines: 5_000}
+
+	clean, err := WordCount(inprocessCfg(t, 3), params)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	// 3 executors, 6 partitions: executor 1 draws 2 action attempts, then
+	// 2 map attempts, then 2 reduce attempts. KillAfter=5 lets the first
+	// five start and fires on its second reduce attempt — after both its
+	// map tasks registered outputs, so the loss is precisely their
+	// registrations.
+	cfg := multiprocCfg(t, 3)
+	inj := chaos.New(17)
+	inj.KillExecutor = 1
+	inj.KillAfter = 5
+	cfg.Chaos = inj
+	cfg.MaxTaskRetries = 5
+	cfg.MaxExecutorFailures = 2
+	res, err := WordCount(cfg, params)
+	if err != nil {
+		t.Fatalf("multiproc with reduce-stage SIGKILL: %v", err)
+	}
+	t.Logf("recovery: retries=%d failed=%d lineage=%d blacklisted=%d kills=%d",
+		res.TaskRetries, res.TasksFailed, res.LineageMapReruns, res.ExecutorsBlacklisted, inj.Stats().Kills)
+	if res.Checksum != clean.Checksum {
+		t.Errorf("checksum after reduce-stage SIGKILL = %v, want %v", res.Checksum, clean.Checksum)
+	}
+	if inj.Stats().Kills == 0 {
+		t.Fatalf("chaos kill never fired")
+	}
+	if res.LineageMapReruns == 0 {
+		t.Errorf("no lineage map re-runs: recovery fell back to a whole-exchange re-run")
+	}
+	if res.LineageMapReruns > 2 {
+		t.Errorf("LineageMapReruns = %d, want <= 2 (only the dead executor's map tasks)", res.LineageMapReruns)
+	}
+	if res.ExecutorsBlacklisted == 0 {
+		t.Errorf("the SIGKILLed executor was never blacklisted")
+	}
+}
+
+// TestMultiprocFetchFaultChaos: Config.FetchFailureRate travels in the
+// plan, so each *executor process* builds its own deterministic injector
+// and fails fetches inside the data plane where they actually happen;
+// per-fetch retries (and task retries above them) must still converge on
+// the byte-identical answer.
+func TestMultiprocFetchFaultChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	params := WCParams{DistinctKeys: 2_000, WordsPerLine: 8, Lines: 3_000}
+
+	clean, err := WordCount(inprocessCfg(t, 2), params)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	cfg := multiprocCfg(t, 2)
+	cfg.FetchFailureRate = 0.25
+	cfg.MaxTaskRetries = 5
+	res, err := WordCount(cfg, params)
+	if err != nil {
+		t.Fatalf("multiproc with executor-side fetch faults: %v", err)
+	}
+	if res.Checksum != clean.Checksum {
+		t.Errorf("checksum under fetch faults = %v, want %v", res.Checksum, clean.Checksum)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"deca/internal/ctl"
 	"deca/internal/engine"
@@ -23,26 +24,32 @@ import (
 
 // PlanSpec is the serialized plan: which workload, every engine knob
 // that must match across processes, and the workload's parameters.
-// Chaos injection is deliberately absent — faults are a driver-side
-// scheduling concern (and real process kills), never mirrored state.
+// Scheduling-level chaos (task failures, kills) is deliberately absent —
+// those faults are a driver-side concern (and real process kills), never
+// mirrored state. Data-plane chaos is the exception: fetch faults happen
+// inside the executor processes, so the plan carries a seed and rate and
+// each executor builds its own deterministic injector from them.
 type PlanSpec struct {
 	Workload string // "wc" | "lr" | "kmeans" | "pr" | "cc"
 
-	Mode                  int
-	NumExecutors          int
-	Parallelism           int
-	Partitions            int
-	MemoryBudget          int64
-	StorageFraction       float64
-	PageSize              int
-	SpillDir              string
-	ShuffleSpillThreshold int64
-	FetchConcurrency      int
-	DisableZeroCopyMerge  bool
-	MaxTaskRetries        int
-	MaxExecutorFailures   int
-	SpeculationEnabled    bool
-	Seed                  int64
+	Mode                    int
+	NumExecutors            int
+	Parallelism             int
+	Partitions              int
+	MemoryBudget            int64
+	StorageFraction         float64
+	PageSize                int
+	SpillDir                string
+	ShuffleSpillThreshold   int64
+	FetchConcurrency        int
+	DisableZeroCopyMerge    bool
+	MaxTaskRetries          int
+	MaxExecutorFailures     int
+	SpeculationEnabled      bool
+	SpeculateReduce         bool
+	BlacklistProbationAfter int64 // nanoseconds
+	FetchFailureRate        float64
+	Seed                    int64
 
 	WC    WCParams     `json:",omitempty"`
 	LR    LRParams     `json:",omitempty"`
@@ -67,28 +74,34 @@ func (s *PlanSpec) fill(cfg Config) {
 	s.MaxTaskRetries = cfg.MaxTaskRetries
 	s.MaxExecutorFailures = cfg.MaxExecutorFailures
 	s.SpeculationEnabled = cfg.SpeculationEnabled
+	s.SpeculateReduce = cfg.SpeculateReduce
+	s.BlacklistProbationAfter = int64(cfg.BlacklistProbationAfter)
+	s.FetchFailureRate = cfg.FetchFailureRate
 	s.Seed = cfg.Seed
 }
 
 // config rebuilds the workload config a mirror runs the plan under.
 func (s *PlanSpec) config(f *ctl.Follower) Config {
 	return Config{
-		Mode:                  engine.Mode(s.Mode),
-		NumExecutors:          s.NumExecutors,
-		Parallelism:           s.Parallelism,
-		Partitions:            s.Partitions,
-		MemoryBudget:          s.MemoryBudget,
-		StorageFraction:       s.StorageFraction,
-		PageSize:              s.PageSize,
-		SpillDir:              s.SpillDir,
-		ShuffleSpillThreshold: s.ShuffleSpillThreshold,
-		FetchConcurrency:      s.FetchConcurrency,
-		DisableZeroCopyMerge:  s.DisableZeroCopyMerge,
-		MaxTaskRetries:        s.MaxTaskRetries,
-		MaxExecutorFailures:   s.MaxExecutorFailures,
-		SpeculationEnabled:    s.SpeculationEnabled,
-		Seed:                  s.Seed,
-		Follower:              f,
+		Mode:                    engine.Mode(s.Mode),
+		NumExecutors:            s.NumExecutors,
+		Parallelism:             s.Parallelism,
+		Partitions:              s.Partitions,
+		MemoryBudget:            s.MemoryBudget,
+		StorageFraction:         s.StorageFraction,
+		PageSize:                s.PageSize,
+		SpillDir:                s.SpillDir,
+		ShuffleSpillThreshold:   s.ShuffleSpillThreshold,
+		FetchConcurrency:        s.FetchConcurrency,
+		DisableZeroCopyMerge:    s.DisableZeroCopyMerge,
+		MaxTaskRetries:          s.MaxTaskRetries,
+		MaxExecutorFailures:     s.MaxExecutorFailures,
+		SpeculationEnabled:      s.SpeculationEnabled,
+		SpeculateReduce:         s.SpeculateReduce,
+		BlacklistProbationAfter: time.Duration(s.BlacklistProbationAfter),
+		FetchFailureRate:        s.FetchFailureRate,
+		Seed:                    s.Seed,
+		Follower:                f,
 	}
 }
 

@@ -57,9 +57,21 @@ type Config struct {
 	MaxExecutorFailures int
 	// SpeculationEnabled duplicates straggler map tasks.
 	SpeculationEnabled bool
+	// SpeculateReduce extends speculation to reduce stages (their serving
+	// is non-consuming under the stage-commit protocol, so twins are
+	// safe; the loser's merge is cancelled and released).
+	SpeculateReduce bool
+	// BlacklistProbationAfter re-admits a blacklisted executor with one
+	// probe task after this long (0 = blacklisting is permanent).
+	BlacklistProbationAfter time.Duration
 	// Chaos injects deterministic faults (nil = none).
 	Chaos *chaos.Injector
-	Seed  int64
+	// FetchFailureRate injects transient data-plane fetch faults *inside
+	// the executor processes* of a multiproc run (each executor builds a
+	// chaos injector from the plan). In-process deployments just set it
+	// on the driver injector.
+	FetchFailureRate float64
+	Seed             int64
 	// Deploy selects the deployment (engine.DeployMultiproc runs each
 	// executor as a spawned deca-executor process; ExecutorCmd is its
 	// argv prefix, required then).
@@ -83,27 +95,48 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// chaosInjector resolves the injector the engine runs under: the
+// explicit one, or one built from FetchFailureRate — the knob a
+// multiproc plan can carry to executor processes, where data-plane
+// faults actually happen.
+func (c Config) chaosInjector() *chaos.Injector {
+	if c.Chaos != nil {
+		if c.FetchFailureRate > 0 && c.Chaos.FetchFailureRate == 0 {
+			c.Chaos.FetchFailureRate = c.FetchFailureRate
+		}
+		return c.Chaos
+	}
+	if c.FetchFailureRate <= 0 {
+		return nil
+	}
+	inj := chaos.New(c.Seed)
+	inj.FetchFailureRate = c.FetchFailureRate
+	return inj
+}
+
 func (c Config) newEngine() *engine.Context {
 	return engine.New(engine.Config{
-		NumExecutors:          c.NumExecutors,
-		Parallelism:           c.Parallelism,
-		NumPartitions:         c.Partitions,
-		Mode:                  c.Mode,
-		PageSize:              c.PageSize,
-		MemoryBudget:          c.MemoryBudget,
-		StorageFraction:       c.StorageFraction,
-		SpillDir:              c.SpillDir,
-		ShuffleSpillThreshold: c.ShuffleSpillThreshold,
-		FetchConcurrency:      c.FetchConcurrency,
-		DisableZeroCopyMerge:  c.DisableZeroCopyMerge,
-		TransportKind:         c.TransportKind,
-		MaxTaskRetries:        c.MaxTaskRetries,
-		MaxExecutorFailures:   c.MaxExecutorFailures,
-		SpeculationEnabled:    c.SpeculationEnabled,
-		Chaos:                 c.Chaos,
-		DeployKind:            c.Deploy,
-		ExecutorCmd:           c.ExecutorCmd,
-		CtlFollower:           c.Follower,
+		NumExecutors:            c.NumExecutors,
+		Parallelism:             c.Parallelism,
+		NumPartitions:           c.Partitions,
+		Mode:                    c.Mode,
+		PageSize:                c.PageSize,
+		MemoryBudget:            c.MemoryBudget,
+		StorageFraction:         c.StorageFraction,
+		SpillDir:                c.SpillDir,
+		ShuffleSpillThreshold:   c.ShuffleSpillThreshold,
+		FetchConcurrency:        c.FetchConcurrency,
+		DisableZeroCopyMerge:    c.DisableZeroCopyMerge,
+		TransportKind:           c.TransportKind,
+		MaxTaskRetries:          c.MaxTaskRetries,
+		MaxExecutorFailures:     c.MaxExecutorFailures,
+		SpeculationEnabled:      c.SpeculationEnabled,
+		SpeculateReduce:         c.SpeculateReduce,
+		BlacklistProbationAfter: c.BlacklistProbationAfter,
+		Chaos:                   c.chaosInjector(),
+		DeployKind:              c.Deploy,
+		ExecutorCmd:             c.ExecutorCmd,
+		CtlFollower:             c.Follower,
 	})
 }
 
@@ -126,13 +159,15 @@ type Result struct {
 	RemoteShuffleFetches int64
 	RemoteShuffleBytes   int64
 	// Fault-tolerance counters: failed and retried task attempts (the
-	// recomputation volume), speculative duplicates, and executors
-	// blacklisted during the run.
+	// recomputation volume), speculative duplicates, executors
+	// blacklisted during the run, and map tasks re-run by lineage repair
+	// after their outputs were definitively lost.
 	TasksFailed          int64
 	TaskRetries          int64
 	SpeculativeLaunched  int64
 	SpeculativeWon       int64
 	ExecutorsBlacklisted int64
+	LineageMapReruns     int64
 }
 
 func (r Result) String() string {
@@ -192,6 +227,7 @@ func run(name string, cfg Config, spec PlanSpec, body func(ctx *engine.Context) 
 		SpeculativeLaunched:  metrics.SpeculativeLaunched.Load(),
 		SpeculativeWon:       metrics.SpeculativeWon.Load(),
 		ExecutorsBlacklisted: metrics.ExecutorsBlacklisted.Load(),
+		LineageMapReruns:     metrics.LineageMapReruns.Load(),
 	}, nil
 }
 
