@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"deca/internal/memory"
 	"deca/internal/serial"
 	"deca/internal/shuffle"
+	"deca/internal/transport"
 )
 
 // WireThroughput is the serialization claim of §6.5 measured end to end
@@ -173,7 +175,132 @@ func WireThroughput(o Options) (*Report, error) {
 		rep.add("%-4s Deca/Object ratio: encode %.1fx, decode %.1fx",
 			shape, ratio(d[0], obj[0]), ratio(d[1], obj[1]))
 	}
+	if err := serveFetchRows(rep, o, decaMem, records, dim, iters); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// serveFetchRows measures the data plane end to end: a DataServer serving
+// Deca frames through a real socket pair, fetched by a pooled DataClient,
+// vectored (writev page segments, sendfile spill runs) against buffered
+// (the frame staged through Encode into one contiguous buffer). Sort
+// containers carry the frames because their byte stream is deterministic
+// (a pointer array, no map iteration), so the two serve paths must
+// produce bit-identical frames — the checksum row enforces it. The
+// userspace-copy metric records how many frame bytes each path staged
+// through user memory per fetch: the buffered path stages the whole
+// frame, the vectored path only its varint headers and pointer tables.
+func serveFetchRows(rep *Report, o Options, mem *memory.Manager, records, dim, iters int) error {
+	// In-memory container: every record in pages. Spill-backed container:
+	// the first fill forced to disk, a second fill resident — its frame
+	// exercises pages and the sendfile run path in one serve.
+	dMem := shuffle.NewDecaSort[int64, []int64](mem, lessI64,
+		decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, o.SpillDir)
+	dSp := shuffle.NewDecaSort[int64, []int64](mem, lessI64,
+		decompose.Int64Codec{}, decompose.Int64VecCodec{Dim: dim}, o.SpillDir)
+	defer dMem.Release()
+	defer dSp.Release()
+	vec := make([]int64, dim)
+	fill := func(b *shuffle.DecaSort[int64, []int64]) {
+		for i := 0; i < records; i++ {
+			for d := range vec {
+				vec[d] = int64(1)<<55 + int64(i*dim+d)
+			}
+			b.Put(int64(i), vec)
+		}
+	}
+	fill(dMem)
+	fill(dSp)
+	if err := dSp.Spill(); err != nil {
+		return fmt.Errorf("wire: spill: %w", err)
+	}
+	fill(dSp)
+
+	srv, err := transport.NewDataServer("")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	client := transport.NewDataClient(0)
+	defer client.Close()
+
+	cases := []struct {
+		label    string
+		sink     *shuffle.DecaSort[int64, []int64]
+		vectored bool
+	}{
+		{"serve/sort Deca mem", dMem, true},
+		{"serve/sort Deca mem", dMem, false},
+		{"serve/sort Deca spill", dSp, true},
+		{"serve/sort Deca spill", dSp, false},
+	}
+	sums := make([]uint32, len(cases))
+	rates := make([]float64, len(cases))
+	for ci, c := range cases {
+		id := transport.MapOutputID{Shuffle: 1000, MapTask: ci, Reduce: 0}
+		pl := transport.Payload{
+			Data:     c.sink,
+			Bytes:    c.sink.SizeBytes() + c.sink.SpilledBytes(),
+			MemBytes: c.sink.SizeBytes(),
+			Encode:   c.sink.EncodeWire,
+		}
+		if c.vectored {
+			pl.Segments = c.sink.EncodeSegments
+		}
+		srv.Put(id, pl)
+
+		var sum uint32
+		open := func(r transport.FrameReader, size int64) (transport.Decoded, error) {
+			h := crc32.NewIEEE()
+			if _, err := io.Copy(h, r); err != nil {
+				return transport.Decoded{}, err
+			}
+			sum = h.Sum32()
+			return transport.Decoded{}, nil
+		}
+		var before, after transport.Stats
+		srv.ServeStats(&before)
+		var size int64
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			_, n, found, err := client.FetchInto(srv.Addr(), id, open)
+			if err != nil {
+				return fmt.Errorf("wire: fetch %s: %w", c.label, err)
+			}
+			if !found {
+				return fmt.Errorf("wire: fetch %s: not found", c.label)
+			}
+			size = n
+		}
+		dur := time.Since(start)
+		srv.ServeStats(&after)
+		sums[ci] = sum
+		rates[ci] = throughputMBps(size, iters, dur)
+		userCopy := (after.UserspaceCopyBytes - before.UserspaceCopyBytes) / int64(iters)
+		sendfile := (after.BytesSendfile - before.BytesSendfile) / int64(iters)
+		mode := "buffered"
+		if c.vectored {
+			mode = "vectored"
+		}
+		rep.metric(Metric{Name: c.label + " " + mode, Mode: mode, Bytes: size,
+			WallMS:   float64(dur) / float64(time.Millisecond) / float64(iters),
+			Checksum: float64(sum)})
+		rep.metric(Metric{Name: "usercopy/" + c.label + " " + mode, Mode: mode, Bytes: userCopy,
+			Checksum: float64(userCopy)})
+		rep.add("%-21s %-8s frame=%-9s fetch=%8.1fMB/s usercopy=%-9s sendfile=%s",
+			c.label, mode, mb(size), rates[ci], mb(userCopy), mb(sendfile))
+	}
+	// Cases pair vectored/buffered per container: mem at 0/1, spill at 2/3.
+	for i, shape := range []string{"mem", "spill"} {
+		if sums[2*i] != sums[2*i+1] {
+			return fmt.Errorf("wire: %s frames differ between vectored (%08x) and buffered (%08x) serve",
+				shape, sums[2*i], sums[2*i+1])
+		}
+		rep.add("%-5s vectored/buffered serve ratio: %.2fx (frames bit-identical, crc %08x)",
+			shape, ratio(rates[2*i], rates[2*i+1]), sums[2*i])
+	}
+	return nil
 }
 
 func combineVec(a, b []int64) []int64 {

@@ -272,12 +272,14 @@ func (t *Transport) Register(id transport.MapOutputID, p transport.Payload) (tra
 	return t.inner.Register(id, p)
 }
 
-// Fetch injects a fault or delegates.
-func (t *Transport) Fetch(id transport.MapOutputID, dstExecutor int) (transport.Payload, bool, error) {
+// Fetch injects a fault or delegates. The streaming-decode hook passes
+// through untouched: injected faults fire before any wire byte moves, so
+// the registered output is never half-decoded by a failed fetch.
+func (t *Transport) Fetch(id transport.MapOutputID, dstExecutor int, open transport.FrameOpen) (transport.Payload, bool, error) {
 	if err := t.inj.fetchFault(id); err != nil {
 		return transport.Payload{}, false, err
 	}
-	return t.inner.Fetch(id, dstExecutor)
+	return t.inner.Fetch(id, dstExecutor, open)
 }
 
 // Commit delegates to the inner transport (commits are a driver

@@ -119,7 +119,7 @@ func TestTransportWrapperInjectsAndDelegates(t *testing.T) {
 	id := transport.MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 0}
 	tr.Register(id, transport.Payload{Data: "buf", SrcExecutor: 0, Bytes: 3})
 
-	_, ok, err := tr.Fetch(id, 0)
+	_, ok, err := tr.Fetch(id, 0, nil)
 	if ok || !errors.Is(err, ErrInjected) {
 		t.Fatalf("first fetch = (ok=%v, err=%v), want injected failure", ok, err)
 	}
@@ -127,7 +127,7 @@ func TestTransportWrapperInjectsAndDelegates(t *testing.T) {
 		t.Fatalf("injected failure consumed the registration (pending=%d)", tr.Pending())
 	}
 	// The retry goes through untouched.
-	p, ok, err := tr.Fetch(id, 0)
+	p, ok, err := tr.Fetch(id, 0, nil)
 	if err != nil || !ok || p.Data != "buf" {
 		t.Fatalf("retry fetch = (%v, %v, %v)", p, ok, err)
 	}

@@ -172,6 +172,9 @@ type MetricsSnapshot struct {
 	SwapOutBytes         int64
 	SwapInBytes          int64
 	CacheMemBytes        int64
+	PagesServedZeroCopy  int64
+	BytesSendfile        int64
+	UserspaceCopyBytes   int64
 }
 
 func (m MetricsSnapshot) fields() []int64 {
@@ -180,6 +183,7 @@ func (m MetricsSnapshot) fields() []int64 {
 		m.LocalShuffleFetches, m.RemoteShuffleFetches, m.RemoteShuffleBytes,
 		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheDrops,
 		m.SwapOutBytes, m.SwapInBytes, m.CacheMemBytes,
+		m.PagesServedZeroCopy, m.BytesSendfile, m.UserspaceCopyBytes,
 	}
 }
 
@@ -194,7 +198,7 @@ func appendSnapshot(dst []byte, m MetricsSnapshot) []byte {
 
 func decodeSnapshot(d *dec) MetricsSnapshot {
 	n := int(d.uint())
-	vals := make([]int64, 12)
+	vals := make([]int64, 15)
 	for i := 0; i < n; i++ {
 		v := d.int()
 		if i < len(vals) {
@@ -206,6 +210,7 @@ func decodeSnapshot(d *dec) MetricsSnapshot {
 		LocalShuffleFetches: vals[2], RemoteShuffleFetches: vals[3], RemoteShuffleBytes: vals[4],
 		CacheHits: vals[5], CacheMisses: vals[6], CacheEvictions: vals[7], CacheDrops: vals[8],
 		SwapOutBytes: vals[9], SwapInBytes: vals[10], CacheMemBytes: vals[11],
+		PagesServedZeroCopy: vals[12], BytesSendfile: vals[13], UserspaceCopyBytes: vals[14],
 	}
 }
 

@@ -196,6 +196,12 @@ type Config struct {
 	// the measured baseline of the merge experiment. Default off: Deca
 	// reduce tasks adopt map-output page groups by reference.
 	DisableZeroCopyMerge bool
+	// DisableVectoredServe forces every serve onto the buffered Encode
+	// path — the frame staged into one buffer before writing — instead of
+	// attaching segment encoders to Deca payloads (writev page segments,
+	// sendfile spill runs). The measured baseline of the wire experiment's
+	// serve rows. Default off: Deca payloads serve vectored.
+	DisableVectoredServe bool
 	// TransportKind selects how shuffle map output crosses executors:
 	// TransportInProcess (default) by pointer, TransportTCP as wire
 	// frames over per-executor loopback sockets.
@@ -347,6 +353,35 @@ type Metrics struct {
 	LocalShuffleFetches  atomic.Int64
 	RemoteShuffleFetches atomic.Int64
 	RemoteShuffleBytes   atomic.Int64
+	// Serve-path copy accounting, mirrored from transport.Stats on
+	// MetricsRef (single process) or SyncClusterMetrics (multiproc):
+	// pages served in place by the vectored data plane, bytes served
+	// from spill files through the sendfile-eligible path, and bytes the
+	// serve path staged through user-space buffers.
+	PagesServedZeroCopy     atomic.Int64
+	BytesSendfile           atomic.Int64
+	ServeUserspaceCopyBytes atomic.Int64
+}
+
+// OccupancySample aggregates one shuffle's page-occupancy observations:
+// used bytes against page footprint, sampled from each map-side buffer
+// at every spill decision and at registration. Occupancy persistently
+// far below 1.0 means the page size is wrong for the dataset's record
+// shape — the profiling signal (ROLP's idea turned runtime) that
+// adaptive page sizing will consume.
+type OccupancySample struct {
+	Samples   int
+	Used      int64
+	Footprint int64
+}
+
+// Ratio is the aggregate used/footprint occupancy (1 when nothing was
+// sampled, so an unsampled shuffle reads as perfectly packed).
+func (o OccupancySample) Ratio() float64 {
+	if o.Footprint == 0 {
+		return 1
+	}
+	return float64(o.Used) / float64(o.Footprint)
 }
 
 // Context is the driver: configuration, the executor set, the shuffle
@@ -359,6 +394,9 @@ type Context struct {
 	metrics Metrics
 	nextID  atomic.Int64
 	nextShf atomic.Int64
+
+	occMu     sync.Mutex
+	occupancy map[transport.ShuffleID]OccupancySample
 
 	shufMu   sync.Mutex
 	shuffles map[int]releasable
@@ -395,6 +433,7 @@ func New(conf Config) *Context {
 	conf = conf.withDefaults()
 	c := &Context{
 		conf:       conf,
+		occupancy:  make(map[transport.ShuffleID]OccupancySample),
 		shuffles:   make(map[int]releasable),
 		shuffleReg: make(map[int]materializable),
 		epochs:     make(map[int]int),
@@ -630,9 +669,53 @@ func (c *Context) CacheStats() cache.Stats {
 	return total
 }
 
-// MetricsRef returns the cluster-wide counters. Per-executor views are on
-// each Executor.
-func (c *Context) MetricsRef() *Metrics { return &c.metrics }
+// MetricsRef returns the cluster-wide counters, refreshing the
+// serve-path copy counters from the transport. Per-executor views are on
+// each Executor. On a multiproc driver the data plane lives in the
+// executor processes; SyncClusterMetrics refreshes those counters from
+// control-plane snapshots instead.
+func (c *Context) MetricsRef() *Metrics {
+	if c.driver == nil && c.trans != nil {
+		st := c.trans.Stats()
+		c.metrics.PagesServedZeroCopy.Store(st.PagesServedZeroCopy)
+		c.metrics.BytesSendfile.Store(st.BytesSendfile)
+		c.metrics.ServeUserspaceCopyBytes.Store(st.UserspaceCopyBytes)
+	}
+	return &c.metrics
+}
+
+// noteOccupancy samples a shuffle buffer's page occupancy (used bytes vs
+// footprint) into the per-shuffle aggregate. Buffers that do not expose
+// PageOccupancy (object containers) contribute nothing.
+func (c *Context) noteOccupancy(sh transport.ShuffleID, buf any) {
+	po, ok := buf.(interface{ PageOccupancy() (int64, int64) })
+	if !ok {
+		return
+	}
+	used, footprint := po.PageOccupancy()
+	if footprint == 0 {
+		return
+	}
+	c.occMu.Lock()
+	s := c.occupancy[sh]
+	s.Samples++
+	s.Used += used
+	s.Footprint += footprint
+	c.occupancy[sh] = s
+	c.occMu.Unlock()
+}
+
+// Occupancy returns the per-shuffle page-occupancy aggregates sampled so
+// far (map-side, at spill decisions and registrations).
+func (c *Context) Occupancy() map[transport.ShuffleID]OccupancySample {
+	c.occMu.Lock()
+	defer c.occMu.Unlock()
+	out := make(map[transport.ShuffleID]OccupancySample, len(c.occupancy))
+	for k, v := range c.occupancy {
+		out[k] = v
+	}
+	return out
+}
 
 // shuffleSpillThreshold resolves the per-buffer spill trigger. Each
 // executor holds numBuffers/NumExecutors of the stage's buffers against

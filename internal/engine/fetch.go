@@ -37,6 +37,7 @@ type fetchPipeline struct {
 	shuf transport.ShuffleID
 	r    int
 	m    int // number of map outputs
+	open transport.FrameOpen
 
 	maxBytes int64 // <0: unbounded
 
@@ -51,15 +52,18 @@ type fetchPipeline struct {
 }
 
 // startFetchPipeline launches the workers for reduce task r on executor
-// ex. The caller must consume every slot via wait (in order) and finish
-// with shutdown, which is safe to call on every path.
-func (c *Context) startFetchPipeline(shuf transport.ShuffleID, r, m int, ex *Executor) *fetchPipeline {
+// ex. open is the streaming-decode hook handed to every Transport.Fetch
+// (nil for pointer-handover shuffles). The caller must consume every
+// slot via wait (in order) and finish with shutdown, which is safe to
+// call on every path.
+func (c *Context) startFetchPipeline(shuf transport.ShuffleID, r, m int, ex *Executor, open transport.FrameOpen) *fetchPipeline {
 	fp := &fetchPipeline{
 		ctx:      c,
 		ex:       ex,
 		shuf:     shuf,
 		r:        r,
 		m:        m,
+		open:     open,
 		maxBytes: c.conf.MaxFetchBytesInFlight,
 		slots:    make([]chan fetchResult, m),
 	}
@@ -119,7 +123,7 @@ func (fp *fetchPipeline) worker() {
 func (fp *fetchPipeline) fetchWithRetry(id transport.MapOutputID) fetchResult {
 	retries := fp.ctx.conf.FetchRetries
 	for try := 0; ; try++ {
-		pl, ok, err := fp.ctx.trans.Fetch(id, fp.ex.id)
+		pl, ok, err := fp.ctx.trans.Fetch(id, fp.ex.id, fp.open)
 		if err == nil {
 			return fetchResult{pl: pl, ok: ok}
 		}

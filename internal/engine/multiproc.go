@@ -170,6 +170,9 @@ func (c *Context) SyncClusterMetrics() {
 		sum.LocalShuffleFetches += s.LocalShuffleFetches
 		sum.RemoteShuffleFetches += s.RemoteShuffleFetches
 		sum.RemoteShuffleBytes += s.RemoteShuffleBytes
+		sum.PagesServedZeroCopy += s.PagesServedZeroCopy
+		sum.BytesSendfile += s.BytesSendfile
+		sum.UserspaceCopyBytes += s.UserspaceCopyBytes
 		cs.Hits += uint64(s.CacheHits)
 		cs.Misses += uint64(s.CacheMisses)
 		cs.Evictions += uint64(s.CacheEvictions)
@@ -183,6 +186,9 @@ func (c *Context) SyncClusterMetrics() {
 	c.metrics.LocalShuffleFetches.Store(sum.LocalShuffleFetches)
 	c.metrics.RemoteShuffleFetches.Store(sum.RemoteShuffleFetches)
 	c.metrics.RemoteShuffleBytes.Store(sum.RemoteShuffleBytes)
+	c.metrics.PagesServedZeroCopy.Store(sum.PagesServedZeroCopy)
+	c.metrics.BytesSendfile.Store(sum.BytesSendfile)
+	c.metrics.ServeUserspaceCopyBytes.Store(sum.UserspaceCopyBytes)
 	c.driver.mu.Lock()
 	c.driver.remote = cs
 	c.driver.mu.Unlock()
@@ -482,6 +488,10 @@ func (r followerRuntime) Snapshot() ctl.MetricsSnapshot {
 		cs.SwapInBytes += s.SwapInBytes
 		cs.MemBytes += s.MemBytes
 	}
+	var ts transport.Stats
+	if c.trans != nil {
+		ts = c.trans.Stats()
+	}
 	return ctl.MetricsSnapshot{
 		ShuffleRecords:       c.metrics.ShuffleRecords.Load(),
 		ShuffleSpillBytes:    c.metrics.ShuffleSpillBytes.Load(),
@@ -495,6 +505,9 @@ func (r followerRuntime) Snapshot() ctl.MetricsSnapshot {
 		SwapOutBytes:         cs.SwapOutBytes,
 		SwapInBytes:          cs.SwapInBytes,
 		CacheMemBytes:        cs.MemBytes,
+		PagesServedZeroCopy:  ts.PagesServedZeroCopy,
+		BytesSendfile:        ts.BytesSendfile,
+		UserspaceCopyBytes:   ts.UserspaceCopyBytes,
 	}
 }
 
@@ -508,7 +521,7 @@ func (t *driverTransport) Register(id transport.MapOutputID, p transport.Payload
 	panic("engine: the multiproc driver does not host shuffle data (Register)")
 }
 
-func (t *driverTransport) Fetch(id transport.MapOutputID, dst int) (transport.Payload, bool, error) {
+func (t *driverTransport) Fetch(id transport.MapOutputID, dst int, open transport.FrameOpen) (transport.Payload, bool, error) {
 	panic("engine: the multiproc driver does not host shuffle data (Fetch)")
 }
 
@@ -580,7 +593,7 @@ func (t *followerTransport) Register(id transport.MapOutputID, p transport.Paylo
 // remote round-trip is a transient error (the directory entry is
 // untouched); a definitive miss (found=false) means the producer died
 // and only lineage repair brings the output back.
-func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.Payload, bool, error) {
+func (t *followerTransport) Fetch(id transport.MapOutputID, dst int, open transport.FrameOpen) (transport.Payload, bool, error) {
 	exec, addr, found, err := t.f.LookupOutput(id)
 	if err != nil {
 		return transport.Payload{}, false, err
@@ -589,7 +602,7 @@ func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.
 		return transport.Payload{}, false, nil
 	}
 	if exec == t.me {
-		p, ok, err := t.node.ServeLocal(id)
+		p, ok, err := t.node.ServeLocal(id, open)
 		if err != nil || !ok {
 			return transport.Payload{}, false, err
 		}
@@ -599,22 +612,22 @@ func (t *followerTransport) Fetch(id transport.MapOutputID, dst int) (transport.
 		t.mu.Unlock()
 		return p, true, nil
 	}
-	frame, err := t.client.Fetch(addr, id)
+	dec, size, ok, err := t.client.FetchInto(addr, id, open)
 	if err != nil {
 		return transport.Payload{}, false, err
 	}
-	if frame == nil {
+	if !ok {
 		return transport.Payload{}, false, nil
 	}
 	t.mu.Lock()
 	t.stats.RemoteFetches++
-	t.stats.RemoteBytes += int64(len(frame))
+	t.stats.RemoteBytes += size
 	t.mu.Unlock()
 	return transport.Payload{
-		Data:        transport.Wire{Frame: frame},
+		Data:        dec.Data,
 		SrcExecutor: exec,
-		Bytes:       int64(len(frame)),
-		MemBytes:    int64(len(frame)),
+		Bytes:       size,
+		MemBytes:    dec.MemBytes,
 	}, true, nil
 }
 
@@ -647,8 +660,10 @@ func (t *followerTransport) Abort(ids []transport.MapOutputID) []transport.Paylo
 
 func (t *followerTransport) Stats() transport.Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	st := t.stats
+	t.mu.Unlock()
+	t.node.ServeStats(&st)
+	return st
 }
 
 func (t *followerTransport) Close() error {

@@ -242,7 +242,7 @@ func TestFetchPipelineMissingAndAbort(t *testing.T) {
 			transport.Payload{Data: bufs[m], SrcExecutor: 0, Bytes: 10})
 	}
 
-	fp := ctx.startFetchPipeline(9, 0, M, ex)
+	fp := ctx.startFetchPipeline(9, 0, M, ex, nil)
 	for m := 0; m < 3; m++ {
 		res := fp.wait(m)
 		if !res.ok {

@@ -158,6 +158,11 @@ func shuffleMapBody[K comparable, V any, S pairSink[K, V]](
 			return false
 		}
 		if trackers[r].add() {
+			// Sample page occupancy at the moment the spill decision fires:
+			// the used/footprint ratio right before pages flush to disk is
+			// the signal adaptive page sizing needs (a chronically low ratio
+			// means the page size is wrong for this dataset's record shape).
+			ctx.noteOccupancy(shufID, bufs[r])
 			if err := bufs[r].Spill(); err != nil {
 				iterErr = err
 				return false
@@ -179,6 +184,7 @@ func shuffleMapBody[K comparable, V any, S pairSink[K, V]](
 		return sched.ErrCanceled
 	}
 	for r, b := range bufs {
+		ctx.noteOccupancy(shufID, b)
 		prev, replaced := ctx.trans.Register(
 			transport.MapOutputID{Shuffle: shufID, MapTask: m, Reduce: r},
 			codec.payloadFor(b, ex, b.SizeBytes(), b.SpilledBytes()))
@@ -248,7 +254,7 @@ func shuffleReduceBody[K comparable, V any, S pairSink[K, V]](
 	if err != nil {
 		return zero, err
 	}
-	fp := ctx.startFetchPipeline(shufID, r, M, ex)
+	fp := ctx.startFetchPipeline(shufID, r, M, ex, codec.frameOpen(ex))
 	done := false
 	defer func() {
 		// shutdown releases whatever the workers fetched ahead of a

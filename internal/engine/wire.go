@@ -25,21 +25,34 @@ import (
 type wireCodec[S any] struct {
 	// encode writes s's self-describing wire frame.
 	encode func(s S, w io.Writer) error
-	// decode rebuilds a container from a frame inside executor ex.
-	decode func(frame []byte, ex *Executor) (S, error)
+	// decode rebuilds a container from a frame streaming off r inside
+	// executor ex — page bodies land directly in ex's memory manager, the
+	// frame is never materialized whole.
+	decode func(r shuffle.WireReader, ex *Executor) (S, error)
+	// vectored attaches the sinks' segment encoders to their payloads, so
+	// wire-capable transports serve them with writev/sendfile instead of
+	// staging the frame (off under Config.DisableVectoredServe).
+	vectored bool
+}
+
+// segmentEncoder is the sink-side vectored encode seam: Deca containers
+// implement it, Object containers (whose frames are built record by
+// record) do not and stay on the buffered Encode fallback.
+type segmentEncoder interface {
+	EncodeSegments() (*transport.FrameSegments, error)
 }
 
 // open resolves a fetched payload into a usable sink on executor ex:
-// payloads that crossed by pointer cast directly, Wire payloads decode
-// into ex's memory manager. The returned sink is owned by the caller
-// either way.
+// payloads that crossed by pointer cast directly, already-decoded
+// streamed payloads cast too, and legacy Wire payloads decode here. The
+// returned sink is owned by the caller either way.
 func (wc wireCodec[S]) open(pl transport.Payload, ex *Executor) (S, error) {
 	var zero S
 	if w, ok := pl.Data.(transport.Wire); ok {
 		if wc.decode == nil {
 			return zero, fmt.Errorf("engine: received a wire frame but the shuffle has no decoder")
 		}
-		return wc.decode(w.Frame, ex)
+		return wc.decode(bytes.NewReader(w.Frame), ex)
 	}
 	s, ok := pl.Data.(S)
 	if !ok {
@@ -48,8 +61,31 @@ func (wc wireCodec[S]) open(pl transport.Payload, ex *Executor) (S, error) {
 	return s, nil
 }
 
+// frameOpen returns the streaming-decode hook the fetch pipeline hands
+// to Transport.Fetch: the codec's decoder run against the wire stream,
+// reporting the decoded container's own footprint for fetch budgeting.
+// Nil when the shuffle has no decoder (pointer-handover payloads).
+func (wc wireCodec[S]) frameOpen(ex *Executor) transport.FrameOpen {
+	if wc.decode == nil {
+		return nil
+	}
+	return func(r transport.FrameReader, size int64) (transport.Decoded, error) {
+		s, err := wc.decode(r, ex)
+		if err != nil {
+			return transport.Decoded{}, err
+		}
+		mem := size
+		if sb, ok := any(s).(interface{ SizeBytes() int64 }); ok {
+			mem = sb.SizeBytes()
+		}
+		return transport.Decoded{Data: s, MemBytes: mem}, nil
+	}
+}
+
 // payloadFor wraps a sink into a transport payload, attaching the codec's
-// encoder so any wire-capable transport can ship it.
+// encoder so any wire-capable transport can ship it — and, for Deca
+// containers on a vectored codec, the segment encoder so the serve path
+// can writev pages straight from the pinned group.
 func (wc wireCodec[S]) payloadFor(s S, ex *Executor, sizeBytes, spilledBytes int64) transport.Payload {
 	pl := transport.Payload{
 		Data:        s,
@@ -59,6 +95,11 @@ func (wc wireCodec[S]) payloadFor(s S, ex *Executor, sizeBytes, spilledBytes int
 	}
 	if wc.encode != nil {
 		pl.Encode = func(w io.Writer) error { return wc.encode(s, w) }
+		if wc.vectored {
+			if se, ok := any(s).(segmentEncoder); ok {
+				pl.Segments = se.EncodeSegments
+			}
+		}
 	}
 	return pl
 }
@@ -84,6 +125,7 @@ func aggWireCodec[K comparable, V any](
 		return wireCodec[aggSink[K, V]]{}
 	}
 	return wireCodec[aggSink[K, V]]{
+		vectored: !ctx.conf.DisableVectoredServe,
 		encode: func(s aggSink[K, V], w io.Writer) error {
 			switch b := s.(type) {
 			case *shuffle.DecaAgg[K, V]:
@@ -93,8 +135,7 @@ func aggWireCodec[K comparable, V any](
 			}
 			return fmt.Errorf("engine: aggregation buffer %T has no wire form", s)
 		},
-		decode: func(frame []byte, ex *Executor) (aggSink[K, V], error) {
-			r := bytes.NewReader(frame)
+		decode: func(r shuffle.WireReader, ex *Executor) (aggSink[K, V], error) {
 			if ops.decaAble(ctx) {
 				return shuffle.DecodeDecaAgg(r, ex.mem, combine, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 			}
@@ -114,6 +155,7 @@ func groupWireCodec[K comparable, V any](
 		return wireCodec[groupSink[K, V]]{}
 	}
 	return wireCodec[groupSink[K, V]]{
+		vectored: !ctx.conf.DisableVectoredServe,
 		encode: func(s groupSink[K, V], w io.Writer) error {
 			switch b := s.(type) {
 			case *shuffle.DecaGroup[K, V]:
@@ -123,8 +165,7 @@ func groupWireCodec[K comparable, V any](
 			}
 			return fmt.Errorf("engine: grouping buffer %T has no wire form", s)
 		},
-		decode: func(frame []byte, ex *Executor) (groupSink[K, V], error) {
-			r := bytes.NewReader(frame)
+		decode: func(r shuffle.WireReader, ex *Executor) (groupSink[K, V], error) {
 			if ops.decaGroupAble(ctx) {
 				return shuffle.DecodeDecaGroup(r, ex.mem, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 			}
@@ -144,6 +185,7 @@ func sortWireCodec[K comparable, V any](
 		return wireCodec[sortSink[K, V]]{}
 	}
 	return wireCodec[sortSink[K, V]]{
+		vectored: !ctx.conf.DisableVectoredServe,
 		encode: func(s sortSink[K, V], w io.Writer) error {
 			switch b := s.(type) {
 			case *shuffle.DecaSort[K, V]:
@@ -153,8 +195,7 @@ func sortWireCodec[K comparable, V any](
 			}
 			return fmt.Errorf("engine: sort buffer %T has no wire form", s)
 		},
-		decode: func(frame []byte, ex *Executor) (sortSink[K, V], error) {
-			r := bytes.NewReader(frame)
+		decode: func(r shuffle.WireReader, ex *Executor) (sortSink[K, V], error) {
 			if ctx.Mode() == ModeDeca && ops.KeyCodec != nil && ops.ValCodec != nil {
 				return shuffle.DecodeDecaSort(r, ex.mem, ops.Key.Less, ops.KeyCodec, ops.ValCodec, ctx.conf.SpillDir)
 			}

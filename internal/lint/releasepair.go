@@ -35,9 +35,20 @@ var ReleasePair = &Analyzer{
 // builtinOwns are the producers the engine is built around; constructors
 // elsewhere join the set with a //deca:owns annotation.
 var builtinOwns = map[string]bool{
-	"deca/internal/memory.Manager.NewGroup":     true,
-	"deca/internal/memory.Manager.RestoreGroup": true,
-	"deca/internal/engine.DecaBlockFor":         true,
+	"deca/internal/memory.Manager.NewGroup":          true,
+	"deca/internal/memory.Manager.RestoreGroup":      true,
+	"deca/internal/engine.DecaBlockFor":              true,
+	"deca/internal/transport.NewFrameSegments":       true,
+	"deca/internal/shuffle.DecaAgg.EncodeSegments":   true,
+	"deca/internal/shuffle.DecaGroup.EncodeSegments": true,
+	"deca/internal/shuffle.DecaSort.EncodeSegments":  true,
+}
+
+// builtinOwnsFieldCalls are func-typed fields whose *invocation* produces
+// an owned resource — the Payload.Segments hand-off: every call builds a
+// fresh FrameSegments the serve path must Release exactly once.
+var builtinOwnsFieldCalls = map[string]bool{
+	"deca/internal/transport.Payload.Segments": true,
 }
 
 // builtinTransfers are the documented ownership hand-off calls.
@@ -345,14 +356,29 @@ func (w *releaseWalker) bindProducers(lhs, rhs []ast.Expr, st ownMap) {
 		return
 	}
 	fn := calleeFunc(w.p.Pkg.Info, call)
-	if fn == nil {
-		return
+	var sig *types.Signature
+	var prodName string
+	if fn != nil {
+		name := FuncName(fn)
+		if !builtinOwns[name] && !w.p.Ann.Owns[name] {
+			return
+		}
+		sig = fn.Type().(*types.Signature)
+		prodName = fn.Name()
+	} else {
+		// Calls through func-typed values resolve to no *types.Func; the
+		// one producer of that shape is a known field (Payload.Segments).
+		field := fieldCallee(w.p.Pkg.Info, call)
+		if field == nil {
+			return
+		}
+		key := fieldKey(field.pkg, field.recv, field.name)
+		if !builtinOwnsFieldCalls[key] {
+			return
+		}
+		sig = field.sig
+		prodName = field.recv + "." + field.name
 	}
-	name := FuncName(fn)
-	if !builtinOwns[name] && !w.p.Ann.Owns[name] {
-		return
-	}
-	sig := fn.Type().(*types.Signature)
 	resIdx, errIdx := resourceResults(sig)
 	if resIdx < 0 {
 		return
@@ -370,14 +396,48 @@ func (w *releaseWalker) bindProducers(lhs, rhs []ast.Expr, st ownMap) {
 	obj := identObj(w.p.Pkg.Info, lhs[resIdx])
 	if obj == nil || obj.Name() == "_" {
 		w.p.Reportf(call.Pos(),
-			"result of %s is an owned resource but is discarded; bind and release it", fn.Name())
+			"result of %s is an owned resource but is discarded; bind and release it", prodName)
 		return
 	}
 	w.resources[obj] = &tracked{
-		obj: obj, desc: fmt.Sprintf("result of %s", fn.Name()),
+		obj: obj, desc: fmt.Sprintf("result of %s", prodName),
 		pos: call.Pos(), errObj: errObj,
 	}
 	st[obj] = stLive
+}
+
+// calledField describes a call through a func-typed struct field.
+type calledField struct {
+	pkg, recv, name string
+	sig             *types.Signature
+}
+
+// fieldCallee resolves a call whose callee is a func-typed field
+// selector (p.Segments(...)), or nil.
+func fieldCallee(info *types.Info, call *ast.CallExpr) *calledField {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return nil
+	}
+	sig, ok := types.Unalias(field.Type()).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	recv := namedType(selection.Recv())
+	if recv == nil {
+		return nil
+	}
+	return &calledField{
+		pkg: field.Pkg().Path(), recv: recv.Obj().Name(), name: field.Name(), sig: sig,
+	}
 }
 
 // resourceResults picks which producer result carries the release

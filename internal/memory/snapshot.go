@@ -58,6 +58,25 @@ func (g *Group) Snapshot(w io.Writer) (int64, error) {
 	return written, nil
 }
 
+// SnapshotSegments emits the exact byte sequence Snapshot writes,
+// decomposed for a vectored sender: stage(n) must return an n-byte
+// scratch region at the stream's current position (varint headers are
+// built in place there), and page(p) receives each page's used prefix to
+// ship by reference — no copy is made, so the caller must keep the group
+// retained until the referenced bytes have been sent. Keeping this
+// callback-shaped leaves the memory layer free of any transport types.
+func (g *Group) SnapshotSegments(stage func(n int) []byte, page func(p []byte)) {
+	g.checkLive()
+	var hdr [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(hdr[:], uint64(len(g.pages)))
+	copy(stage(k), hdr[:k])
+	for _, p := range g.pages {
+		k = binary.PutUvarint(hdr[:], uint64(len(p)))
+		copy(stage(k), hdr[:k])
+		page(p)
+	}
+}
+
 // SnapshotSize returns the exact byte length Snapshot will write.
 func (g *Group) SnapshotSize() int64 {
 	g.checkLive()

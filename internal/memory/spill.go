@@ -7,33 +7,34 @@ import (
 )
 
 // Raw page I/O (Appendix C): decomposed data bytes are written to and read
-// from disk directly, with no serialization step. The on-disk format is a
-// small header (page count, per-page lengths) followed by the raw page
-// bytes, so a swapped-out group restores with identical pointers.
+// from disk directly, with no serialization step. The on-disk format is
+// one batched header — magic, page count, then every page length — followed
+// by the raw page bytes back to back, so a swapped-out group restores with
+// identical pointers. Batching the lengths into the header means a spill
+// is one small write plus one large write per page, and a restore learns
+// every page size up front (one header read, then straight bulk reads).
 
 const spillMagic = uint32(0xDEC0DE01)
 
-// WriteTo writes the group's pages to w in the raw spill format. It
-// returns the number of bytes written.
+// WriteTo writes the group's pages to w in the raw spill format. The
+// whole header (magic + count + per-page lengths) goes out as a single
+// write, then each page as one bulk write. It returns the number of
+// bytes written.
 func (g *Group) WriteTo(w io.Writer) (int64, error) {
 	g.checkLive()
 	var written int64
-	var hdr [8]byte
+	hdr := make([]byte, 8+4*len(g.pages))
 	binary.LittleEndian.PutUint32(hdr[0:4], spillMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(g.pages)))
-	n, err := w.Write(hdr[:])
+	for i, p := range g.pages {
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(len(p)))
+	}
+	n, err := w.Write(hdr)
 	written += int64(n)
 	if err != nil {
 		return written, err
 	}
-	var lenBuf [4]byte
 	for _, p := range g.pages {
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
-		n, err = w.Write(lenBuf[:])
-		written += int64(n)
-		if err != nil {
-			return written, err
-		}
 		n, err = w.Write(p)
 		written += int64(n)
 		if err != nil {
@@ -55,14 +56,16 @@ func ReadGroupFrom(m *Manager, r io.Reader) (*Group, error) {
 		return nil, fmt.Errorf("memory: bad spill magic %#x", got)
 	}
 	numPages := binary.LittleEndian.Uint32(hdr[4:8])
+	if numPages > maxSnapshotPage {
+		return nil, fmt.Errorf("memory: implausible spill page count %d", numPages)
+	}
+	lens := make([]byte, 4*numPages)
+	if _, err := io.ReadFull(r, lens); err != nil {
+		return nil, fmt.Errorf("memory: reading spill page lengths: %w", err)
+	}
 	g := m.NewGroup()
-	var lenBuf [4]byte
 	for i := uint32(0); i < numPages; i++ {
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			g.Release()
-			return nil, fmt.Errorf("memory: reading spill page %d length: %w", i, err)
-		}
-		pageLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		pageLen := int(binary.LittleEndian.Uint32(lens[4*i:]))
 		page := m.getPage(pageLen)
 		page = page[:pageLen]
 		if _, err := io.ReadFull(r, page); err != nil {

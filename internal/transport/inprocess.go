@@ -31,11 +31,12 @@ func (t *InProcess) Register(id MapOutputID, p Payload) (Payload, bool) {
 	return prev, replaced
 }
 
-// Fetch serves a Wire-framed copy of the output registered under id,
-// leaving the registration pinned for other consumers. In-process
-// fetches have no transient failure mode beyond a failed encode.
-func (t *InProcess) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
-	p, ok, err := t.store.serveCopy(id)
+// Fetch serves a copy of the output registered under id — streamed
+// through open when non-nil, Wire-framed otherwise — leaving the
+// registration pinned for other consumers. In-process fetches have no
+// transient failure mode beyond a failed encode or decode.
+func (t *InProcess) Fetch(id MapOutputID, dstExecutor int, open FrameOpen) (Payload, bool, error) {
+	p, ok, err := t.store.serveCopy(id, open)
 	if !ok || err != nil {
 		return Payload{}, false, err
 	}
@@ -73,11 +74,14 @@ func (t *InProcess) Pending() int {
 	return t.store.pending()
 }
 
-// Stats snapshots the traffic counters.
+// Stats snapshots the traffic counters, including the serve-path copy
+// counters.
 func (t *InProcess) Stats() Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	st := t.stats
+	t.mu.Unlock()
+	t.store.addServeStats(&st)
+	return st
 }
 
 // Close is a no-op: the in-process transport holds no resources.

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -73,12 +72,17 @@ func (s *DataServer) Take(id MapOutputID) (Payload, bool) {
 	return s.store.take(id)
 }
 
-// ServeLocal serves the entry as an encoded Wire payload without
-// consuming it — the executor-local equivalent of a socket FETCH.
-// Payloads without a wire form fall back to the consuming pointer
-// handover.
-func (s *DataServer) ServeLocal(id MapOutputID) (Payload, bool, error) {
-	return s.store.serveCopy(id)
+// ServeLocal serves the entry without consuming it — the executor-local
+// equivalent of a socket FETCH: streamed through open when non-nil, as
+// an encoded Wire payload otherwise. Payloads without a wire form fall
+// back to the consuming pointer handover.
+func (s *DataServer) ServeLocal(id MapOutputID, open FrameOpen) (Payload, bool, error) {
+	return s.store.serveCopy(id, open)
+}
+
+// ServeStats folds the server's serve-path copy counters into st.
+func (s *DataServer) ServeStats(st *Stats) {
+	s.store.addServeStats(st)
 }
 
 // DropShuffle removes every output of the shuffle and returns them.
@@ -117,61 +121,128 @@ func (s *DataServer) acceptLoop() {
 }
 
 // serve answers FETCH requests on one server-side connection. Serving
-// pins the entry, encodes its frame outside the store lock, and unpins —
+// pins the entry, ships its frame outside the store lock, and unpins —
 // the registration survives the transfer for other consumers; only a
-// Commit/Abort/Drop (or displacement) ends its lifetime.
+// Commit/Abort/Drop (or displacement) ends its lifetime. A mid-transfer
+// write error drops the connection but never the registration: the
+// entry was pinned, not consumed, so the fetcher's retry re-serves it.
 func (s *DataServer) serve(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	var frame bytes.Buffer
 	for {
 		id, err := readFetchRequest(br)
 		if err != nil {
 			return // client closed or spoke garbage; drop the connection
 		}
-		p, e, ok := s.store.beginServe(id)
-		frame.Reset()
-		if ok {
-			if p.Encode != nil {
-				err = p.Encode(&frame)
-			} else {
-				// No wire form: unservable remotely. The entry stays
-				// registered (an executor-local consumer could still take
-				// it); the fetcher sees NOTFOUND and recovers by lineage.
-				err = fmt.Errorf("transport: payload %v has no wire form", id)
-			}
-			s.store.endServe(e)
-			if err != nil {
-				ok = false
-			}
-		}
-		if !ok {
-			if err := bw.WriteByte(statusNotFound); err != nil {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-			continue
-		}
-		var hdr [binary.MaxVarintLen64]byte
-		if err := bw.WriteByte(statusOK); err != nil {
+		if !s.serveOne(conn, bw, id) {
 			return
-		}
-		if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frame.Len()))]); err != nil {
-			return
-		}
-		if _, err := bw.Write(frame.Bytes()); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		if frame.Cap() > maxRetainedServeBuffer {
-			frame = bytes.Buffer{}
 		}
 	}
+}
+
+// serveOne answers a single FETCH. Segment payloads take the vectored
+// path (staged headers flushed, then page buffers via one writev batch
+// and spill files via the kernel's sendfile path); other payloads stage
+// their frame into a pooled buffer. Returns false when the connection
+// should be dropped.
+func (s *DataServer) serveOne(conn net.Conn, bw *bufio.Writer, id MapOutputID) bool {
+	p, e, ok := s.store.beginServe(id)
+	if !ok {
+		return writeNotFound(bw)
+	}
+	if p.Segments != nil {
+		fs, err := p.Segments()
+		if err != nil {
+			s.store.endServe(e)
+			return writeNotFound(bw)
+		}
+		sent := s.writeSegments(conn, bw, fs)
+		if sent {
+			s.store.pagesZeroCopy.Add(int64(fs.Pages()))
+			s.store.bytesSendfile.Add(fs.FileBytes())
+			s.store.userCopyBytes.Add(fs.Staged())
+		}
+		fs.Release()
+		s.store.endServe(e)
+		return sent
+	}
+
+	frame := s.store.getBuf()
+	var err error
+	if p.Encode != nil {
+		err = p.Encode(frame)
+	} else {
+		// No wire form: unservable remotely. The entry stays registered
+		// (an executor-local consumer could still take it); the fetcher
+		// sees NOTFOUND and recovers by lineage.
+		err = fmt.Errorf("transport: payload %v has no wire form", id)
+	}
+	s.store.endServe(e)
+	if err != nil {
+		s.store.putBuf(frame)
+		return writeNotFound(bw)
+	}
+	ok = writeFrameHeader(bw, int64(frame.Len())) &&
+		writeAll(bw, frame.Bytes()) &&
+		bw.Flush() == nil
+	if ok {
+		s.store.userCopyBytes.Add(int64(frame.Len()))
+	}
+	s.store.putBuf(frame)
+	return ok
+}
+
+// writeSegments ships one segment frame: status + length header through
+// the buffered writer, then — after a flush, so ordering holds on the
+// raw socket — consecutive in-memory segments batched into single
+// net.Buffers writes (writev) and file segments via io.Copy from an
+// *os.File-backed LimitedReader, which *net.TCPConn turns into sendfile.
+func (s *DataServer) writeSegments(conn net.Conn, bw *bufio.Writer, fs *FrameSegments) bool {
+	if !writeFrameHeader(bw, fs.Len()) || bw.Flush() != nil {
+		return false
+	}
+	var batch net.Buffers
+	flushBatch := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		_, err := batch.WriteTo(conn)
+		batch = batch[:0]
+		return err == nil
+	}
+	for _, seg := range fs.Segs() {
+		if seg.File == nil {
+			batch = append(batch, seg.Buf)
+			continue
+		}
+		if !flushBatch() {
+			return false
+		}
+		lr := &io.LimitedReader{R: seg.File, N: seg.Size}
+		n, err := io.Copy(conn, lr)
+		if err != nil || n != seg.Size {
+			return false
+		}
+	}
+	return flushBatch()
+}
+
+func writeNotFound(bw *bufio.Writer) bool {
+	return bw.WriteByte(statusNotFound) == nil && bw.Flush() == nil
+}
+
+func writeFrameHeader(bw *bufio.Writer, n int64) bool {
+	var hdr [binary.MaxVarintLen64]byte
+	if bw.WriteByte(statusOK) != nil {
+		return false
+	}
+	return writeAll(bw, hdr[:binary.PutUvarint(hdr[:], uint64(n))])
+}
+
+func writeAll(bw *bufio.Writer, b []byte) bool {
+	_, err := bw.Write(b)
+	return err == nil
 }
 
 func readFetchRequest(br *bufio.Reader) (MapOutputID, error) {
@@ -227,21 +298,37 @@ func NewDataClient(fetchTimeout time.Duration) *DataClient {
 	}
 }
 
-// Fetch runs one FETCH round-trip against addr. A nil frame with nil
-// error is NOTFOUND; a non-nil error means the round-trip itself failed
-// and the output's fate is unknown to the caller.
+// Fetch runs one FETCH round-trip against addr, materializing the frame
+// as one []byte. A nil frame with nil error is NOTFOUND; a non-nil error
+// means the round-trip itself failed and the output's fate is unknown to
+// the caller.
 func (c *DataClient) Fetch(addr string, id MapOutputID) ([]byte, error) {
+	dec, _, found, err := c.FetchInto(addr, id, nil)
+	if err != nil || !found {
+		return nil, err
+	}
+	return dec.Data.(Wire).Frame, nil
+}
+
+// FetchInto runs one FETCH round-trip against addr, streaming the
+// response frame through open so page bodies land directly in the
+// decoder's memory — the frame is never held whole. With open == nil the
+// frame is materialized and returned as a Wire Decoded. size is the
+// frame's wire length; found=false with nil error is NOTFOUND. A
+// transport or decode error retires the connection (its stream position
+// is unknown) and returns a non-nil error the caller may retry.
+func (c *DataClient) FetchInto(addr string, id MapOutputID, open FrameOpen) (dec Decoded, size int64, found bool, err error) {
 	conn, err := c.getConn(addr)
 	if err != nil {
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
-	frame, err := conn.fetch(id, c.fetchTimeout)
+	dec, size, found, err = conn.fetchInto(id, c.fetchTimeout, open)
 	if err != nil {
 		conn.c.Close()
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
 	c.putConn(addr, conn)
-	return frame, nil
+	return dec, size, found, nil
 }
 
 func (c *DataClient) getConn(addr string) (*dataConn, error) {
@@ -314,17 +401,20 @@ func (c *DataClient) Close() {
 	}
 }
 
-// fetch writes one request and reads one response on the connection. The
-// timeout (0 = none) bounds each I/O step — the request round-trip to the
-// first response byte, then every frameReadChunk of the frame — rather
-// than the whole transfer: a hung peer still surfaces within one timeout
-// (no bytes arrive), while a large frame that keeps moving refreshes its
-// deadline with each chunk and is never failed for being slow, keeping
-// slow-but-healthy transfers out of the retry path.
-func (c *dataConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) {
+// fetchInto writes one request and streams one response frame through
+// open. The timeout (0 = none) bounds each I/O step — the request
+// round-trip to the first response byte, then every frameReadChunk of
+// frame progress — rather than the whole transfer: a hung peer still
+// surfaces within one timeout (no bytes arrive), while a large frame
+// that keeps moving refreshes its deadline with each chunk and is never
+// failed for being slow, keeping slow-but-healthy transfers out of the
+// retry path. The opener must consume the frame exactly: leftover bytes
+// would corrupt the next request on this pooled connection, so under-
+// consumption is an error (and the caller retires the connection).
+func (c *dataConn) fetchInto(id MapOutputID, timeout time.Duration, open FrameOpen) (Decoded, int64, bool, error) {
 	if timeout > 0 {
 		if err := c.c.SetDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, err
+			return Decoded{}, 0, false, err
 		}
 	}
 	var hdr [3 * binary.MaxVarintLen64]byte
@@ -332,51 +422,107 @@ func (c *dataConn) fetch(id MapOutputID, timeout time.Duration) ([]byte, error) 
 	k += binary.PutUvarint(hdr[k:], uint64(id.MapTask))
 	k += binary.PutUvarint(hdr[k:], uint64(id.Reduce))
 	if _, err := c.bw.Write(hdr[:k]); err != nil {
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
 	status, err := c.br.ReadByte()
 	if err != nil {
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
 	if status == statusNotFound {
-		return nil, nil
+		return Decoded{}, 0, false, nil
 	}
 	if status != statusOK {
-		return nil, fmt.Errorf("transport: unknown response status %d", status)
+		return Decoded{}, 0, false, fmt.Errorf("transport: unknown response status %d", status)
 	}
 	n, err := binary.ReadUvarint(c.br)
 	if err != nil {
-		return nil, err
+		return Decoded{}, 0, false, err
 	}
 	if n > maxWireFrame {
-		return nil, fmt.Errorf("transport: implausible frame length %d", n)
+		return Decoded{}, 0, false, fmt.Errorf("transport: implausible frame length %d", n)
 	}
-	frame := make([]byte, n)
-	for off := 0; off < len(frame); {
-		end := off + frameReadChunk
-		if end > len(frame) {
-			end = len(frame)
-		}
-		if timeout > 0 {
-			// Refresh per chunk: progress resets the clock.
-			if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-				return nil, err
-			}
-		}
-		k, err := io.ReadFull(c.br, frame[off:end])
-		off += k
-		if err != nil {
-			return nil, err
-		}
+	if open == nil {
+		open = wireOpen
+	}
+	fr := &frameReader{conn: c, remaining: int64(n), timeout: timeout}
+	dec, err := open(fr, int64(n))
+	if err != nil {
+		return Decoded{}, 0, false, err
+	}
+	if fr.remaining > 0 {
+		return Decoded{}, 0, false, fmt.Errorf("transport: decoder left %d of %d frame bytes unread", fr.remaining, n)
 	}
 	if timeout > 0 {
 		// Clear the deadline so a pooled connection does not time out idle.
 		if err := c.c.SetDeadline(time.Time{}); err != nil {
-			return nil, err
+			return Decoded{}, 0, false, err
 		}
 	}
-	return frame, nil
+	return dec, int64(n), true, nil
+}
+
+// wireOpen is the legacy opener: materialize the whole frame.
+func wireOpen(r FrameReader, size int64) (Decoded, error) {
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return Decoded{}, err
+	}
+	return Decoded{Data: Wire{Frame: frame}, MemBytes: size}, nil
+}
+
+// frameReader hands a decoder exactly the frame's bytes off the pooled
+// connection, refreshing the socket read deadline with every
+// frameReadChunk of progress (progress resets the clock) and returning
+// EOF at the frame boundary so the decoder cannot overrun into the next
+// response.
+type frameReader struct {
+	conn      *dataConn
+	remaining int64
+	timeout   time.Duration
+	sinceArm  int64 // bytes read since the deadline was last armed
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	if r.timeout > 0 && r.sinceArm >= frameReadChunk {
+		r.sinceArm = 0
+		if err := r.conn.c.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.conn.br.Read(p)
+	r.remaining -= int64(n)
+	r.sinceArm += int64(n)
+	if err == io.EOF && r.remaining > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (r *frameReader) ReadByte() (byte, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if r.timeout > 0 && r.sinceArm >= frameReadChunk {
+		r.sinceArm = 0
+		if err := r.conn.c.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	b, err := r.conn.br.ReadByte()
+	if err == nil {
+		r.remaining--
+		r.sinceArm++
+	} else if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return b, err
 }

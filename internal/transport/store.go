@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // outputStore is the pinned map-output registry shared by the in-process
@@ -23,6 +25,39 @@ import (
 type outputStore struct {
 	mu sync.Mutex
 	m  map[MapOutputID]*storeEntry
+
+	// Serve-path copy accounting (atomic: serves run outside the lock).
+	pagesZeroCopy atomic.Int64
+	bytesSendfile atomic.Int64
+	userCopyBytes atomic.Int64
+
+	// bufPool recycles fallback staging buffers across serves (and across
+	// connections, for the networked server) instead of growing one per
+	// connection and discarding large frames per request.
+	bufPool sync.Pool
+}
+
+// getBuf takes a staging buffer from the serve pool.
+func (s *outputStore) getBuf() *bytes.Buffer {
+	if b, ok := s.bufPool.Get().(*bytes.Buffer); ok {
+		b.Reset()
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+// putBuf returns a staging buffer to the pool. Buffers of any size are
+// pooled — the GC reclaims idle pool entries, so a huge frame's buffer
+// is reused by the next huge frame instead of thrown away per request.
+func (s *outputStore) putBuf(b *bytes.Buffer) {
+	s.bufPool.Put(b)
+}
+
+// addServeStats folds the store's serve-path counters into st.
+func (s *outputStore) addServeStats(st *Stats) {
+	st.PagesServedZeroCopy += s.pagesZeroCopy.Load()
+	st.BytesSendfile += s.bytesSendfile.Load()
+	st.UserspaceCopyBytes += s.userCopyBytes.Load()
 }
 
 type storeEntry struct {
@@ -142,20 +177,23 @@ func (s *outputStore) endServe(e *storeEntry) {
 	}
 }
 
-// serveCopy serves the entry as an encoded Wire payload without
-// consuming it — the executor-local equivalent of a socket FETCH, so
-// local and remote consumers see identical multi-consumer semantics. A
-// payload with no wire form cannot be re-served; it falls back to the
-// legacy consuming pointer handover (a lost consumer there is recovered
-// by lineage, not re-fetch).
-func (s *outputStore) serveCopy(id MapOutputID) (Payload, bool, error) {
+// serveCopy serves the entry without consuming it — the executor-local
+// equivalent of a socket FETCH, so local and remote consumers see
+// identical multi-consumer semantics. With a non-nil open, the frame is
+// decoded as it streams (segment payloads stream straight from their
+// pages and spill files; Encode-only payloads stage one pooled frame);
+// with open == nil the result is a Wire payload. A payload with no wire
+// form cannot be re-served; it falls back to the legacy consuming
+// pointer handover (a lost consumer there is recovered by lineage, not
+// re-fetch).
+func (s *outputStore) serveCopy(id MapOutputID, open FrameOpen) (Payload, bool, error) {
 	s.mu.Lock()
 	e, ok := s.m[id]
 	if !ok {
 		s.mu.Unlock()
 		return Payload{}, false, nil
 	}
-	if e.p.Encode == nil {
+	if e.p.Encode == nil && e.p.Segments == nil {
 		p, _ := s.removeLocked(id)
 		s.mu.Unlock()
 		return p, true, nil
@@ -163,17 +201,75 @@ func (s *outputStore) serveCopy(id MapOutputID) (Payload, bool, error) {
 	e.serving++
 	p := e.p
 	s.mu.Unlock()
+	defer s.endServe(e)
 
-	var frame bytes.Buffer
-	err := p.Encode(&frame)
-	s.endServe(e)
-	if err != nil {
+	if open != nil && p.Segments != nil {
+		// Vectored local serve: the consumer decodes straight off the
+		// segment stream — no intermediate frame buffer exists. Pages are
+		// counted zero-copy in the "never staged into a frame" sense.
+		fs, err := p.Segments()
+		if err != nil {
+			return Payload{}, false, fmt.Errorf("transport: encoding %v: %w", id, err)
+		}
+		size := fs.Len()
+		r := newSegmentsReader(fs)
+		dec, derr := open(bufio.NewReader(r), size)
+		staged, pages := fs.Staged(), fs.Pages()
+		fs.Release()
+		if derr != nil {
+			return Payload{}, false, fmt.Errorf("transport: decoding %v: %w", id, derr)
+		}
+		s.pagesZeroCopy.Add(int64(pages))
+		s.userCopyBytes.Add(staged)
+		return Payload{
+			Data:        dec.Data,
+			SrcExecutor: p.SrcExecutor,
+			Bytes:       size,
+			MemBytes:    dec.MemBytes,
+		}, true, nil
+	}
+
+	frame := s.getBuf()
+	defer s.putBuf(frame)
+	if err := encodeFallback(p, frame); err != nil {
 		return Payload{}, false, fmt.Errorf("transport: encoding %v: %w", id, err)
 	}
+	s.userCopyBytes.Add(int64(frame.Len()))
+	if open != nil {
+		size := int64(frame.Len())
+		dec, err := open(bytes.NewReader(frame.Bytes()), size)
+		if err != nil {
+			return Payload{}, false, fmt.Errorf("transport: decoding %v: %w", id, err)
+		}
+		return Payload{
+			Data:        dec.Data,
+			SrcExecutor: p.SrcExecutor,
+			Bytes:       size,
+			MemBytes:    dec.MemBytes,
+		}, true, nil
+	}
+	// Legacy Wire serve: the caller owns the frame bytes, so they cannot
+	// come from the pool.
+	wire := bytes.Clone(frame.Bytes())
 	return Payload{
-		Data:        Wire{Frame: frame.Bytes()},
+		Data:        Wire{Frame: wire},
 		SrcExecutor: p.SrcExecutor,
-		Bytes:       int64(frame.Len()),
-		MemBytes:    int64(frame.Len()),
+		Bytes:       int64(len(wire)),
+		MemBytes:    int64(len(wire)),
 	}, true, nil
+}
+
+// encodeFallback stages p's frame into buf via Encode, or via Segments
+// when the payload has only a segment form.
+func encodeFallback(p Payload, buf *bytes.Buffer) error {
+	if p.Encode != nil {
+		return p.Encode(buf)
+	}
+	fs, err := p.Segments()
+	if err != nil {
+		return err
+	}
+	_, err = buf.ReadFrom(newSegmentsReader(fs))
+	fs.Release()
+	return err
 }

@@ -136,7 +136,7 @@ func (t *TCP) Register(id MapOutputID, p Payload) (Payload, bool) {
 // round-trip (dial, write, read, deadline) returns a non-nil error with
 // the output still reachable for a retry; NOTFOUND returns ok=false with
 // a nil error.
-func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
+func (t *TCP) Fetch(id MapOutputID, dstExecutor int, open FrameOpen) (Payload, bool, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -151,7 +151,7 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 
 	node := t.nodes[src]
 	if src == dstExecutor {
-		p, ok, err := node.ServeLocal(id)
+		p, ok, err := node.ServeLocal(id, open)
 		if !ok || err != nil {
 			return Payload{}, false, err
 		}
@@ -162,13 +162,13 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 		return p, true, nil
 	}
 
-	frame, err := t.client.Fetch(node.Addr(), id)
+	dec, size, found, err := t.client.FetchInto(node.Addr(), id, open)
 	if err != nil {
-		// The round-trip failed (dial, write, read, deadline). The
+		// The round-trip failed (dial, write, read, deadline, decode). The
 		// registration was never consumed, so a retried fetch just works.
 		return Payload{}, false, err
 	}
-	if frame == nil {
+	if !found {
 		// NOTFOUND: the node kept no servable frame for the id — the entry
 		// was purged by a racing Commit/Drop (its location is already
 		// gone), or it has no wire form (the location stays, so a local
@@ -177,13 +177,13 @@ func (t *TCP) Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error) {
 	}
 	t.mu.Lock()
 	t.stats.RemoteFetches++
-	t.stats.RemoteBytes += int64(len(frame))
+	t.stats.RemoteBytes += size
 	t.mu.Unlock()
 	return Payload{
-		Data:        Wire{Frame: frame},
+		Data:        dec.Data,
 		SrcExecutor: src,
-		Bytes:       int64(len(frame)),
-		MemBytes:    int64(len(frame)),
+		Bytes:       size,
+		MemBytes:    dec.MemBytes,
 	}, true, nil
 }
 
@@ -252,11 +252,16 @@ func (t *TCP) Pending() int {
 	return total
 }
 
-// Stats snapshots the traffic counters.
+// Stats snapshots the traffic counters, folding in every node's
+// serve-path copy counters.
 func (t *TCP) Stats() Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	st := t.stats
+	t.mu.Unlock()
+	for _, n := range t.nodes {
+		n.ServeStats(&st)
+	}
+	return st
 }
 
 // Close shuts every listener and drains every pooled connection; a fetch

@@ -76,7 +76,7 @@ func TestTCPConfigurableListenAddrs(t *testing.T) {
 	buf := &fakeBuf{frame: []byte("addressed")}
 	id := MapOutputID{Shuffle: 3, MapTask: 1, Reduce: 0}
 	tr.Register(id, buf.payload(0))
-	p, ok, err := tr.Fetch(id, 1)
+	p, ok, err := tr.Fetch(id, 1, nil)
 	if err != nil || !ok {
 		t.Fatalf("fetch over explicit addrs = (ok=%v, err=%v)", ok, err)
 	}
@@ -91,7 +91,7 @@ func TestTCPLocalFetchServesFrameWithoutConsuming(t *testing.T) {
 	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 0}
 	tr.Register(id, buf.payload(1))
 
-	p, ok, _ := tr.Fetch(id, 1)
+	p, ok, _ := tr.Fetch(id, 1, nil)
 	if !ok {
 		t.Fatal("local fetch missed")
 	}
@@ -122,7 +122,7 @@ func TestTCPRemoteFetchIsMultiConsumerUntilCommit(t *testing.T) {
 	id := MapOutputID{Shuffle: 2, MapTask: 1, Reduce: 4}
 	tr.Register(id, buf.payload(0))
 
-	p, ok, _ := tr.Fetch(id, 2)
+	p, ok, _ := tr.Fetch(id, 2, nil)
 	if !ok {
 		t.Fatal("remote fetch missed")
 	}
@@ -144,7 +144,7 @@ func TestTCPRemoteFetchIsMultiConsumerUntilCommit(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 	// Multi-consumer: a second fetch (a reduce retry) serves again.
-	p2, ok, _ := tr.Fetch(id, 1)
+	p2, ok, _ := tr.Fetch(id, 1, nil)
 	if !ok {
 		t.Fatal("second fetch of a served id must succeed until commit")
 	}
@@ -157,7 +157,7 @@ func TestTCPRemoteFetchIsMultiConsumerUntilCommit(t *testing.T) {
 	if !buf.released.Load() {
 		t.Error("commit must release the source buffer")
 	}
-	if _, ok, _ := tr.Fetch(id, 2); ok {
+	if _, ok, _ := tr.Fetch(id, 2, nil); ok {
 		t.Error("fetch after commit must miss")
 	}
 	if tr.Pending() != 0 {
@@ -167,7 +167,7 @@ func TestTCPRemoteFetchIsMultiConsumerUntilCommit(t *testing.T) {
 
 func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	tr := newTCPT(t, 2)
-	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0, nil); ok {
 		t.Error("fetch of unregistered id should miss")
 	}
 	// A payload with no wire form cannot be copied: remote fetches miss
@@ -176,7 +176,7 @@ func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	buf := &fakeBuf{frame: []byte("x")}
 	id := MapOutputID{Shuffle: 3, MapTask: 0, Reduce: 0}
 	tr.Register(id, Payload{Data: buf, SrcExecutor: 0, Bytes: 1})
-	if _, ok, _ := tr.Fetch(id, 1); ok {
+	if _, ok, _ := tr.Fetch(id, 1, nil); ok {
 		t.Error("remote fetch of unencodable payload should miss")
 	}
 	if buf.released.Load() {
@@ -185,7 +185,7 @@ func TestTCPFetchUnknownAndUnencodable(t *testing.T) {
 	if tr.Pending() != 1 {
 		t.Errorf("pending = %d, want 1", tr.Pending())
 	}
-	p, ok, _ := tr.Fetch(id, 0)
+	p, ok, _ := tr.Fetch(id, 0, nil)
 	if !ok || p.Data != buf {
 		t.Fatalf("local fetch of unencodable payload = %+v, %v, want the pointer handover", p, ok)
 	}
@@ -206,7 +206,7 @@ func TestTCPDropReturnsRegisteredIncludingServed(t *testing.T) {
 	tr.Register(MapOutputID{Shuffle: 6, MapTask: 0, Reduce: 0}, other.payload(0))
 
 	// A served output stays registered, so Drop still returns it.
-	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1); !ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 5, MapTask: 2, Reduce: 0}, 1, nil); !ok {
 		t.Fatal("fetch failed")
 	}
 	dropped := tr.Drop(5)
@@ -244,7 +244,7 @@ func TestTCPRegisterTwiceReturnsReplaced(t *testing.T) {
 	if !old.released.Load() {
 		t.Error("released replaced payload still live")
 	}
-	p, ok, _ := tr.Fetch(id, 2)
+	p, ok, _ := tr.Fetch(id, 2, nil)
 	if !ok {
 		t.Fatal("fetch after replace missed")
 	}
@@ -269,7 +269,7 @@ func TestInProcessRegisterTwiceReturnsReplaced(t *testing.T) {
 	if !replaced || prev.Data != "a" {
 		t.Fatalf("Register replace = (%+v, %v)", prev, replaced)
 	}
-	p, _, _ := tr.Fetch(id, 0)
+	p, _, _ := tr.Fetch(id, 0, nil)
 	if p.Data != "b" {
 		t.Errorf("fetch after replace = %v", p.Data)
 	}
@@ -290,7 +290,7 @@ func TestTCPConcurrentFetches(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			dst := (i + 1) % execs
-			p, ok, _ := tr.Fetch(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, dst)
+			p, ok, _ := tr.Fetch(MapOutputID{Shuffle: 1, MapTask: i, Reduce: 0}, dst, nil)
 			if !ok {
 				t.Errorf("fetch %d missed", i)
 				return
@@ -366,7 +366,7 @@ func TestTCPMidServeDisplacementDefersRelease(t *testing.T) {
 	fetchDone := make(chan struct{})
 	go func() {
 		defer close(fetchDone)
-		tr.Fetch(id, 1) // blocks in the server-side Encode
+		tr.Fetch(id, 1, nil) // blocks in the server-side Encode
 	}()
 	<-entered
 
@@ -389,7 +389,7 @@ func TestTCPMidServeDisplacementDefersRelease(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// The replacement serves normally and commits away.
-	p, ok, err := tr.Fetch(id, 1)
+	p, ok, err := tr.Fetch(id, 1, nil)
 	if err != nil || !ok {
 		t.Fatalf("fetch of replacement = (ok=%v, err=%v)", ok, err)
 	}
@@ -416,7 +416,7 @@ func TestTCPFailedRemoteFetchKeepsPayloadDroppable(t *testing.T) {
 	// round-trip fails rather than returning NOTFOUND.
 	tr.nodes[0].ln.Close()
 
-	_, ok, err := tr.Fetch(id, 1)
+	_, ok, err := tr.Fetch(id, 1, nil)
 	if ok {
 		t.Fatal("fetch against a dead listener should fail")
 	}
@@ -452,7 +452,7 @@ func TestTCPCloseIdempotentAndFetchAfterClose(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := tr.Fetch(id, 1); ok {
+	if _, ok, _ := tr.Fetch(id, 1, nil); ok {
 		t.Error("fetch after Close should miss")
 	}
 }
@@ -482,7 +482,7 @@ func TestTCPFetchTimeoutRetiresConnAndStaysRetryable(t *testing.T) {
 	})
 
 	start := time.Now()
-	_, ok, err := tr.Fetch(id, 1)
+	_, ok, err := tr.Fetch(id, 1, nil)
 	if ok || err == nil {
 		t.Fatalf("fetch of a hung peer = (ok=%v, err=%v), want a timeout error", ok, err)
 	}
@@ -510,7 +510,7 @@ func TestTCPFetchTimeoutRetiresConnAndStaysRetryable(t *testing.T) {
 	// fresh connection — the retry path after a timeout.
 	buf := &fakeBuf{frame: []byte("recovered")}
 	tr.Register(id, buf.payload(0))
-	p, ok, err := tr.Fetch(id, 1)
+	p, ok, err := tr.Fetch(id, 1, nil)
 	if err != nil || !ok {
 		t.Fatalf("retry fetch = (ok=%v, err=%v)", ok, err)
 	}

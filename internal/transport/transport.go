@@ -60,9 +60,42 @@ type Payload struct {
 	// re-invocable and safe for concurrent use (it reads the buffer, it
 	// never drains it); the registered Data must not be mutated while
 	// registered. Nil means the payload has no wire form; fetching such
-	// an entry consumes it (single-consumer fallback).
+	// an entry consumes it (single-consumer fallback) unless Segments is
+	// set.
 	Encode func(w io.Writer) error
+	// Segments builds the same frame as Encode decomposed into vectored
+	// segments (staged headers, in-place container pages, spill files),
+	// so the serve path can writev/sendfile instead of staging the frame.
+	// Like Encode it must be re-invocable and concurrency-safe; each call
+	// returns a fresh FrameSegments whose Release the serve path calls
+	// exactly once. Optional — nil payloads serve via Encode.
+	Segments func() (*FrameSegments, error)
 }
+
+// FrameReader is the stream a FrameOpen decodes from: exactly the frame's
+// bytes, positioned at the first byte. It matches shuffle.WireReader so
+// streaming wire decoders plug in directly.
+type FrameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Decoded is what a FrameOpen produced from one frame: the container
+// (in the destination executor's memory) and its in-memory footprint for
+// fetch budgeting.
+type Decoded struct {
+	Data     any
+	MemBytes int64
+}
+
+// FrameOpen decodes one frame as it streams off the transport, landing
+// page bodies directly in the destination executor's memory manager —
+// the frame is never materialized as one []byte. size is the frame's
+// announced length; the opener must consume exactly size bytes on
+// success (the transport treats under-consumption as a protocol error
+// and retires the connection). On error the partially-decoded state must
+// already be released.
+type FrameOpen func(r FrameReader, size int64) (Decoded, error)
 
 // Wire is the Data of a payload that was served as an encoded frame: the
 // raw bytes produced by the source's Payload.Encode. The fetching layer
@@ -81,6 +114,14 @@ type Stats struct {
 	RemoteFetches uint64
 	LocalBytes    int64
 	RemoteBytes   int64
+	// Serve-path copy accounting: pages served in place (writev, no
+	// user-space staging), bytes served from spill files through the
+	// sendfile-eligible path, and bytes the serve path did stage in user
+	// space (headers, key tables, and whole frames on the buffered
+	// fallback).
+	PagesServedZeroCopy int64
+	BytesSendfile       int64
+	UserspaceCopyBytes  int64
 }
 
 // Transport moves shuffle map output between executors.
@@ -92,17 +133,19 @@ type Transport interface {
 	// is released by the transport once the serve ends (replaced=false).
 	Register(id MapOutputID, p Payload) (prev Payload, replaced bool)
 	// Fetch serves the output to the reduce task running on dstExecutor
-	// without consuming the registration: the returned payload is a
-	// Wire-framed copy (Data holding the encoded frame, Bytes/MemBytes the
-	// frame length) the caller owns and decodes, while the source stays
-	// pinned for other consumers until Commit/Abort/Drop. ok=false with a
-	// nil error means nothing is registered under id (definitively missing
-	// — lineage must re-run the producing map task); a non-nil error is a
-	// transient fault (socket error, timeout, injected fault) that left
-	// the registration intact, so the caller may retry. Payloads without a
-	// wire form are handed over by pointer and consumed (see the package
-	// ownership rule).
-	Fetch(id MapOutputID, dstExecutor int) (Payload, bool, error)
+	// without consuming the registration, while the source stays pinned
+	// for other consumers until Commit/Abort/Drop. With a non-nil open,
+	// the frame is decoded as it streams (never materialized whole): the
+	// returned payload's Data/MemBytes come from the opener's Decoded and
+	// Bytes is the frame length. With open == nil the returned payload is
+	// a Wire-framed copy (Data holding the encoded frame bytes). ok=false
+	// with a nil error means nothing is registered under id (definitively
+	// missing — lineage must re-run the producing map task); a non-nil
+	// error is a transient fault (socket error, timeout, decode fault,
+	// injected fault) that left the registration intact, so the caller
+	// may retry. Payloads without a wire form are handed over by pointer
+	// and consumed (see the package ownership rule).
+	Fetch(id MapOutputID, dstExecutor int, open FrameOpen) (Payload, bool, error)
 	// Commit ends the listed outputs' lifetime after their consuming stage
 	// committed: the registrations are removed and the still-registered
 	// payloads returned for the caller to release (mid-serve entries

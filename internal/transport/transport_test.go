@@ -10,14 +10,14 @@ func TestRegisterFetchLocality(t *testing.T) {
 	id := MapOutputID{Shuffle: 1, MapTask: 0, Reduce: 2}
 	tr.Register(id, Payload{Data: "buf", SrcExecutor: 0, Bytes: 64})
 
-	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0); ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 9}, 0, nil); ok {
 		t.Error("fetch of unregistered id should miss")
 	}
-	p, ok, _ := tr.Fetch(id, 1)
+	p, ok, _ := tr.Fetch(id, 1, nil)
 	if !ok || p.Data != "buf" || p.SrcExecutor != 0 {
 		t.Fatalf("fetch = %+v, %v", p, ok)
 	}
-	if _, ok, _ := tr.Fetch(id, 1); ok {
+	if _, ok, _ := tr.Fetch(id, 1, nil); ok {
 		t.Error("fetch must be single-consumer")
 	}
 
@@ -27,7 +27,7 @@ func TestRegisterFetchLocality(t *testing.T) {
 	}
 
 	tr.Register(id, Payload{Data: "buf2", SrcExecutor: 3, Bytes: 8})
-	if _, ok, _ := tr.Fetch(id, 3); !ok {
+	if _, ok, _ := tr.Fetch(id, 3, nil); !ok {
 		t.Fatal("re-registered output should fetch")
 	}
 	st = tr.Stats()
@@ -44,7 +44,7 @@ func TestDropReturnsUnfetched(t *testing.T) {
 	}
 	tr.Register(MapOutputID{Shuffle: 8, MapTask: 0, Reduce: 0}, Payload{Data: "other"})
 
-	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 7, MapTask: 1, Reduce: 0}, 0); !ok {
+	if _, ok, _ := tr.Fetch(MapOutputID{Shuffle: 7, MapTask: 1, Reduce: 0}, 0, nil); !ok {
 		t.Fatal("fetch failed")
 	}
 	dropped := tr.Drop(7)
@@ -66,7 +66,7 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			id := MapOutputID{Shuffle: ShuffleID(i % 4), MapTask: i, Reduce: 0}
 			tr.Register(id, Payload{Data: i, SrcExecutor: i % 3, Bytes: 10})
-			tr.Fetch(id, (i+1)%3)
+			tr.Fetch(id, (i+1)%3, nil)
 		}(i)
 	}
 	wg.Wait()

@@ -43,6 +43,7 @@ type PlanSpec struct {
 	ShuffleSpillThreshold   int64
 	FetchConcurrency        int
 	DisableZeroCopyMerge    bool
+	DisableVectoredServe    bool
 	MaxTaskRetries          int
 	MaxExecutorFailures     int
 	SpeculationEnabled      bool
@@ -71,6 +72,7 @@ func (s *PlanSpec) fill(cfg Config) {
 	s.ShuffleSpillThreshold = cfg.ShuffleSpillThreshold
 	s.FetchConcurrency = cfg.FetchConcurrency
 	s.DisableZeroCopyMerge = cfg.DisableZeroCopyMerge
+	s.DisableVectoredServe = cfg.DisableVectoredServe
 	s.MaxTaskRetries = cfg.MaxTaskRetries
 	s.MaxExecutorFailures = cfg.MaxExecutorFailures
 	s.SpeculationEnabled = cfg.SpeculationEnabled
@@ -94,6 +96,7 @@ func (s *PlanSpec) config(f *ctl.Follower) Config {
 		ShuffleSpillThreshold:   s.ShuffleSpillThreshold,
 		FetchConcurrency:        s.FetchConcurrency,
 		DisableZeroCopyMerge:    s.DisableZeroCopyMerge,
+		DisableVectoredServe:    s.DisableVectoredServe,
 		MaxTaskRetries:          s.MaxTaskRetries,
 		MaxExecutorFailures:     s.MaxExecutorFailures,
 		SpeculationEnabled:      s.SpeculationEnabled,

@@ -47,6 +47,10 @@ type Config struct {
 	// DisableZeroCopyMerge drains and re-inserts records on the reduce
 	// merge even in Deca mode — the merge experiment's baseline.
 	DisableZeroCopyMerge bool
+	// DisableVectoredServe stages shuffle frames through Encode instead of
+	// serving page segments with writev/sendfile — the wire experiment's
+	// buffered baseline and the equivalence tests' control arm.
+	DisableVectoredServe bool
 	// TransportKind selects how shuffle map output crosses executors
 	// (default in-process pointers; engine.TransportTCP moves wire frames
 	// over loopback sockets).
@@ -127,6 +131,7 @@ func (c Config) newEngine() *engine.Context {
 		ShuffleSpillThreshold:   c.ShuffleSpillThreshold,
 		FetchConcurrency:        c.FetchConcurrency,
 		DisableZeroCopyMerge:    c.DisableZeroCopyMerge,
+		DisableVectoredServe:    c.DisableVectoredServe,
 		TransportKind:           c.TransportKind,
 		MaxTaskRetries:          c.MaxTaskRetries,
 		MaxExecutorFailures:     c.MaxExecutorFailures,
@@ -158,6 +163,13 @@ type Result struct {
 	// zero on single-executor runs.
 	RemoteShuffleFetches int64
 	RemoteShuffleBytes   int64
+	// Serve-path counters: pages the data plane served straight from
+	// their pinned groups (writev, never staged into a frame buffer),
+	// spill bytes shipped through the kernel's sendfile path, and frame
+	// bytes the serve path did copy through user memory.
+	PagesServedZeroCopy     int64
+	BytesSendfile           int64
+	ServeUserspaceCopyBytes int64
 	// Fault-tolerance counters: failed and retried task attempts (the
 	// recomputation volume), speculative duplicates, executors
 	// blacklisted during the run, and map tasks re-run by lineage repair
@@ -212,22 +224,25 @@ func run(name string, cfg Config, spec PlanSpec, body func(ctx *engine.Context) 
 	cstats := ctx.CacheStats()
 	metrics := ctx.MetricsRef()
 	return Result{
-		Name:                 name,
-		Mode:                 cfg.Mode,
-		Wall:                 wall,
-		GC:                   delta,
-		Checksum:             checksum,
-		CacheBytes:           cstats.MemBytes + cstats.SwapOutBytes - cstats.SwapInBytes,
-		SwapBytes:            cstats.SwapOutBytes,
-		ShuffleSpillBytes:    metrics.ShuffleSpillBytes.Load(),
-		RemoteShuffleFetches: metrics.RemoteShuffleFetches.Load(),
-		RemoteShuffleBytes:   metrics.RemoteShuffleBytes.Load(),
-		TasksFailed:          metrics.TasksFailed.Load(),
-		TaskRetries:          metrics.TaskRetries.Load(),
-		SpeculativeLaunched:  metrics.SpeculativeLaunched.Load(),
-		SpeculativeWon:       metrics.SpeculativeWon.Load(),
-		ExecutorsBlacklisted: metrics.ExecutorsBlacklisted.Load(),
-		LineageMapReruns:     metrics.LineageMapReruns.Load(),
+		Name:                    name,
+		Mode:                    cfg.Mode,
+		Wall:                    wall,
+		GC:                      delta,
+		Checksum:                checksum,
+		CacheBytes:              cstats.MemBytes + cstats.SwapOutBytes - cstats.SwapInBytes,
+		SwapBytes:               cstats.SwapOutBytes,
+		ShuffleSpillBytes:       metrics.ShuffleSpillBytes.Load(),
+		RemoteShuffleFetches:    metrics.RemoteShuffleFetches.Load(),
+		RemoteShuffleBytes:      metrics.RemoteShuffleBytes.Load(),
+		PagesServedZeroCopy:     metrics.PagesServedZeroCopy.Load(),
+		BytesSendfile:           metrics.BytesSendfile.Load(),
+		ServeUserspaceCopyBytes: metrics.ServeUserspaceCopyBytes.Load(),
+		TasksFailed:             metrics.TasksFailed.Load(),
+		TaskRetries:             metrics.TaskRetries.Load(),
+		SpeculativeLaunched:     metrics.SpeculativeLaunched.Load(),
+		SpeculativeWon:          metrics.SpeculativeWon.Load(),
+		ExecutorsBlacklisted:    metrics.ExecutorsBlacklisted.Load(),
+		LineageMapReruns:        metrics.LineageMapReruns.Load(),
 	}, nil
 }
 
