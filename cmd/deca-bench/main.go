@@ -38,6 +38,8 @@ func main() {
 		failRate  = flag.Float64("failure-rate", 0, "inject this per-attempt task failure probability into every experiment (0 = no chaos)")
 		fetchRate = flag.Float64("fetch-failure-rate", 0, "inject this transient data-plane fetch failure probability (multiproc: inside the executor processes)")
 		maxRetry  = flag.Int("max-retries", 0, "per-task retry budget (0 = engine default of 3, negative disables retries)")
+		opsAddr   = flag.String("ops-addr", "", "serve the live HTTP ops plane (/metrics, /stages, /executors, /memory, /trace) on this address while experiments run")
+		traceOut  = flag.String("trace-out", "", "write the event spine as Chrome trace-event JSON (Perfetto-loadable) to this file on engine close")
 		jsonDir   = flag.String("json", "", "also write each report as BENCH_<experiment>.json (wall, bytes, checksums) into this directory ('.' = cwd)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -76,6 +78,7 @@ func main() {
 		Deploy: deployKind, ExecutorCmd: executorCmd,
 		ChaosSeed: *chaosSeed, FailureRate: *failRate, FetchFailureRate: *fetchRate,
 		MaxRetries: *maxRetry,
+		OpsAddr:    *opsAddr, TraceOut: *traceOut,
 	}
 	if opts.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "deca-bench-*")

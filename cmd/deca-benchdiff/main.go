@@ -1,7 +1,10 @@
 // Command deca-benchdiff compares a freshly generated BENCH_<id>.json
 // report against a committed baseline. Checksums are the contract: any
 // drift means an experiment now computes a different answer, which is a
-// hard failure. Wall time is advice: CI machines are noisy, so
+// hard failure. So is a mismatch in coverage — a metric missing from
+// either side means the baseline is stale or the experiment shrank, and
+// both must be resolved explicitly (regenerate the baseline) rather
+// than silently skipped. Wall time is advice: CI machines are noisy, so
 // regressions beyond the threshold only warn.
 //
 // Usage:
@@ -13,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 )
@@ -41,6 +45,65 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
+// diff compares the fresh report against the baseline, writing one line
+// per metric to w, and reports whether any comparison failed. Coverage
+// must match exactly in both directions: a baseline row missing from the
+// current report means the experiment shrank, and a current row absent
+// from the baseline means the baseline predates the metric — both fail,
+// because a gate that silently skips unmatched rows gates nothing.
+func diff(base, cur report, wallWarn float64, w io.Writer) (failed bool) {
+	current := make(map[string]metric, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		current[m.Name] = m
+	}
+
+	for _, want := range base.Metrics {
+		got, ok := current[want.Name]
+		if !ok {
+			// A row the baseline measured vanished: the experiment's
+			// coverage shrank, which silent wall/checksum comparison would
+			// never notice.
+			fmt.Fprintf(w, "FAIL %-28s missing from current report\n", want.Name)
+			failed = true
+			continue
+		}
+		// Float checksums are scheduler-order sensitive only across
+		// partitions folded in nondeterministic order; the bench folds in
+		// partition order, so a small relative tolerance covers them.
+		if math.Abs(got.Checksum-want.Checksum) > 1e-6*math.Abs(want.Checksum) {
+			fmt.Fprintf(w, "FAIL %-28s checksum %.6g, baseline %.6g — answers drifted\n",
+				want.Name, got.Checksum, want.Checksum)
+			failed = true
+			continue
+		}
+		if want.WallMS > 0 && got.WallMS > want.WallMS*(1+wallWarn) {
+			fmt.Fprintf(w, "WARN %-28s wall %.1fms vs baseline %.1fms (+%.0f%%)\n",
+				want.Name, got.WallMS, want.WallMS, 100*(got.WallMS/want.WallMS-1))
+			continue
+		}
+		fmt.Fprintf(w, "ok   %-28s checksum %.6g, wall %.1fms (baseline %.1fms)\n",
+			want.Name, got.Checksum, got.WallMS, want.WallMS)
+	}
+	for _, m := range cur.Metrics {
+		if _, ok := lookup(base.Metrics, m.Name); !ok {
+			fmt.Fprintf(w, "FAIL %-28s not in baseline %s — the baseline predates this metric; regenerate it\n",
+				m.Name, base.ID)
+			failed = true
+		}
+	}
+	return failed
+}
+
+// lookup finds a metric by name in a report's rows.
+func lookup(ms []metric, name string) (metric, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return metric{}, false
+}
+
 func main() {
 	var (
 		basePath = flag.String("baseline", "", "committed BENCH_<id>.json to compare against")
@@ -62,53 +125,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "deca-benchdiff:", err)
 		os.Exit(2)
 	}
-
-	current := make(map[string]metric, len(cur.Metrics))
-	for _, m := range cur.Metrics {
-		current[m.Name] = m
-	}
-
-	failed := false
-	for _, want := range base.Metrics {
-		got, ok := current[want.Name]
-		if !ok {
-			// A row the baseline measured vanished: the experiment's
-			// coverage shrank, which silent wall/checksum comparison would
-			// never notice.
-			fmt.Printf("FAIL %-28s missing from current report\n", want.Name)
-			failed = true
-			continue
-		}
-		// Float checksums are scheduler-order sensitive only across
-		// partitions folded in nondeterministic order; the bench folds in
-		// partition order, so a small relative tolerance covers them.
-		if math.Abs(got.Checksum-want.Checksum) > 1e-6*math.Abs(want.Checksum) {
-			fmt.Printf("FAIL %-28s checksum %.6g, baseline %.6g — answers drifted\n",
-				want.Name, got.Checksum, want.Checksum)
-			failed = true
-			continue
-		}
-		if want.WallMS > 0 && got.WallMS > want.WallMS*(1+*wallWarn) {
-			fmt.Printf("WARN %-28s wall %.1fms vs baseline %.1fms (+%.0f%%)\n",
-				want.Name, got.WallMS, want.WallMS, 100*(got.WallMS/want.WallMS-1))
-			continue
-		}
-		fmt.Printf("ok   %-28s checksum %.6g, wall %.1fms (baseline %.1fms)\n",
-			want.Name, got.Checksum, got.WallMS, want.WallMS)
-	}
-	for _, m := range cur.Metrics {
-		found := false
-		for _, want := range base.Metrics {
-			if want.Name == m.Name {
-				found = true
-				break
-			}
-		}
-		if !found {
-			fmt.Printf("new  %-28s checksum %.6g (not in baseline — regenerate it)\n", m.Name, m.Checksum)
-		}
-	}
-	if failed {
+	if diff(base, cur, *wallWarn, os.Stdout) {
 		os.Exit(1)
 	}
 }

@@ -56,6 +56,14 @@ type Options struct {
 	// MaxRetries overrides the per-task retry budget (deca-bench
 	// -max-retries; 0 = engine default of 3, negative disables).
 	MaxRetries int
+	// OpsAddr serves each experiment engine's live HTTP ops plane
+	// (/metrics, /stages, /executors, /memory, /trace) on this address
+	// for the run's duration (deca-bench -ops-addr). Driver-side only.
+	OpsAddr string
+	// TraceOut writes each engine's event spine as Chrome trace-event
+	// JSON to this file on engine close (deca-bench -trace-out); runs
+	// with several engines overwrite it, so the file holds the last one.
+	TraceOut string
 }
 
 func (o Options) withDefaults() Options {
@@ -222,6 +230,8 @@ func (o Options) baseCfg(mode engine.Mode) workloads.Config {
 		Deploy:        o.Deploy,
 		ExecutorCmd:   o.ExecutorCmd,
 		Seed:          1,
+		OpsAddr:       o.OpsAddr,
+		TraceOut:      o.TraceOut,
 	}
 	if cfg.Deploy == engine.DeployMultiproc && cfg.NumExecutors < 2 {
 		// A single-process "cluster" of one child defeats the point;

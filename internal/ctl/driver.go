@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deca/internal/obs"
 	"deca/internal/transport"
 )
 
@@ -43,6 +44,10 @@ type DriverConfig struct {
 	// stages cluster-wide. Concurrent requests for one dataset are
 	// deduplicated by the engine's memoized shuffle state.
 	OnNeedShuffle func(dataset int)
+	// OnEvents receives the observability events an executor's heartbeat
+	// shipped (nil = events are dropped on the floor). Called from the
+	// executor's read loop; implementations should just ingest and return.
+	OnEvents func(exec int, evs []obs.Event)
 }
 
 func (c DriverConfig) withDefaults() DriverConfig {
@@ -341,10 +346,14 @@ func (d *Driver) readLoop(st *execState) {
 		switch t {
 		case msgHeartbeat:
 			snap := decodeSnapshot(dd)
+			evs := decodeEvents(dd)
 			st.mu.Lock()
 			st.lastBeat = time.Now()
 			st.lastSnap = snap
 			st.mu.Unlock()
+			if len(evs) > 0 && d.cfg.OnEvents != nil {
+				d.cfg.OnEvents(st.id, evs)
+			}
 		case msgTaskDone:
 			taskID, res := decodeTaskResult(dd)
 			if !dd.ok() {
@@ -535,6 +544,30 @@ func (d *Driver) NumAlive() int {
 		st.mu.Unlock()
 	}
 	return n
+}
+
+// ExecStatus is one executor's liveness + latest heartbeat view, for
+// the ops plane.
+type ExecStatus struct {
+	Exec     int
+	Alive    bool
+	LastBeat time.Time
+	Snapshot MetricsSnapshot
+}
+
+// Statuses returns every executor's last-heartbeat state without any
+// round trip — the rolling view heartbeats maintain, read mid-job by
+// the ops endpoints.
+func (d *Driver) Statuses() []ExecStatus {
+	out := make([]ExecStatus, len(d.execs))
+	for i, st := range d.execs {
+		st.mu.Lock()
+		out[i] = ExecStatus{
+			Exec: i, Alive: st.alive, LastBeat: st.lastBeat, Snapshot: st.lastSnap,
+		}
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // Kill SIGKILLs the executor's process — the chaos harness's executor

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deca/internal/obs"
 	"deca/internal/transport"
 )
 
@@ -35,6 +36,22 @@ type Runtime interface {
 	// Snapshot returns the executor-owned metrics counters.
 	Snapshot() MetricsSnapshot
 }
+
+// EventSource is an optional Runtime extension: a runtime that also
+// implements it has its observability backlog drained into every
+// heartbeat frame, giving the driver a rolling cluster-wide event
+// stream mid-job. Checked by type assertion so the Runtime contract is
+// unchanged for implementations without a recorder.
+type EventSource interface {
+	// DrainEvents removes and returns up to max buffered events (all if
+	// max <= 0).
+	DrainEvents(max int) []obs.Event
+}
+
+// heartbeatEventBatch bounds the events one heartbeat carries; at the
+// default 100ms interval that is 10k events/s of shipping capacity per
+// executor before recorder rings start overwriting.
+const heartbeatEventBatch = 1024
 
 // FollowerConfig connects one executor process to its driver.
 type FollowerConfig struct {
@@ -401,10 +418,18 @@ func (f *Follower) heartbeatLoop(interval time.Duration) {
 		if closed {
 			return
 		}
+		var evs []obs.Event
 		if rt != nil {
 			snap = rt.Snapshot()
+			if src, ok := rt.(EventSource); ok {
+				evs = src.DrainEvents(heartbeatEventBatch)
+			}
 		}
-		if err := f.conn.send(msgHeartbeat, appendSnapshot(nil, snap)); err != nil {
+		payload := appendSnapshot(nil, snap)
+		if len(evs) > 0 {
+			payload = appendEvents(payload, evs)
+		}
+		if err := f.conn.send(msgHeartbeat, payload); err != nil {
 			f.markClosed(fmt.Errorf("ctl: heartbeat send: %w", err))
 			return
 		}

@@ -25,6 +25,7 @@ import (
 	"net"
 	"sync"
 
+	"deca/internal/obs"
 	"deca/internal/serial"
 	"deca/internal/transport"
 )
@@ -175,6 +176,11 @@ type MetricsSnapshot struct {
 	PagesServedZeroCopy  int64
 	BytesSendfile        int64
 	UserspaceCopyBytes   int64
+	// FetchInFlightBytes is a gauge (not a counter): the bytes of map
+	// output the executor's reduce fetch pipelines currently hold
+	// reserved. Appended after the original 15 fields; the count-prefixed
+	// wire layout lets old decoders skip it and old encoders omit it.
+	FetchInFlightBytes int64
 }
 
 func (m MetricsSnapshot) fields() []int64 {
@@ -184,6 +190,7 @@ func (m MetricsSnapshot) fields() []int64 {
 		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheDrops,
 		m.SwapOutBytes, m.SwapInBytes, m.CacheMemBytes,
 		m.PagesServedZeroCopy, m.BytesSendfile, m.UserspaceCopyBytes,
+		m.FetchInFlightBytes,
 	}
 }
 
@@ -198,7 +205,7 @@ func appendSnapshot(dst []byte, m MetricsSnapshot) []byte {
 
 func decodeSnapshot(d *dec) MetricsSnapshot {
 	n := int(d.uint())
-	vals := make([]int64, 15)
+	vals := make([]int64, 16)
 	for i := 0; i < n; i++ {
 		v := d.int()
 		if i < len(vals) {
@@ -211,7 +218,70 @@ func decodeSnapshot(d *dec) MetricsSnapshot {
 		CacheHits: vals[5], CacheMisses: vals[6], CacheEvictions: vals[7], CacheDrops: vals[8],
 		SwapOutBytes: vals[9], SwapInBytes: vals[10], CacheMemBytes: vals[11],
 		PagesServedZeroCopy: vals[12], BytesSendfile: vals[13], UserspaceCopyBytes: vals[14],
+		FetchInFlightBytes: vals[15],
 	}
+}
+
+// Heartbeat event shipping: after the snapshot, a heartbeat payload may
+// carry a count-prefixed batch of obs events the executor's recorder
+// drained. Each event encodes a uvarint count of numeric fields, the
+// fields as varints, then the Key string — so numeric fields appended
+// in a newer build are skipped cleanly by an older decoder, mirroring
+// the snapshot's own forward-compatible layout. A payload that ends at
+// the snapshot (an older executor) simply ships no events.
+const eventNumFields = 10
+
+func appendEvents(dst []byte, evs []obs.Event) []byte {
+	dst = serial.AppendUvarint(dst, uint64(len(evs)))
+	for _, e := range evs {
+		dst = serial.AppendUvarint(dst, eventNumFields)
+		dst = serial.AppendVarint(dst, int64(e.Seq))
+		dst = serial.AppendVarint(dst, int64(e.Kind))
+		dst = serial.AppendVarint(dst, e.Nanos)
+		dst = serial.AppendVarint(dst, int64(e.Exec))
+		dst = serial.AppendVarint(dst, int64(e.Stage))
+		dst = serial.AppendVarint(dst, int64(e.Part))
+		dst = serial.AppendVarint(dst, int64(e.Attempt))
+		dst = serial.AppendVarint(dst, e.Shuffle)
+		dst = serial.AppendVarint(dst, e.A)
+		dst = serial.AppendVarint(dst, e.B)
+		dst = serial.AppendString(dst, e.Key)
+	}
+	return dst
+}
+
+// decodeEvents decodes a trailing event batch; an empty remainder means
+// the sender shipped none.
+func decodeEvents(d *dec) []obs.Event {
+	if len(d.b) == 0 || d.bad {
+		return nil
+	}
+	n := int(d.uint())
+	if n <= 0 || !d.ok() {
+		return nil
+	}
+	evs := make([]obs.Event, 0, n)
+	for i := 0; i < n && d.ok(); i++ {
+		nf := int(d.uint())
+		vals := make([]int64, eventNumFields)
+		for j := 0; j < nf; j++ {
+			v := d.int()
+			if j < len(vals) {
+				vals[j] = v
+			}
+		}
+		key := d.str()
+		if !d.ok() {
+			break
+		}
+		evs = append(evs, obs.Event{
+			Seq: uint64(vals[0]), Kind: obs.Kind(vals[1]), Nanos: vals[2],
+			Exec: int32(vals[3]), Stage: int32(vals[4]), Part: int32(vals[5]),
+			Attempt: int32(vals[6]), Shuffle: vals[7], A: vals[8], B: vals[9],
+			Key: key,
+		})
+	}
+	return evs
 }
 
 // enc builds a message payload field by field.

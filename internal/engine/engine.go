@@ -28,6 +28,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,7 +36,9 @@ import (
 	"deca/internal/cache"
 	"deca/internal/chaos"
 	"deca/internal/ctl"
+	"deca/internal/gcstats"
 	"deca/internal/memory"
+	"deca/internal/obs"
 	"deca/internal/sched"
 	"deca/internal/transport"
 )
@@ -276,6 +279,21 @@ type Config struct {
 	// (via the scheduler) and map-output fetches (via a transport
 	// wrapper) — the fault-injection harness of internal/chaos.
 	Chaos *chaos.Injector
+
+	// EventBuffer sizes the per-process observability event ring
+	// (internal/obs). 0 selects obs.DefaultCapacity; negative disables
+	// event recording entirely — every instrumentation seam then costs a
+	// single nil check.
+	EventBuffer int
+	// OpsAddr, when set, serves the live HTTP ops plane on this address
+	// ("host:port"): /metrics (Prometheus text), /stages, /executors,
+	// /memory (JSON) and /trace (Chrome trace-event JSON). Driver-side
+	// only; executor processes never listen.
+	OpsAddr string
+	// TraceOut, when set, writes the retained event spine as Chrome
+	// trace-event JSON to this file when the Context closes — loadable in
+	// Perfetto / chrome://tracing. Driver-side only.
+	TraceOut string
 }
 
 func (c Config) withDefaults() Config {
@@ -361,6 +379,11 @@ type Metrics struct {
 	PagesServedZeroCopy     atomic.Int64
 	BytesSendfile           atomic.Int64
 	ServeUserspaceCopyBytes atomic.Int64
+	// FetchInFlightBytes is a gauge: the estimated bytes of map outputs
+	// reduce tasks have fetched but not yet merged, cluster-wide on the
+	// Context's instance and per executor on each Executor's. On a
+	// multiproc driver it refreshes from heartbeat snapshots.
+	FetchInFlightBytes atomic.Int64
 }
 
 // OccupancySample aggregates one shuffle's page-occupancy observations:
@@ -415,6 +438,18 @@ type Context struct {
 	epochMu    sync.Mutex
 	epochs     map[int]int
 
+	// Observability: the process-local event ring, the driver-side
+	// cluster view, the periodic GC sampler, and the HTTP ops plane.
+	// rec is nil when Config.EventBuffer is negative; view and ops are
+	// nil on followers.
+	rec        *obs.Recorder
+	view       *obs.View
+	gcSampler  *gcstats.Sampler
+	ops        *opsServer
+	obsDropped atomic.Uint64 // recorder drops already folded into view
+	stageIDMu  sync.Mutex
+	stageIDs   map[string]int32 // stage key → scheduler stage id
+
 	closeOnce sync.Once
 
 	// testAfterMapStage, when set, runs between a shuffle's map and reduce
@@ -437,6 +472,7 @@ func New(conf Config) *Context {
 		shuffles:   make(map[int]releasable),
 		shuffleReg: make(map[int]materializable),
 		epochs:     make(map[int]int),
+		stageIDs:   make(map[string]int32),
 	}
 	var faults sched.FaultInjector
 	if conf.Chaos != nil {
@@ -483,6 +519,29 @@ func New(conf Config) *Context {
 		})
 	}
 
+	// Observability spine: one event ring per process, fed by every layer.
+	// The driver (any non-follower role) also aggregates into a View; a
+	// follower's ring drains into ctl heartbeats instead. The GC sampler
+	// turns runtime GC stats into a periodic event stream.
+	if conf.EventBuffer >= 0 {
+		c.rec = obs.NewRecorder(conf.EventBuffer)
+		for i, ex := range c.execs {
+			ex.mem.SetRecorder(c.rec, int32(i))
+		}
+		if conf.CtlFollower == nil {
+			c.view = obs.NewView(0)
+		}
+		rec, exec := c.rec, c.obsExec()
+		c.gcSampler = gcstats.StartSampler(gcSampleInterval, func(s gcstats.Snapshot) {
+			rec.Record(obs.Event{
+				Kind: obs.KindGCSample,
+				Exec: exec,
+				A:    int64(s.GCCPUSeconds * 1e9),
+				B:    int64(s.HeapAlloc),
+			})
+		})
+	}
+
 	// Role-specific transport and control-plane wiring. A follower mirrors
 	// the plan inside one deca-executor process; a multiproc driver spawns
 	// and supervises the fleet; everything else hosts the whole cluster in
@@ -504,6 +563,7 @@ func New(conf Config) *Context {
 			// job condition; keep New's signature and fail loudly.
 			panic(fmt.Sprintf("engine: starting TCP transport: %v", err))
 		}
+		tcp.SetRecorder(c.rec)
 		trans = tcp
 	default:
 		trans = transport.NewInProcess()
@@ -514,7 +574,93 @@ func New(conf Config) *Context {
 		trans = chaos.WrapTransport(trans, conf.Chaos)
 	}
 	c.trans = trans
+	if conf.OpsAddr != "" && conf.CtlFollower == nil {
+		c.ops = startOps(c, conf.OpsAddr)
+	}
 	return c
+}
+
+// gcSampleInterval paces the periodic GC-stat events. 200ms keeps the
+// timeline readable while costing one ReadMemStats per tick.
+const gcSampleInterval = 200 * time.Millisecond
+
+// obsExec is the executor id this process's role-scoped events carry:
+// a follower stamps its executor id, every driver role stamps -1.
+func (c *Context) obsExec() int32 {
+	if c.conf.CtlFollower != nil {
+		return int32(c.conf.CtlFollower.ID())
+	}
+	return -1
+}
+
+// drainLocalEvents folds the process-local recorder backlog (and its
+// overflow count) into the driver view. Ops handlers and the trace
+// export call it so the view is current at read time; follower events
+// arrive through heartbeats instead.
+func (c *Context) drainLocalEvents() {
+	if c.view == nil || c.rec == nil {
+		return
+	}
+	for {
+		evs := c.rec.Drain(obs.DefaultCapacity)
+		if len(evs) == 0 {
+			break
+		}
+		c.view.Ingest(evs)
+	}
+	d := c.rec.Dropped()
+	if prev := c.obsDropped.Swap(d); d > prev {
+		c.view.AddDropped(d - prev)
+	}
+}
+
+// noteStageStart correlates a stage key with its scheduler id and emits
+// the stage-begin event.
+func (c *Context) noteStageStart(key string, stage int) {
+	c.stageIDMu.Lock()
+	c.stageIDs[key] = int32(stage)
+	c.stageIDMu.Unlock()
+	c.rec.Record(obs.Event{Kind: obs.KindStageBegin, Exec: c.obsExec(), Stage: int32(stage), Key: key})
+}
+
+// recordStageVerdict emits the stage-verdict event, resolving the
+// scheduler stage id recorded at stage start (0 when the stage never
+// started locally — the view then matches by key).
+func (c *Context) recordStageVerdict(key string, verdict byte) {
+	if c.rec == nil {
+		return
+	}
+	c.stageIDMu.Lock()
+	id := c.stageIDs[key]
+	delete(c.stageIDs, key)
+	c.stageIDMu.Unlock()
+	var code int64
+	switch verdict {
+	case ctl.VerdictOK:
+		code = obs.VerdictOK
+	case ctl.VerdictRetry:
+		code = obs.VerdictRetry
+	default:
+		code = obs.VerdictAbort
+	}
+	c.rec.Record(obs.Event{Kind: obs.KindStageVerdict, Exec: c.obsExec(), Stage: id, Key: key, A: code})
+}
+
+// writeTraceOut exports the retained event spine as Chrome trace-event
+// JSON to Config.TraceOut (Close-time, driver roles only).
+func (c *Context) writeTraceOut() {
+	c.drainLocalEvents()
+	f, err := os.Create(c.conf.TraceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine: creating trace file: %v\n", err)
+		return
+	}
+	if err := obs.WriteTrace(f, c.view.Events()); err != nil {
+		fmt.Fprintf(os.Stderr, "engine: writing trace: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "engine: closing trace file: %v\n", err)
+	}
 }
 
 // materializable is the deployment-facing face of a shuffle state: the
@@ -593,6 +739,12 @@ func (c *Context) ReleaseAllShuffles() {
 // stage's error path, is a no-op. The context is unusable afterwards.
 func (c *Context) Close() {
 	c.closeOnce.Do(func() {
+		if c.gcSampler != nil {
+			c.gcSampler.Stop()
+		}
+		if c.ops != nil {
+			c.ops.shutdown()
+		}
 		c.ReleaseAllShuffles()
 		for _, ex := range c.execs {
 			ex.cache.Clear()
@@ -601,6 +753,9 @@ func (c *Context) Close() {
 			c.driver.d.Close()
 		}
 		c.trans.Close()
+		if c.conf.TraceOut != "" && c.view != nil {
+			c.writeTraceOut()
+		}
 	})
 }
 
@@ -703,6 +858,10 @@ func (c *Context) noteOccupancy(sh transport.ShuffleID, buf any) {
 	s.Footprint += footprint
 	c.occupancy[sh] = s
 	c.occMu.Unlock()
+	c.rec.Record(obs.Event{
+		Kind: obs.KindOccupancy, Exec: c.obsExec(),
+		Shuffle: int64(sh), A: used, B: footprint,
+	})
 }
 
 // Occupancy returns the per-shuffle page-occupancy aggregates sampled so
@@ -770,7 +929,9 @@ func (c *Context) runStageOn(partIDs []int, opts sched.StageOptions, fn func(t s
 }
 
 // clusterHooks mirrors scheduler events into the cluster- and
-// executor-level metrics.
+// executor-level metrics and the observability event spine. It
+// implements sched.AttemptObserver alongside sched.Hooks, so attempt
+// events carry full (stage, part, attempt) coordinates.
 type clusterHooks struct{ c *Context }
 
 func (h clusterHooks) TaskStarted(exec int) {
@@ -786,21 +947,60 @@ func (h clusterHooks) TaskFailed(exec int) {
 func (h clusterHooks) TaskRetried(exec int) {
 	h.c.execs[exec].metrics.TaskRetries.Add(1)
 	h.c.metrics.TaskRetries.Add(1)
+	h.c.rec.Record(obs.Event{Kind: obs.KindTaskRetry, Exec: int32(exec), Stage: -1})
 }
 
 func (h clusterHooks) SpeculativeLaunched(exec int) {
 	h.c.execs[exec].metrics.SpeculativeLaunched.Add(1)
 	h.c.metrics.SpeculativeLaunched.Add(1)
+	h.c.rec.Record(obs.Event{Kind: obs.KindTaskSpeculate, Exec: int32(exec)})
 }
 
 func (h clusterHooks) SpeculativeWon(exec int) {
 	h.c.execs[exec].metrics.SpeculativeWon.Add(1)
 	h.c.metrics.SpeculativeWon.Add(1)
+	h.c.rec.Record(obs.Event{Kind: obs.KindSpeculativeWon, Exec: int32(exec)})
 }
 
 func (h clusterHooks) ExecutorBlacklisted(exec int) {
 	h.c.metrics.ExecutorsBlacklisted.Add(1)
+	h.c.rec.Record(obs.Event{Kind: obs.KindExecutorBlacklisted, Exec: int32(exec)})
 }
+
+// AttemptStarted / AttemptFinished implement sched.AttemptObserver: the
+// scheduler's per-attempt lifecycle becomes the task lanes of the event
+// spine. Error strings are truncated so one failing stage cannot bloat
+// the ring.
+func (h clusterHooks) AttemptStarted(stage, part, attempt, exec int, speculative bool) {
+	var spec int64
+	if speculative {
+		spec = 1
+	}
+	h.c.rec.Record(obs.Event{
+		Kind: obs.KindTaskStart, Exec: int32(exec),
+		Stage: int32(stage), Part: int32(part), Attempt: int32(attempt), B: spec,
+	})
+}
+
+func (h clusterHooks) AttemptFinished(stage, part, attempt, exec int, speculative bool, d time.Duration, err error) {
+	var failed int64
+	var msg string
+	if err != nil {
+		failed = 1
+		msg = err.Error()
+		if len(msg) > maxEventErrLen {
+			msg = msg[:maxEventErrLen]
+		}
+	}
+	h.c.rec.Record(obs.Event{
+		Kind: obs.KindTaskFinish, Exec: int32(exec),
+		Stage: int32(stage), Part: int32(part), Attempt: int32(attempt),
+		A: int64(d), B: failed, Key: msg,
+	})
+}
+
+// maxEventErrLen bounds error strings carried in events.
+const maxEventErrLen = 256
 
 // Scheduler exposes the cluster scheduler state (blacklist, placement)
 // for tests and tools.
@@ -828,12 +1028,14 @@ func (c *Context) noteSpill(srcExec int, bytes int64) {
 	}
 	c.execs[srcExec].metrics.ShuffleSpillBytes.Add(bytes)
 	c.metrics.ShuffleSpillBytes.Add(bytes)
+	c.rec.Record(obs.Event{Kind: obs.KindPageSpill, Exec: int32(srcExec), B: bytes})
 }
 
 // dropShuffleOutputs removes any still-registered map outputs of the
 // shuffle from the transport and releases their buffers — the error-path
 // cleanup for a stage that failed between map and reduce.
 func (c *Context) dropShuffleOutputs(id transport.ShuffleID) {
+	c.rec.Record(obs.Event{Kind: obs.KindStageAbort, Exec: c.obsExec(), Shuffle: int64(id)})
 	for _, p := range c.trans.Drop(id) {
 		if r, ok := p.Data.(releasable); ok {
 			r.Release()
@@ -847,6 +1049,10 @@ func (c *Context) dropShuffleOutputs(id transport.ShuffleID) {
 // (displaced, dropped, or held by another process) are skipped by the
 // transport itself.
 func (c *Context) commitShuffleOutputs(id transport.ShuffleID, M, R int) {
+	c.rec.Record(obs.Event{
+		Kind: obs.KindStageCommit, Exec: c.obsExec(),
+		Shuffle: int64(id), A: int64(M), B: int64(R),
+	})
 	ids := make([]transport.MapOutputID, 0, M*R)
 	for m := 0; m < M; m++ {
 		for r := 0; r < R; r++ {

@@ -104,13 +104,26 @@ func (fp *fetchPipeline) worker() {
 		id := transport.MapOutputID{Shuffle: fp.shuf, MapTask: m, Reduce: fp.r}
 		res := fp.fetchWithRetry(id)
 		if res.ok {
+			charge := fetchCharge(res.pl)
 			fp.mu.Lock()
-			fp.inFlight += fetchCharge(res.pl)
+			fp.inFlight += charge
 			fp.mu.Unlock()
+			fp.addInFlightGauge(charge)
 			fp.ctx.noteFetch(fp.ex, res.pl)
 		}
 		fp.slots[m] <- res // cap 1: never blocks
 	}
+}
+
+// addInFlightGauge mirrors the pipeline's in-flight byte budget into the
+// FetchInFlightBytes gauges (per destination executor and cluster-wide),
+// so the ops plane can watch reduce-side fetch pressure live.
+func (fp *fetchPipeline) addInFlightGauge(delta int64) {
+	if delta == 0 {
+		return
+	}
+	fp.ex.metrics.FetchInFlightBytes.Add(delta)
+	fp.ctx.metrics.FetchInFlightBytes.Add(delta)
 }
 
 // fetchWithRetry is the per-fetch retry loop: a transient transport error
@@ -155,6 +168,7 @@ func (fp *fetchPipeline) merged(pl transport.Payload) {
 	fp.mu.Lock()
 	fp.inFlight -= fetchCharge(pl)
 	fp.mu.Unlock()
+	fp.addInFlightGauge(-fetchCharge(pl))
 	fp.cond.Broadcast()
 }
 
@@ -178,4 +192,11 @@ func (fp *fetchPipeline) shutdown(release func(transport.Payload)) {
 		default:
 		}
 	}
+	// Whatever was fetched but never merged leaves the gauge here, so an
+	// aborted attempt cannot leak in-flight bytes into the ops view.
+	fp.mu.Lock()
+	rem := fp.inFlight
+	fp.inFlight = 0
+	fp.mu.Unlock()
+	fp.addInFlightGauge(-rem)
 }

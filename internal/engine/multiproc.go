@@ -10,6 +10,7 @@ import (
 
 	"deca/internal/cache"
 	"deca/internal/ctl"
+	"deca/internal/obs"
 	"deca/internal/sched"
 	"deca/internal/transport"
 )
@@ -115,6 +116,11 @@ func (c *Context) wireDriver() transport.Transport {
 			// follower diverged, which its own stages will report.
 			_ = c.MaterializeShuffle(dataset)
 		},
+		OnEvents: func(exec int, evs []obs.Event) {
+			// Follower recorders stamp their executor id on every event;
+			// ingest verbatim into the rolling cluster view.
+			c.view.Ingest(evs)
+		},
 	})
 	if err != nil {
 		panic(fmt.Sprintf("engine: starting multiproc control plane: %v", err))
@@ -141,6 +147,8 @@ func (c *Context) wireFollower(f *ctl.Follower) transport.Transport {
 		client: transport.NewDataClient(c.conf.FetchTimeout),
 		me:     f.ID(),
 	}
+	trans.node.SetRecorder(c.rec, int32(trans.me))
+	trans.client.SetRecorder(c.rec, int32(trans.me))
 	f.SetRuntime(followerRuntime{c: c})
 	return trans
 }
@@ -173,6 +181,7 @@ func (c *Context) SyncClusterMetrics() {
 		sum.PagesServedZeroCopy += s.PagesServedZeroCopy
 		sum.BytesSendfile += s.BytesSendfile
 		sum.UserspaceCopyBytes += s.UserspaceCopyBytes
+		sum.FetchInFlightBytes += s.FetchInFlightBytes
 		cs.Hits += uint64(s.CacheHits)
 		cs.Misses += uint64(s.CacheMisses)
 		cs.Evictions += uint64(s.CacheEvictions)
@@ -189,6 +198,7 @@ func (c *Context) SyncClusterMetrics() {
 	c.metrics.PagesServedZeroCopy.Store(sum.PagesServedZeroCopy)
 	c.metrics.BytesSendfile.Store(sum.BytesSendfile)
 	c.metrics.ServeUserspaceCopyBytes.Store(sum.UserspaceCopyBytes)
+	c.metrics.FetchInFlightBytes.Store(sum.FetchInFlightBytes)
 	c.driver.mu.Lock()
 	c.driver.remote = cs
 	c.driver.mu.Unlock()
@@ -259,6 +269,7 @@ func (c *Context) recoverMissingOutput(dataset, epoch int) {
 // partition wins).
 func (c *Context) runRemoteStageOn(partIDs []int, opts sched.StageOptions, key string,
 	rep *lineageRepair, collect func(part int, result []byte) error) error {
+	opts.OnStart = c.stageStartHook(key, opts.OnStart)
 	d := c.driver.d
 	var mu sync.Mutex
 	seen := make(map[int]bool, len(partIDs))
@@ -322,7 +333,22 @@ func (c *Context) stageRun(parts int, opts sched.StageOptions, key string,
 	if c.driver != nil {
 		return c.runRemoteStage(parts, opts, key, rep, nil)
 	}
+	opts.OnStart = c.stageStartHook(key, opts.OnStart)
 	return c.runStage(parts, opts, local)
+}
+
+// stageStartHook chains the stage-begin observability event onto any
+// existing OnStart callback (no-op when events are disabled).
+func (c *Context) stageStartHook(key string, prev func(stage int)) func(stage int) {
+	if c.rec == nil {
+		return prev
+	}
+	return func(stage int) {
+		if prev != nil {
+			prev(stage)
+		}
+		c.noteStageStart(key, stage)
+	}
 }
 
 // stageRunOn is stageRun over an explicit partition set — the lineage
@@ -332,12 +358,14 @@ func (c *Context) stageRunOn(partIDs []int, opts sched.StageOptions, key string,
 	if c.driver != nil {
 		return c.runRemoteStageOn(partIDs, opts, key, nil, nil)
 	}
+	opts.OnStart = c.stageStartHook(key, opts.OnStart)
 	return c.runStageOn(partIDs, opts, local)
 }
 
 // endStage broadcasts a stage verdict to the fleet (driver; no-op
 // otherwise).
 func (c *Context) endStage(key string, verdict byte, err error) {
+	c.recordStageVerdict(key, verdict)
 	if c.driver == nil {
 		return
 	}
@@ -508,7 +536,14 @@ func (r followerRuntime) Snapshot() ctl.MetricsSnapshot {
 		PagesServedZeroCopy:  ts.PagesServedZeroCopy,
 		BytesSendfile:        ts.BytesSendfile,
 		UserspaceCopyBytes:   ts.UserspaceCopyBytes,
+		FetchInFlightBytes:   c.metrics.FetchInFlightBytes.Load(),
 	}
+}
+
+// DrainEvents implements ctl.EventSource: each heartbeat ships the
+// follower's event backlog to the driver.
+func (r followerRuntime) DrainEvents(max int) []obs.Event {
+	return r.c.rec.Drain(max)
 }
 
 // driverTransport is the multiproc driver's transport facade: the driver

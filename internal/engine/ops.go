@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"deca/internal/obs"
+	"deca/internal/sched"
+)
+
+// opsServer is the driver's live HTTP ops plane: a handful of read-only
+// endpoints over the metrics counters, the scheduler state and the
+// observability view, served on Config.OpsAddr for the lifetime of the
+// Context. Endpoints:
+//
+//	/metrics   Prometheus text: every engine counter, per executor and
+//	           cluster-aggregated, plus transport serve/copy stats
+//	/stages    JSON: live stage summaries with in-flight attempt states
+//	/executors JSON: per-executor scheduler state (blacklist, probation),
+//	           liveness, data-plane counters, in-flight fetch bytes
+//	/memory    JSON: per-executor page and spill accounting plus the
+//	           per-shuffle occupancy time series
+//	/trace     Chrome trace-event JSON of the retained event spine
+//	           (loadable in Perfetto / chrome://tracing)
+type opsServer struct {
+	c    *Context
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// startOps binds the ops listener and serves in the background. A bind
+// failure is reported and tolerated — observability must never take the
+// job down.
+func startOps(c *Context, addr string) *opsServer {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine: ops listener %s: %v (ops plane disabled)\n", addr, err)
+		return nil
+	}
+	o := &opsServer{c: c, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/stages", o.handleStages)
+	mux.HandleFunc("/executors", o.handleExecutors)
+	mux.HandleFunc("/memory", o.handleMemory)
+	mux.HandleFunc("/trace", o.handleTrace)
+	o.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(o.done)
+		if err := o.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "engine: ops server: %v\n", err)
+		}
+	}()
+	return o
+}
+
+func (o *opsServer) shutdown() {
+	o.srv.Close()
+	<-o.done
+}
+
+// OpsAddr returns the resolved ops-plane listen address ("" when the
+// plane is not serving) — tests pass ":0" and read the port back here.
+func (c *Context) OpsAddr() string {
+	if c.ops == nil {
+		return ""
+	}
+	return c.ops.ln.Addr().String()
+}
+
+// execCounterRow is one per-executor slice of the /metrics surface.
+type execCounterRow struct {
+	tasksRun, tasksFailed, taskRetries       int64
+	speculativeLaunched, speculativeWon      int64
+	shuffleRecords, shuffleSpillBytes        int64
+	localFetches, remoteFetches, remoteBytes int64
+	pagesZeroCopy, bytesSendfile, copyBytes  int64
+	fetchInFlightBytes                       int64
+}
+
+// execCounters assembles the per-executor counter rows. Scheduler-side
+// task counters always live in the driver's per-executor Metrics; the
+// data-plane counters come from there too for in-process deployments,
+// and from the latest heartbeat snapshots for a multiproc driver (whose
+// data plane runs in the executor processes).
+func (o *opsServer) execCounters() []execCounterRow {
+	c := o.c
+	rows := make([]execCounterRow, len(c.execs))
+	for i, ex := range c.execs {
+		em := &ex.metrics
+		rows[i] = execCounterRow{
+			tasksRun:            em.TasksRun.Load(),
+			tasksFailed:         em.TasksFailed.Load(),
+			taskRetries:         em.TaskRetries.Load(),
+			speculativeLaunched: em.SpeculativeLaunched.Load(),
+			speculativeWon:      em.SpeculativeWon.Load(),
+		}
+	}
+	if c.driver != nil {
+		for _, st := range c.driver.d.Statuses() {
+			if st.Exec < 0 || st.Exec >= len(rows) {
+				continue
+			}
+			s := st.Snapshot
+			r := &rows[st.Exec]
+			r.shuffleRecords = s.ShuffleRecords
+			r.shuffleSpillBytes = s.ShuffleSpillBytes
+			r.localFetches = s.LocalShuffleFetches
+			r.remoteFetches = s.RemoteShuffleFetches
+			r.remoteBytes = s.RemoteShuffleBytes
+			r.pagesZeroCopy = s.PagesServedZeroCopy
+			r.bytesSendfile = s.BytesSendfile
+			r.copyBytes = s.UserspaceCopyBytes
+			r.fetchInFlightBytes = s.FetchInFlightBytes
+		}
+		return rows
+	}
+	for i, ex := range c.execs {
+		em := &ex.metrics
+		r := &rows[i]
+		r.shuffleRecords = em.ShuffleRecords.Load()
+		r.shuffleSpillBytes = em.ShuffleSpillBytes.Load()
+		r.localFetches = em.LocalShuffleFetches.Load()
+		r.remoteFetches = em.RemoteShuffleFetches.Load()
+		r.remoteBytes = em.RemoteShuffleBytes.Load()
+		r.fetchInFlightBytes = em.FetchInFlightBytes.Load()
+	}
+	return rows
+}
+
+func (o *opsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := o.c
+	c.drainLocalEvents()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	rows := o.execCounters()
+	perExec := []struct {
+		name string
+		get  func(r *execCounterRow) int64
+	}{
+		{"deca_exec_tasks_run_total", func(r *execCounterRow) int64 { return r.tasksRun }},
+		{"deca_exec_tasks_failed_total", func(r *execCounterRow) int64 { return r.tasksFailed }},
+		{"deca_exec_task_retries_total", func(r *execCounterRow) int64 { return r.taskRetries }},
+		{"deca_exec_speculative_launched_total", func(r *execCounterRow) int64 { return r.speculativeLaunched }},
+		{"deca_exec_speculative_won_total", func(r *execCounterRow) int64 { return r.speculativeWon }},
+		{"deca_exec_shuffle_records_total", func(r *execCounterRow) int64 { return r.shuffleRecords }},
+		{"deca_exec_shuffle_spill_bytes_total", func(r *execCounterRow) int64 { return r.shuffleSpillBytes }},
+		{"deca_exec_local_shuffle_fetches_total", func(r *execCounterRow) int64 { return r.localFetches }},
+		{"deca_exec_remote_shuffle_fetches_total", func(r *execCounterRow) int64 { return r.remoteFetches }},
+		{"deca_exec_remote_shuffle_bytes_total", func(r *execCounterRow) int64 { return r.remoteBytes }},
+		{"deca_exec_pages_served_zero_copy_total", func(r *execCounterRow) int64 { return r.pagesZeroCopy }},
+		{"deca_exec_bytes_sendfile_total", func(r *execCounterRow) int64 { return r.bytesSendfile }},
+		{"deca_exec_serve_userspace_copy_bytes_total", func(r *execCounterRow) int64 { return r.copyBytes }},
+		{"deca_exec_fetch_in_flight_bytes", func(r *execCounterRow) int64 { return r.fetchInFlightBytes }},
+	}
+	for _, m := range perExec {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, promType(m.name))
+		for i := range rows {
+			fmt.Fprintf(&b, "%s{exec=%q} %d\n", m.name, fmt.Sprint(i), m.get(&rows[i]))
+		}
+	}
+
+	// Cluster aggregates. Task counters are driver-resident; data-plane
+	// counters sum the per-executor rows so a multiproc scrape is live
+	// without a control-plane round trip.
+	cm := c.MetricsRef()
+	var sum execCounterRow
+	for i := range rows {
+		r := &rows[i]
+		sum.shuffleRecords += r.shuffleRecords
+		sum.shuffleSpillBytes += r.shuffleSpillBytes
+		sum.localFetches += r.localFetches
+		sum.remoteFetches += r.remoteFetches
+		sum.remoteBytes += r.remoteBytes
+		sum.pagesZeroCopy += r.pagesZeroCopy
+		sum.bytesSendfile += r.bytesSendfile
+		sum.copyBytes += r.copyBytes
+		sum.fetchInFlightBytes += r.fetchInFlightBytes
+	}
+	if c.driver == nil {
+		// In-process serve stats are kept cluster-level by the transport.
+		sum.pagesZeroCopy = cm.PagesServedZeroCopy.Load()
+		sum.bytesSendfile = cm.BytesSendfile.Load()
+		sum.copyBytes = cm.ServeUserspaceCopyBytes.Load()
+	}
+	cluster := []struct {
+		name string
+		v    int64
+	}{
+		{"deca_tasks_run_total", cm.TasksRun.Load()},
+		{"deca_tasks_failed_total", cm.TasksFailed.Load()},
+		{"deca_task_retries_total", cm.TaskRetries.Load()},
+		{"deca_lineage_map_reruns_total", cm.LineageMapReruns.Load()},
+		{"deca_speculative_launched_total", cm.SpeculativeLaunched.Load()},
+		{"deca_speculative_won_total", cm.SpeculativeWon.Load()},
+		{"deca_executors_blacklisted_total", cm.ExecutorsBlacklisted.Load()},
+		{"deca_shuffle_records_total", sum.shuffleRecords},
+		{"deca_shuffle_spill_bytes_total", sum.shuffleSpillBytes},
+		{"deca_local_shuffle_fetches_total", sum.localFetches},
+		{"deca_remote_shuffle_fetches_total", sum.remoteFetches},
+		{"deca_remote_shuffle_bytes_total", sum.remoteBytes},
+		{"deca_pages_served_zero_copy_total", sum.pagesZeroCopy},
+		{"deca_bytes_sendfile_total", sum.bytesSendfile},
+		{"deca_serve_userspace_copy_bytes_total", sum.copyBytes},
+		{"deca_fetch_in_flight_bytes", sum.fetchInFlightBytes},
+	}
+	for _, m := range cluster {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", m.name, promType(m.name), m.name, m.v)
+	}
+
+	// The latest GC samples and event accounting, from the view.
+	for _, x := range c.view.Executors() {
+		label := fmt.Sprint(x.Exec)
+		fmt.Fprintf(&b, "deca_exec_gc_cpu_nanos{exec=%q} %d\n", label, x.GCCPUNanos)
+		fmt.Fprintf(&b, "deca_exec_heap_live_bytes{exec=%q} %d\n", label, x.HeapLiveBytes)
+	}
+	fmt.Fprintf(&b, "deca_obs_events_dropped_total %d\n", c.view.Dropped())
+
+	w.Write([]byte(b.String()))
+}
+
+// promType derives the metric type from the naming convention: *_total
+// counters, everything else a gauge.
+func promType(name string) string {
+	if strings.HasSuffix(name, "_total") {
+		return "counter"
+	}
+	return "gauge"
+}
+
+func (o *opsServer) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The connection died mid-write; nothing sensible to do.
+		_ = err
+	}
+}
+
+func (o *opsServer) handleStages(w http.ResponseWriter, _ *http.Request) {
+	o.c.drainLocalEvents()
+	o.writeJSON(w, struct {
+		Stages []obs.StageSummary `json:"stages"`
+	}{Stages: o.c.view.Stages()})
+}
+
+// opsExecutor is one /executors row: scheduler placement state fused
+// with liveness (multiproc) and the executor's slice of the event view.
+type opsExecutor struct {
+	sched.ExecutorState
+	Alive              *bool        `json:"alive,omitempty"`
+	LastBeatNanos      int64        `json:"last_beat_nanos,omitempty"`
+	FetchInFlightBytes int64        `json:"fetch_in_flight_bytes"`
+	Obs                *obs.ExecObs `json:"obs,omitempty"`
+}
+
+func (o *opsServer) handleExecutors(w http.ResponseWriter, _ *http.Request) {
+	c := o.c
+	c.drainLocalEvents()
+	obsByExec := make(map[int32]obs.ExecObs)
+	for _, x := range c.view.Executors() {
+		obsByExec[x.Exec] = x
+	}
+	rows := o.execCounters()
+	out := make([]opsExecutor, 0, len(c.execs))
+	for _, st := range c.cluster.States() {
+		row := opsExecutor{ExecutorState: st}
+		if st.Exec >= 0 && st.Exec < len(rows) {
+			row.FetchInFlightBytes = rows[st.Exec].fetchInFlightBytes
+		}
+		if x, ok := obsByExec[int32(st.Exec)]; ok {
+			xc := x
+			row.Obs = &xc
+		}
+		out = append(out, row)
+	}
+	if c.driver != nil {
+		for _, st := range c.driver.d.Statuses() {
+			if st.Exec < 0 || st.Exec >= len(out) {
+				continue
+			}
+			alive := st.Alive
+			out[st.Exec].Alive = &alive
+			out[st.Exec].LastBeatNanos = st.LastBeat.UnixNano()
+		}
+	}
+	o.writeJSON(w, struct {
+		Executors []opsExecutor `json:"executors"`
+	}{Executors: out})
+}
+
+// opsMemoryExec is one /memory row: local manager accounting where the
+// manager lives in this process, event-derived accounting always.
+type opsMemoryExec struct {
+	Exec          int32 `json:"exec"`
+	InUseBytes    int64 `json:"in_use_bytes,omitempty"`
+	PagesAlloc    int64 `json:"pages_allocated,omitempty"`
+	PagesAdopted  int64 `json:"pages_adopted,omitempty"`
+	PagesReleased int64 `json:"pages_released,omitempty"`
+	SpillBytes    int64 `json:"spill_bytes,omitempty"`
+	HeapLiveBytes int64 `json:"heap_live_bytes,omitempty"`
+	GCCPUNanos    int64 `json:"gc_cpu_nanos,omitempty"`
+}
+
+func (o *opsServer) handleMemory(w http.ResponseWriter, _ *http.Request) {
+	c := o.c
+	c.drainLocalEvents()
+	obsByExec := make(map[int32]obs.ExecObs)
+	for _, x := range c.view.Executors() {
+		obsByExec[x.Exec] = x
+	}
+	out := make([]opsMemoryExec, 0, len(c.execs))
+	for i, ex := range c.execs {
+		row := opsMemoryExec{Exec: int32(i)}
+		if c.driver == nil {
+			row.InUseBytes = ex.mem.InUse()
+		}
+		if x, ok := obsByExec[int32(i)]; ok {
+			row.PagesAlloc = x.PagesAlloc
+			row.PagesAdopted = x.PagesAdopted
+			row.PagesReleased = x.PagesReleased
+			row.SpillBytes = x.SpillBytes
+			row.HeapLiveBytes = x.HeapLiveBytes
+			row.GCCPUNanos = x.GCCPUNanos
+		}
+		out = append(out, row)
+	}
+	o.writeJSON(w, struct {
+		Executors []opsMemoryExec                `json:"executors"`
+		Occupancy map[int64][]obs.OccupancyPoint `json:"occupancy,omitempty"`
+	}{Executors: out, Occupancy: c.view.Occupancy()})
+}
+
+func (o *opsServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	o.c.drainLocalEvents()
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteTrace(w, o.c.view.Events()); err != nil {
+		_ = err // connection died mid-write
+	}
+}

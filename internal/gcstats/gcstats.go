@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/metrics"
+	"sync"
 	"time"
 )
 
@@ -152,6 +153,51 @@ func (t *Timeline) Stop() []Sample {
 	<-t.done
 	t.samples = append(t.samples, t.sample())
 	return t.samples
+}
+
+// Sampler invokes a callback with a fresh Snapshot at a fixed interval
+// on a background goroutine — the push-style sibling of Timeline, for
+// consumers that stream samples somewhere (the obs event spine) instead
+// of collecting them for a post-run plot. Stop is idempotent and waits
+// for the goroutine to exit, so an owner's Close can call it safely on
+// every path.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartSampler calls fn(Read()) every interval until Stop. fn runs on
+// the sampler goroutine; it must not block for long.
+func StartSampler(interval time.Duration, fn func(Snapshot)) *Sampler {
+	s := &Sampler{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				fn(Read())
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and waits for the sampler goroutine to finish. A
+// nil receiver and repeated calls are no-ops.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
 }
 
 // WithGCPercent runs f under the given GOGC value, restoring the previous

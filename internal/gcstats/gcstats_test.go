@@ -79,6 +79,49 @@ func TestTimeline(t *testing.T) {
 	}
 }
 
+func TestSamplerDeliversAndStops(t *testing.T) {
+	ch := make(chan Snapshot, 64)
+	s := StartSampler(time.Millisecond, func(snap Snapshot) {
+		select {
+		case ch <- snap:
+		default:
+		}
+	})
+	select {
+	case snap := <-ch:
+		if snap.When.IsZero() {
+			t.Error("sampler delivered a zero snapshot")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sampler never fired")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	var nilSampler *Sampler
+	nilSampler.Stop() // nil-safe
+}
+
+func TestSamplerStopEndsGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	samplers := make([]*Sampler, 8)
+	for i := range samplers {
+		samplers[i] = StartSampler(time.Millisecond, func(Snapshot) {})
+	}
+	for _, s := range samplers {
+		s.Stop()
+	}
+	// Stop waits for the goroutine's deferred close, but scheduling of the
+	// final exit can lag; settle briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d — sampler goroutines leaked", before, runtime.NumGoroutine())
+}
+
 func TestWithGCPercent(t *testing.T) {
 	ran := false
 	WithGCPercent(50, func() { ran = true })

@@ -75,7 +75,8 @@ func TestReleasePairGolden(t *testing.T) {
 }
 
 func TestPtrEscapeGolden(t *testing.T) {
-	runGolden(t, PtrEscape, "ptrescape", "ptrescape", "deca/internal/memory")
+	runGolden(t, PtrEscape, "ptrescape", "ptrescape",
+		"deca/internal/memory", "deca/internal/obs")
 }
 
 func TestDeterminismGolden(t *testing.T) {

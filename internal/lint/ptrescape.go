@@ -22,6 +22,13 @@ import (
 //     statements on the same path must not touch g or byte slices
 //     obtained from it. (Reset is deliberately not tracked: the
 //     spill-restart pattern reuses a Group after Reset.)
+//   - observability payloads: a struct that carries deca/internal/obs
+//     types (an event, a batch of events, a Kind) is instrumentation
+//     data, and may carry page or group *identifiers* only — a
+//     memory.Ptr or *memory.Group field in such a struct would let the
+//     event stream extend page lifetimes past their stage. The Group
+//     guardian exemption deliberately does not apply here: in an event
+//     payload a Group field is the leak, not the owner.
 //
 // The defining package deca/internal/memory is exempt — it is the
 // implementation being guarded, not a client of it.
@@ -32,6 +39,7 @@ var PtrEscape = &Analyzer{
 }
 
 const memoryPkg = "deca/internal/memory"
+const obsPkg = "deca/internal/obs"
 
 func runPtrEscape(p *Pass) {
 	if p.Pkg.PkgPath == memoryPkg {
@@ -43,6 +51,7 @@ func runPtrEscape(p *Pass) {
 			case *ast.GenDecl:
 				checkPtrGlobals(p, d)
 				checkPtrFields(p, d)
+				checkObsPayloads(p, d)
 			case *ast.FuncDecl:
 				if d.Body != nil {
 					checkUseAfterRelease(p, d.Body)
@@ -122,6 +131,126 @@ func checkPtrFields(p *Pass, d *ast.GenDecl) {
 			}
 		}
 	}
+}
+
+// checkObsPayloads flags memory.Ptr / *memory.Group fields in structs
+// that also carry deca/internal/obs types: such a struct is an
+// observability payload, and events may carry page/group identifiers
+// (ids, counts, byte sizes) but never the page-backed objects
+// themselves — instrumentation must not extend object lifetimes. Unlike
+// checkPtrFields, a *memory.Group field is not a guardian here: the
+// payload's lifetime is the event stream's, not the stage's.
+func checkObsPayloads(p *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		isPayload := false
+		for _, field := range st.Fields.List {
+			if tv, ok := p.Pkg.Info.Types[field.Type]; ok && containsObsType(tv.Type, nil) {
+				isPayload = true
+				break
+			}
+		}
+		if !isPayload {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			var bad string
+			switch {
+			case containsPtr(tv.Type, nil):
+				bad = "memory.Ptr"
+			case containsGroup(tv.Type, nil):
+				bad = "*memory.Group"
+			default:
+				continue
+			}
+			pos := field.Type.Pos()
+			fieldName := "embedded field"
+			if len(field.Names) > 0 {
+				pos = field.Names[0].Pos()
+				fieldName = field.Names[0].Name
+			}
+			p.Reportf(pos,
+				"observability payload %s carries %s in %s; events may carry page/group identifiers, never the objects",
+				ts.Name.Name, bad, fieldName)
+		}
+	}
+}
+
+// containsObsType reports whether t transitively involves a named type
+// from deca/internal/obs (Event, Kind, a slice of them, ...).
+func containsObsType(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if n := namedType(t); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == obsPkg {
+		return true
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return containsObsType(t.Underlying(), seen)
+	case *types.Pointer:
+		return containsObsType(t.Elem(), seen)
+	case *types.Slice:
+		return containsObsType(t.Elem(), seen)
+	case *types.Array:
+		return containsObsType(t.Elem(), seen)
+	case *types.Map:
+		return containsObsType(t.Key(), seen) || containsObsType(t.Elem(), seen)
+	case *types.Chan:
+		return containsObsType(t.Elem(), seen)
+	}
+	return false
+}
+
+// containsGroup reports whether t transitively contains memory.Group
+// (typically behind a pointer).
+func containsGroup(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if isNamed(t, memoryPkg, "Group") {
+		return true
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return containsGroup(t.Underlying(), seen)
+	case *types.Pointer:
+		return containsGroup(t.Elem(), seen)
+	case *types.Slice:
+		return containsGroup(t.Elem(), seen)
+	case *types.Array:
+		return containsGroup(t.Elem(), seen)
+	case *types.Map:
+		return containsGroup(t.Key(), seen) || containsGroup(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsGroup(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // containsPtr reports whether t transitively contains memory.Ptr.

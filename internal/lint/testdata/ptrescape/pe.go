@@ -1,7 +1,10 @@
 // Package ptrescape is golden-test input for the ptrescape analyzer.
 package ptrescape
 
-import "deca/internal/memory"
+import (
+	"deca/internal/memory"
+	"deca/internal/obs"
+)
 
 // True positive: a global outlives every Group.
 var globalPtr memory.Ptr // want "package-level"
@@ -77,4 +80,47 @@ func resetReuse(m *memory.Manager) int {
 	n := g.NumPages()
 	g.Release()
 	return n
+}
+
+//
+// Observability payloads: structs carrying obs types may hold page/group
+// identifiers, never the page-backed objects.
+//
+
+// True positive: an event batch hauling its source group around would
+// extend the pages' lifetime to the event stream's.
+type groupedEvents struct {
+	evs []obs.Event
+	g   *memory.Group // want "observability payload groupedEvents carries *memory.Group"
+}
+
+// True positive: a Ptr beside an obs type trips both the payload rule
+// and the ordinary no-guardian field rule.
+type ptrEvent struct {
+	kind obs.Kind
+	p    memory.Ptr // want "guardian" want "observability payload ptrEvent carries memory.Ptr"
+}
+
+// True positive: the Group-guardian exemption does not apply inside an
+// observability payload — here the Group field is the leak, not the
+// owner, so both it and the Ptr are flagged.
+type sneakyPayload struct {
+	evs []obs.Event
+	g   *memory.Group // want "observability payload sneakyPayload carries *memory.Group"
+	p   memory.Ptr    // want "observability payload sneakyPayload carries memory.Ptr"
+}
+
+// Negative: identifiers and counts are exactly what events are for.
+type cleanPayload struct {
+	evs   []obs.Event
+	exec  int32
+	pages int64
+	bytes int64
+}
+
+// Negative: a struct with no obs types keeps the guardian exemption
+// (the DecaBlock pattern, unchanged).
+type stillGuarded struct {
+	g *memory.Group
+	p memory.Ptr
 }

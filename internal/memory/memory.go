@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"deca/internal/obs"
 )
 
 // DefaultPageSize is the page size used when a Manager is created with a
@@ -60,6 +62,19 @@ type Manager struct {
 	reused     uint64
 	released   uint64
 	liveGroups int64
+
+	// rec receives page lifecycle events (nil = observability off). Set
+	// once via SetRecorder before the manager sees concurrent use; events
+	// carry only counts and byte sizes, never Ptrs or Groups.
+	rec     *obs.Recorder
+	recExec int32
+}
+
+// SetRecorder attaches an observability recorder; page alloc / adopt /
+// release events are tagged with exec. Call before concurrent use.
+func (m *Manager) SetRecorder(r *obs.Recorder, exec int32) {
+	m.rec = r
+	m.recExec = exec
 }
 
 // NewManager returns a Manager with the given page size and soft budget in
@@ -135,8 +150,13 @@ func (m *Manager) getPage(want int) []byte {
 			return p[:0]
 		}
 		m.allocated++
+		allocated := m.allocated
 		m.inUse += int64(m.pageSize)
 		m.mu.Unlock()
+		m.rec.Record(obs.Event{
+			Kind: obs.KindPageAlloc, Exec: m.recExec,
+			A: int64(allocated), B: int64(m.pageSize),
+		})
 		return make([]byte, 0, m.pageSize)
 	}
 	// Oversized: first fit in the dedicated pool.
@@ -154,13 +174,23 @@ func (m *Manager) getPage(want int) []byte {
 		}
 	}
 	m.allocated++
+	allocated := m.allocated
 	m.inUse += int64(want)
 	m.mu.Unlock()
+	m.rec.Record(obs.Event{
+		Kind: obs.KindPageAlloc, Exec: m.recExec,
+		A: int64(allocated), B: int64(want),
+	})
 	return make([]byte, 0, want)
 }
 
 // putPages returns pages to the pool (or drops them if the pool is full).
 func (m *Manager) putPages(pages [][]byte) {
+	if len(pages) > 0 {
+		m.rec.Record(obs.Event{
+			Kind: obs.KindPageRelease, Exec: m.recExec, A: int64(len(pages)),
+		})
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, p := range pages {
@@ -376,6 +406,9 @@ func (g *Group) AdoptPages(src *Group) int {
 	g.bytes += src.bytes
 	g.AddDep(src)
 	src.rehome(g.m)
+	g.m.rec.Record(obs.Event{
+		Kind: obs.KindPageAdopt, Exec: g.m.recExec, A: int64(len(src.pages)),
+	})
 	return base
 }
 

@@ -55,6 +55,22 @@ type Hooks interface {
 	ExecutorBlacklisted(exec int)
 }
 
+// AttemptObserver is an optional extension of Hooks: an implementation
+// that also satisfies this interface additionally receives per-attempt
+// lifecycle callbacks carrying the full task identity and timing — the
+// seam the engine's observability event spine hangs off. It is checked
+// by type assertion on Config.Hooks, so existing Hooks implementations
+// keep working unchanged. Both methods may be called concurrently.
+type AttemptObserver interface {
+	// AttemptStarted fires right before an attempt body runs (after the
+	// worker slot was acquired).
+	AttemptStarted(stage, part, attempt, exec int, speculative bool)
+	// AttemptFinished fires when the attempt body returns. err is nil on
+	// success; a finished attempt whose task was already completed by a
+	// twin still reports here (with its own outcome).
+	AttemptFinished(stage, part, attempt, exec int, speculative bool, d time.Duration, err error)
+}
+
 // nopHooks is the default observer.
 type nopHooks struct{}
 
@@ -288,6 +304,36 @@ func (c *Cluster) recordFailure(exec int) {
 	}
 }
 
+// ExecutorState is one executor's health snapshot, for the ops plane's
+// /executors view.
+type ExecutorState struct {
+	Exec          int       `json:"exec"`
+	Failures      int       `json:"failures"`
+	Blacklisted   bool      `json:"blacklisted"`
+	Probing       bool      `json:"probing,omitempty"`
+	BlacklistedAt time.Time `json:"blacklisted_at,omitzero"`
+}
+
+// States snapshots every executor's health: attempt-failure count,
+// blacklist membership, and probation-probe status.
+func (c *Cluster) States() []ExecutorState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ExecutorState, c.conf.NumExecutors)
+	for e := range out {
+		out[e] = ExecutorState{
+			Exec:        e,
+			Failures:    c.failures[e],
+			Blacklisted: c.blacklisted[e],
+			Probing:     c.probing[e],
+		}
+		if c.blacklisted[e] {
+			out[e].BlacklistedAt = c.blacklistedAt[e]
+		}
+	}
+	return out
+}
+
 // placeForAttempt resolves a primary attempt's placement, preferring a
 // blacklisted executor whose probation is due: that attempt becomes the
 // executor's single probe task (probe=true), and its outcome must be
@@ -341,6 +387,10 @@ type StageOptions struct {
 	// that write shared result slots must likewise guard their slot
 	// against a duplicate delivery before opting in.
 	Speculatable bool
+	// OnStart, when set, receives the scheduler-assigned stage id before
+	// any attempt launches — the seam observability uses to correlate a
+	// caller-side stage name with the ids attempt events carry.
+	OnStart func(stage int)
 }
 
 // Attempt identifies one execution of one task, handed to the stage body.
@@ -420,6 +470,9 @@ func (c *Cluster) RunStageOn(partIDs []int, opts StageOptions, body func(Attempt
 	s.tasks = make([]*taskState, len(partIDs))
 	for i, part := range partIDs {
 		s.tasks[i] = &taskState{part: part, doneCh: make(chan struct{})}
+	}
+	if opts.OnStart != nil {
+		opts.OnStart(s.id)
 	}
 
 	var stopMonitor, monitorDone chan struct{}

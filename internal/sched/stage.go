@@ -180,6 +180,10 @@ func (s *stage) runAttempt(t *taskState, attempt, exec int, speculative bool, bo
 		return nil // the twin won while this attempt queued
 	}
 	s.c.conf.Hooks.TaskStarted(exec)
+	observer, _ := s.c.conf.Hooks.(AttemptObserver)
+	if observer != nil {
+		observer.AttemptStarted(s.id, t.part, attempt, exec, speculative)
+	}
 	a := Attempt{
 		Stage: s.id, Part: t.part, Attempt: attempt, Exec: exec,
 		Speculative: speculative, cancel: t.doneCh,
@@ -189,6 +193,9 @@ func (s *stage) runAttempt(t *taskState, attempt, exec int, speculative bool, bo
 	err := s.attemptBody(a, body)
 	dur := time.Since(start)
 	t.noteStopped()
+	if observer != nil {
+		observer.AttemptFinished(s.id, t.part, attempt, exec, speculative, dur, err)
+	}
 	if err == nil {
 		if t.complete() {
 			s.recordDuration(dur)

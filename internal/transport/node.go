@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"deca/internal/obs"
 )
 
 // This file is the data plane shared by every networked deployment: a
@@ -31,8 +33,19 @@ type DataServer struct {
 
 	store outputStore
 
+	// rec receives serve events (nil = observability off); set once via
+	// SetRecorder before serving starts.
+	rec     *obs.Recorder
+	recExec int32
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetRecorder attaches an observability recorder; each successful serve
+// emits a KindServe event tagged with exec. Call before concurrent use.
+func (s *DataServer) SetRecorder(r *obs.Recorder, exec int32) {
+	s.rec, s.recExec = r, exec
 }
 
 // NewDataServer listens on addr ("host:port"; ":0" picks an ephemeral
@@ -162,6 +175,10 @@ func (s *DataServer) serveOne(conn net.Conn, bw *bufio.Writer, id MapOutputID) b
 			s.store.pagesZeroCopy.Add(int64(fs.Pages()))
 			s.store.bytesSendfile.Add(fs.FileBytes())
 			s.store.userCopyBytes.Add(fs.Staged())
+			s.rec.Record(obs.Event{
+				Kind: obs.KindServe, Exec: s.recExec,
+				Shuffle: int64(id.Shuffle), Part: int32(id.Reduce), B: fs.Len(),
+			})
 		}
 		fs.Release()
 		s.store.endServe(e)
@@ -188,6 +205,10 @@ func (s *DataServer) serveOne(conn net.Conn, bw *bufio.Writer, id MapOutputID) b
 		bw.Flush() == nil
 	if ok {
 		s.store.userCopyBytes.Add(int64(frame.Len()))
+		s.rec.Record(obs.Event{
+			Kind: obs.KindServe, Exec: s.recExec,
+			Shuffle: int64(id.Shuffle), Part: int32(id.Reduce), B: int64(frame.Len()),
+		})
 	}
 	s.store.putBuf(frame)
 	return ok
@@ -275,9 +296,20 @@ func releasePayload(p Payload) {
 type DataClient struct {
 	fetchTimeout time.Duration
 
+	// rec receives fetch issued/served/failed events (nil = off); set
+	// once via SetRecorder before concurrent use.
+	rec     *obs.Recorder
+	recExec int32
+
 	mu     sync.Mutex
 	pools  map[string]chan *dataConn
 	closed bool
+}
+
+// SetRecorder attaches an observability recorder; every FETCH
+// round-trip emits issued and served/failed events tagged with exec.
+func (c *DataClient) SetRecorder(r *obs.Recorder, exec int32) {
+	c.rec, c.recExec = r, exec
 }
 
 // dataConn is a pooled client connection with its buffered endpoints (the
@@ -318,16 +350,32 @@ func (c *DataClient) Fetch(addr string, id MapOutputID) ([]byte, error) {
 // transport or decode error retires the connection (its stream position
 // is unknown) and returns a non-nil error the caller may retry.
 func (c *DataClient) FetchInto(addr string, id MapOutputID, open FrameOpen) (dec Decoded, size int64, found bool, err error) {
+	c.rec.Record(obs.Event{
+		Kind: obs.KindFetchIssued, Exec: c.recExec,
+		Shuffle: int64(id.Shuffle), Part: int32(id.Reduce), A: int64(id.MapTask),
+	})
 	conn, err := c.getConn(addr)
+	if err == nil {
+		dec, size, found, err = conn.fetchInto(id, c.fetchTimeout, open)
+		if err != nil {
+			conn.c.Close()
+		} else {
+			c.putConn(addr, conn)
+		}
+	}
 	if err != nil {
+		c.rec.Record(obs.Event{
+			Kind: obs.KindFetchFailed, Exec: c.recExec,
+			Shuffle: int64(id.Shuffle), Part: int32(id.Reduce), A: int64(id.MapTask),
+			Key: err.Error(),
+		})
 		return Decoded{}, 0, false, err
 	}
-	dec, size, found, err = conn.fetchInto(id, c.fetchTimeout, open)
-	if err != nil {
-		conn.c.Close()
-		return Decoded{}, 0, false, err
-	}
-	c.putConn(addr, conn)
+	c.rec.Record(obs.Event{
+		Kind: obs.KindFetchServed, Exec: c.recExec,
+		Shuffle: int64(id.Shuffle), Part: int32(id.Reduce), A: int64(id.MapTask),
+		B: size,
+	})
 	return dec, size, found, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"deca/internal/obs"
 )
 
 // TCP is the networked Transport for a single-process cluster: one
@@ -93,6 +95,17 @@ func NewTCP(addrs []string, fetchTimeout time.Duration) (*TCP, error) {
 		t.nodes = append(t.nodes, node)
 	}
 	return t, nil
+}
+
+// SetRecorder attaches an observability recorder to every executor
+// endpoint, each tagged with its executor id, so serve events carry the
+// serving side. The shared fetch client stays unattached — it serves all
+// executors, so per-fetcher attribution is the engine's job. Call before
+// serving starts.
+func (t *TCP) SetRecorder(r *obs.Recorder) {
+	for i, n := range t.nodes {
+		n.SetRecorder(r, int32(i))
+	}
 }
 
 // Addrs returns each executor endpoint's resolved listen address

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"testing"
@@ -219,6 +220,50 @@ func TestMultiprocReduceKillLineageRepair(t *testing.T) {
 	}
 	if res.ExecutorsBlacklisted == 0 {
 		t.Errorf("the SIGKILLed executor was never blacklisted")
+	}
+}
+
+// TestSyncClusterMetricsIdempotent: SyncClusterMetrics stores absolute
+// per-executor sums, so pulling the cluster's counters twice — duplicate
+// delivery, or an ops scrape racing the end-of-run sync — leaves the
+// driver's metrics unchanged rather than doubled. The job runs against a
+// hand-held context so the cluster is still up for the second sync.
+func TestSyncClusterMetricsIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns executor processes")
+	}
+	params := WCParams{DistinctKeys: 2_000, WordsPerLine: 8, Lines: 3_000}
+	cfg := multiprocCfg(t, 2).withDefaults()
+	ctx := cfg.newEngine()
+	defer ctx.Close()
+	spec := PlanSpec{Workload: "wc", WC: params}
+	spec.fill(cfg)
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.RegisterPlan(raw)
+	if _, err := wcBody(cfg, params)(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func() [4]int64 {
+		m := ctx.MetricsRef()
+		return [4]int64{
+			m.ShuffleRecords.Load(),
+			m.RemoteShuffleFetches.Load(),
+			m.RemoteShuffleBytes.Load(),
+			m.FetchInFlightBytes.Load(),
+		}
+	}
+	ctx.SyncClusterMetrics()
+	first := read()
+	if first[0] == 0 {
+		t.Fatal("no shuffle records after a multiproc WC — sync pulled nothing")
+	}
+	ctx.SyncClusterMetrics()
+	if second := read(); second != first {
+		t.Errorf("duplicate sync changed counters: %v -> %v", first, second)
 	}
 }
 

@@ -23,7 +23,15 @@ type WCParams struct {
 // hash aggregation (the Tuple2 population of Figure 8(a)) → counts. The
 // checksum folds counts so all modes can be compared exactly.
 func WordCount(cfg Config, params WCParams) (Result, error) {
-	return run("WordCount", cfg, PlanSpec{Workload: "wc", WC: params}, func(ctx *engine.Context) (float64, error) {
+	return run("WordCount", cfg, PlanSpec{Workload: "wc", WC: params}, wcBody(cfg, params))
+}
+
+// wcBody is the WC dataflow itself, shared between WordCount and tests
+// that need to drive the job against a context they hold open (the plan
+// a follower mirrors is this exact program, so both sides must run the
+// same body).
+func wcBody(cfg Config, params WCParams) func(ctx *engine.Context) (float64, error) {
+	return func(ctx *engine.Context) (float64, error) {
 		cfg := cfg.withDefaults()
 		linesPerPart := params.Lines / cfg.Partitions
 		if linesPerPart == 0 {
@@ -66,5 +74,5 @@ func WordCount(cfg Config, params WCParams) (Result, error) {
 			func(a, b float64) float64 { return a + b },
 		)
 		return sum, err
-	})
+	}
 }

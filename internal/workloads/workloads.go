@@ -84,6 +84,14 @@ type Config struct {
 	// Follower marks this process as one executor mirroring the plan —
 	// set by ExecutorMain, never by applications.
 	Follower *ctl.Follower
+	// OpsAddr serves the driver's live HTTP ops plane (/metrics, /stages,
+	// /executors, /memory, /trace) on this address for the run's
+	// duration. Driver-side only — it is never mirrored into executor
+	// processes.
+	OpsAddr string
+	// TraceOut writes the run's event spine as Chrome trace-event JSON
+	// to this file when the engine closes (driver-side only).
+	TraceOut string
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +150,8 @@ func (c Config) newEngine() *engine.Context {
 		DeployKind:              c.Deploy,
 		ExecutorCmd:             c.ExecutorCmd,
 		CtlFollower:             c.Follower,
+		OpsAddr:                 c.OpsAddr,
+		TraceOut:                c.TraceOut,
 	})
 }
 
